@@ -1,0 +1,49 @@
+"""Figure 4: adoption utility and run time as the budget k varies.
+
+Paper shapes asserted here:
+
+* utility grows with k for the OIPA solvers;
+* BAB and BAB-P dominate IM and TIM in aggregate utility;
+* BAB-P's total solve time undercuts BAB's (the plain Algorithm 2
+  greedy rescans all candidates; the progressive estimator does not);
+* IM/TIM remain the cheapest (simple max-coverage), as in the paper.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.figures import figure4_promoters
+
+
+def test_figure4_varying_k(benchmark, profile, artifact_dir):
+    result = benchmark.pedantic(
+        figure4_promoters, args=(profile,), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "figure4", result.render())
+
+    aggregate = {m: 0.0 for m in ("IM", "TIM", "BAB", "BAB-P")}
+    for dataset in profile.datasets:
+        panel = result.panels[dataset]
+        utility = panel["utility"]
+        times = panel["time"]
+        for method, series in utility.items():
+            aggregate[method] += sum(series)
+
+        # Utility grows with k for BAB (allow one noise inversion by
+        # comparing the endpoints).
+        assert utility["BAB"][-1] >= utility["BAB"][0] - 1e-9, dataset
+
+        # Solver time ordering: the plain-greedy BAB outweighs BAB-P.
+        assert sum(times["BAB"]) > sum(times["BAB-P"]), dataset
+
+    # Aggregate quality ordering across datasets and budgets:
+    # BAB >= BAB-P (within noise) and both beat each baseline.
+    assert aggregate["BAB"] >= 0.9 * aggregate["BAB-P"]
+    for solver in ("BAB", "BAB-P"):
+        for baseline in ("IM", "TIM"):
+            assert aggregate[solver] > aggregate[baseline], (
+                solver,
+                baseline,
+                aggregate,
+            )

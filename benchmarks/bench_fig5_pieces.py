@@ -1,0 +1,45 @@
+"""Figure 5: adoption utility and run time as the number of pieces l varies.
+
+Paper shapes asserted here:
+
+* utility rises with l for the OIPA solvers (beta = 1: more received
+  pieces, higher adoption probability);
+* the solver-vs-baseline gap *widens* with l — single-piece baselines
+  cannot exploit additional facets (the paper measures up to 71x on
+  tweet at l = 5);
+* at l = 1 OIPA degenerates to topic-aware IM, so BAB and TIM roughly
+  coincide there.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.figures import figure5_pieces
+
+
+def test_figure5_varying_pieces(benchmark, profile, artifact_dir):
+    result = benchmark.pedantic(
+        figure5_pieces, args=(profile,), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "figure5", result.render())
+
+    for dataset in profile.datasets:
+        panel = result.panels[dataset]
+        utility = panel["utility"]
+        ls = panel["num_pieces"]
+        assert ls == list(profile.l_grid)
+
+        # Utility increases in l for BAB (endpoint comparison).
+        assert utility["BAB"][-1] > utility["BAB"][0], dataset
+
+        # The absolute solver-baseline gap grows from l=1 to l=max.
+        gap_first = utility["BAB"][0] - utility["TIM"][0]
+        gap_last = utility["BAB"][-1] - utility["TIM"][-1]
+        assert gap_last >= gap_first - 0.5, dataset
+
+    # At l = 1, BAB cannot lose to TIM by more than estimator noise —
+    # both solve the same single-piece selection problem.
+    for dataset in profile.datasets:
+        utility = result.panels[dataset]["utility"]
+        assert utility["BAB"][0] >= 0.8 * utility["TIM"][0], dataset

@@ -1,0 +1,49 @@
+"""Figure 6: adoption utility as the logistic ratio beta/alpha varies.
+
+Paper shapes asserted here:
+
+* utility rises with beta/alpha for every method (smaller alpha means
+  easier adoption);
+* the solvers' *relative* advantage over the baselines is largest at
+  the smallest ratio — the paper measures the tweet improvement over
+  TIM pumping from 190 % (ratio 0.7) to 280 % (ratio 0.3).
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.figures import figure6_beta_alpha
+
+
+def test_figure6_varying_ratio(benchmark, profile, artifact_dir):
+    result = benchmark.pedantic(
+        figure6_beta_alpha, args=(profile,), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "figure6", result.render())
+
+    improvement_small, improvement_large = [], []
+    for dataset in profile.datasets:
+        panel = result.panels[dataset]
+        utility = panel["utility"]
+        ratios = panel["beta_over_alpha"]
+        assert ratios == list(profile.ratio_grid)
+
+        # Every method's utility grows with the ratio (endpoints).
+        for method, series in utility.items():
+            assert series[-1] > series[0] - 1e-9, (dataset, method)
+
+        # Track the BAB-vs-best-baseline improvement at both extremes.
+        def improvement(idx):
+            baseline = max(utility["IM"][idx], utility["TIM"][idx])
+            return utility["BAB"][idx] / max(baseline, 1e-9)
+
+        improvement_small.append(improvement(0))
+        improvement_large.append(improvement(len(ratios) - 1))
+
+    # Aggregated over datasets, the advantage is larger at small ratios.
+    mean_small = sum(improvement_small) / len(improvement_small)
+    mean_large = sum(improvement_large) / len(improvement_large)
+    assert mean_small >= mean_large - 0.25, (mean_small, mean_large)
+    # And the solvers do beat the baselines in the hard regime.
+    assert mean_small > 1.0

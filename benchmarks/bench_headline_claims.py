@@ -1,0 +1,46 @@
+"""The abstract's headline claims, measured at reproduction scale.
+
+Paper: "over 215 % quality improvement against two intuitive baselines"
+and "up to 24-fold speedup over the plain branch-and-bound approach".
+
+We measure both on the hardest grid cell (max pieces, min beta/alpha —
+the regime the aggregate claims come from) and assert the directional
+versions: solvers strictly beat baselines, and BAB-P does strictly less
+bound-evaluation work per ComputeBound call than plain BAB (Theorem 4's
+hardware-independent quantity; wall-clock ratios are also recorded).
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.figures import headline_claims
+
+
+def test_headline_quality_and_speedup(benchmark, profile, artifact_dir):
+    result = benchmark.pedantic(
+        headline_claims, args=(profile,), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "headline", result.render())
+
+    gains = []
+    eval_speedups = []
+    for dataset in profile.datasets:
+        panel = result.panels[dataset]
+        utilities = panel["utilities"]
+
+        # Quality: both solvers beat both baselines on the hard cell.
+        best_baseline = max(utilities["IM"], utilities["TIM"])
+        assert utilities["BAB"] > best_baseline, (dataset, utilities)
+        assert utilities["BAB-P"] > best_baseline, (dataset, utilities)
+
+        gains.append(panel["gain_vs_best_baseline_pct"])
+        eval_speedups.append(panel["speedup_evals"])
+
+    # Aggregate quality gain is substantial (the paper reports >= 215 %
+    # at theta = 1e6 and full scale; at quick scale we require > 25 %).
+    assert max(gains) > 25.0, gains
+
+    # Efficiency: BAB-P does materially less tau-evaluation work.
+    assert all(s > 1.0 for s in eval_speedups), eval_speedups
+    assert max(eval_speedups) > 3.0, eval_speedups

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the sampling and bound kernels.
+
+These are the true pytest-benchmark timings (multiple rounds) of the
+operations everything else is built from: RR-set generation, MRR
+estimation, coverage updates and tau marginal gains.  They track the
+reproduction's performance envelope — the reason the paper's
+theta = 1e6 is substituted at Python scale (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageState
+from repro.core.plan import AssignmentPlan
+from repro.core.tangent import MajorantTable
+from repro.core.upper_bound import TauState
+from repro.diffusion.adoption import AdoptionModel
+from repro.diffusion.projection import project_campaign
+from repro.graph.generators import (
+    build_topic_graph,
+    preferential_attachment_digraph,
+)
+from repro.sampling.mrr import MRRCollection
+from repro.sampling.rr import ReverseReachableSampler
+from repro.topics.distributions import Campaign
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture(scope="module")
+def kernel_world():
+    src, dst = preferential_attachment_digraph(2000, 5, seed=41)
+    graph = build_topic_graph(
+        2000, src, dst, 8, topics_per_edge=2.0, prob_mean=0.1, seed=42
+    )
+    campaign = Campaign.sample_unit(3, 8, seed=43)
+    adoption = AdoptionModel(alpha=2.0, beta=1.0)
+    mrr = MRRCollection.generate(graph, campaign, theta=4000, seed=44)
+    return graph, campaign, adoption, mrr
+
+
+def test_rr_set_sampling_throughput(benchmark, kernel_world):
+    graph, campaign, _, _ = kernel_world
+    pg = project_campaign(graph, campaign)[0]
+    sampler = ReverseReachableSampler(pg)
+    rng = as_generator(45)
+    roots = np.arange(0, 2000, 4)
+
+    def draw_batch():
+        return sampler.sample_many(roots, rng)
+
+    ptr, _ = benchmark(draw_batch)
+    assert ptr[-1] >= roots.size  # every RR set holds at least its root
+
+
+def test_mrr_estimate_speed(benchmark, kernel_world):
+    _, _, adoption, mrr = kernel_world
+    plan = [[1, 10, 100], [2, 20], [3, 30, 300]]
+    value = benchmark(mrr.estimate, plan, adoption)
+    assert value >= 0.0
+
+
+def test_coverage_add_speed(benchmark, kernel_world):
+    _, _, _, mrr = kernel_world
+
+    def build_and_fill():
+        state = CoverageState(mrr)
+        for v in range(0, 200, 5):
+            state.add(v, v % mrr.num_pieces)
+        return state
+
+    state = benchmark(build_and_fill)
+    assert state.counts.sum() >= 0
+
+
+def test_tau_marginal_gain_speed(benchmark, kernel_world):
+    _, _, adoption, mrr = kernel_world
+    table = MajorantTable(adoption, mrr.num_pieces)
+    base = CoverageState.from_plan(
+        mrr, AssignmentPlan([{1}, {2}, {3}])
+    )
+    tau = TauState(mrr, table, base, adoption)
+
+    def evaluate_many():
+        total = 0.0
+        for v in range(0, 400, 2):
+            total += tau.marginal_gain(v, v % mrr.num_pieces)
+        return total
+
+    total = benchmark(evaluate_many)
+    assert total >= 0.0
+
+
+def test_majorant_table_construction_speed(benchmark, kernel_world):
+    _, _, adoption, _ = kernel_world
+    table = benchmark(MajorantTable, adoption, 5)
+    assert table.num_pieces == 5

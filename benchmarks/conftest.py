@@ -1,0 +1,35 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+``quick`` profile scale, asserts the paper's qualitative *shape*
+(method ordering, trend directions, speedups), and writes the rendered
+rows to ``benchmarks/out/<name>.txt`` so the regenerated artefacts are
+inspectable after a run (and quoted in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import QUICK_PROFILE
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The benchmark-scale experiment profile."""
+    return QUICK_PROFILE
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered figure/table for post-run inspection."""
+    (directory / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

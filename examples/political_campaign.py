@@ -1,0 +1,105 @@
+"""A multifaceted election campaign (the paper's motivating example).
+
+An election campaign must inform voters about a candidate's positions
+on several issues — taxation, immigration, healthcare — and consumer-
+behaviour research says a voter is unlikely to act on a *single*
+talking point (the logistic adoption model, Eq. 1).  OIPA decides which
+surrogates (eligible promoters) should push which issue so that as many
+voters as possible hear *enough of the message* to act.
+
+The script builds a dblp-like network (dense communities = professional
+circles), defines a three-issue campaign whose pieces are topic
+*mixtures* (issues overlap: a healthcare message touches taxation), and
+contrasts the naive strategy (one message, best promoters — the TIM
+baseline) with the OIPA assignment, including per-voter exposure depth.
+
+Run:
+    python examples/political_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AdoptionModel,
+    Campaign,
+    MRRCollection,
+    OIPAProblem,
+    Piece,
+    solve_bab_progressive,
+    tim_baseline,
+)
+from repro.datasets import load_dataset
+from repro.utils.tables import format_table
+
+ISSUES = ("taxation", "immigration", "healthcare")
+
+
+def build_campaign(num_topics: int) -> Campaign:
+    """Three issue pieces as overlapping topic mixtures."""
+    rng = np.random.default_rng(2019)
+    pieces = []
+    for i, issue in enumerate(ISSUES):
+        vector = np.full(num_topics, 0.02)
+        vector[i % num_topics] = 1.0
+        vector[(i + 3) % num_topics] = 0.3  # each issue leaks into another
+        pieces.append(Piece(issue, vector + rng.uniform(0, 0.01, num_topics)))
+    return Campaign(pieces)
+
+
+def main() -> None:
+    print("Building the electorate network (dblp-like communities)...")
+    bundle = load_dataset("dblp", scale=0.08)
+    graph = bundle.graph
+    campaign = build_campaign(graph.num_topics)
+
+    # Hard adoption regime: voters need >= 2 issues before acting.
+    adoption = AdoptionModel.from_ratio(0.3)
+    problem = OIPAProblem.with_random_pool(
+        graph, campaign, adoption, k=12, pool_fraction=0.1, seed=3
+    )
+    print(f"  electorate: {graph.n} voters, {problem.pool_size} surrogates")
+
+    mrr = MRRCollection.generate(graph, campaign, theta=6000, seed=4)
+    mrr_eval = MRRCollection.generate(graph, campaign, theta=20000, seed=5)
+
+    print("Naive strategy: all budget on the single best issue (TIM)...")
+    naive = tim_baseline(problem, mrr)
+    naive_utility = mrr_eval.estimate(naive.plan.seed_lists(), adoption)
+
+    print("OIPA strategy: BAB-P assigns issues to surrogates jointly...")
+    result = solve_bab_progressive(problem, mrr, epsilon=0.5, max_nodes=300)
+    oipa_utility = mrr_eval.estimate(result.plan.seed_lists(), adoption)
+
+    print()
+    rows = [
+        ["single-issue (TIM)", ISSUES[naive.chosen_piece], naive_utility],
+        ["multifaceted (OIPA)", "all three", oipa_utility],
+    ]
+    print(
+        format_table(
+            ["strategy", "issues spread", "expected adopting voters"],
+            rows,
+            title="Expected voter adoption (independent evaluation)",
+        )
+    )
+    gain = (oipa_utility / max(naive_utility, 1e-9) - 1) * 100
+    print(f"\nMultifaceted campaigning gains {gain:.0f}% expected adoption.")
+
+    print("\nIssue assignment chosen by OIPA:")
+    for j, seeds in enumerate(result.plan.seed_sets):
+        print(f"  {ISSUES[j]:12s} -> surrogates {sorted(seeds)}")
+
+    # Exposure depth: how many voters hear 1, 2, 3 issues in expectation.
+    counts = mrr_eval.coverage_counts(result.plan.seed_lists())
+    scale = graph.n / mrr_eval.theta
+    print("\nExpected exposure depth under the OIPA plan:")
+    for depth in range(1, campaign.num_pieces + 1):
+        expected = scale * int((counts == depth).sum())
+        marker = " <- adoption takes off here" if depth >= 2 else ""
+        print(f"  exactly {depth} issue(s): {expected:8.1f} voters{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Growing a video channel's subscribers with viral clips.
+
+The paper's second motivating scenario: a channel posts several viral
+videos; because social-media content is short-lived, one viewing rarely
+converts — "only upon watching multiple videos from the same channel
+would the user turn to a subscriber".  The channel must decide which
+influencer accounts should push which clip.
+
+This script runs on the tweet-like dataset (sparse retweet graph, LDA
+topics) and demonstrates the regime where the baselines collapse: with
+five clips and a harsh conversion curve, spreading a single clip —
+however well seeded — converts almost nobody.
+
+Run:
+    python examples/video_channel.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdoptionModel,
+    Campaign,
+    MRRCollection,
+    OIPAProblem,
+    im_baseline,
+    load_dataset,
+    solve_bab_progressive,
+    tim_baseline,
+)
+from repro.utils.tables import format_table
+
+CLIPS = 5
+
+
+def main() -> None:
+    print("Building the tweet-like network (LDA over hashtag documents)...")
+    bundle = load_dataset("tweet", scale=0.06)
+    graph = bundle.graph
+    print(f"  {graph!r}, avg degree {graph.num_edges / graph.n:.2f}")
+
+    # Five clips, each about one (hashtag) topic.
+    campaign = Campaign.sample_unit(CLIPS, graph.num_topics, seed=99)
+    # Harsh conversion: beta/alpha = 0.3 — a user needs several clips.
+    adoption = AdoptionModel.from_ratio(0.3)
+    problem = OIPAProblem.with_random_pool(
+        graph, campaign, adoption, k=15, pool_fraction=0.1, seed=99
+    )
+
+    theta = 18_000  # sparse graph -> cheap samples, thin adoption density
+    mrr = MRRCollection.generate(graph, campaign, theta=theta, seed=100)
+    mrr_eval = MRRCollection.generate(graph, campaign, theta=4 * theta, seed=101)
+
+    def evaluate(plan):
+        return mrr_eval.estimate(plan.seed_lists(), adoption)
+
+    print("Comparing strategies...")
+    im = im_baseline(problem, mrr, seed=1)
+    tim = tim_baseline(problem, mrr)
+    oipa = solve_bab_progressive(problem, mrr, epsilon=0.5, max_nodes=200)
+
+    rows = [
+        ["IM: one topic-blind seed set, best single clip", evaluate(im.plan)],
+        ["TIM: per-clip seeds, best single clip", evaluate(tim.plan)],
+        ["OIPA (BAB-P): clips assigned jointly", evaluate(oipa.plan)],
+    ]
+    print()
+    print(
+        format_table(
+            ["strategy", "expected new subscribers"],
+            rows,
+            title=f"Subscriber conversion with {CLIPS} clips, k=15 influencers",
+        )
+    )
+
+    print("\nClip assignment chosen by OIPA:")
+    for j, seeds in enumerate(oipa.plan.seed_sets):
+        if seeds:
+            print(f"  clip {campaign[j].name}: influencers {sorted(seeds)}")
+    unused = [campaign[j].name for j, s in enumerate(oipa.plan.seed_sets) if not s]
+    if unused:
+        print(f"  (clips left unpromoted: {', '.join(unused)} — the solver")
+        print("   concentrates budget where overlapping reach is possible)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""repro — a reproduction of "Maximizing Multifaceted Network Influence".
+
+(Y. Li, J. Fan, G. V. Ovchinnikov, P. Karras; ICDE 2019.)
+
+The package implements the Optimal Influential Pieces Assignment (OIPA)
+problem end-to-end: topic-aware influence graphs, the logistic adoption
+model, Multi-Reverse-Reachable (MRR) sampling, the branch-and-bound
+solvers ``BAB`` and ``BAB-P`` with submodular tangent-line upper bounds,
+the ``IM``/``TIM`` baselines, the Max-Clique hardness reduction, three
+synthetic dataset pipelines matching the paper's evaluation, and an
+experiment harness regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro import (
+...     AdoptionModel, Campaign, MRRCollection, OIPAProblem, load_dataset,
+...     solve_bab_progressive,
+... )
+>>> bundle = load_dataset("lastfm", scale=0.1)
+>>> campaign = Campaign.sample_unit(3, bundle.graph.num_topics, seed=1)
+>>> problem = OIPAProblem.with_random_pool(
+...     bundle.graph, campaign, AdoptionModel(alpha=2.0, beta=1.0),
+...     k=5, seed=1,
+... )
+>>> mrr = MRRCollection.generate(bundle.graph, campaign, theta=2000, seed=1)
+>>> result = solve_bab_progressive(problem, mrr)
+>>> result.plan.size <= 5
+True
+"""
+
+from repro.exceptions import (
+    BudgetExhaustedError,
+    DatasetError,
+    ExperimentError,
+    GraphError,
+    GraphFormatError,
+    ParameterError,
+    ReproError,
+    SamplingError,
+    SolverError,
+    TopicError,
+)
+from repro.graph import TopicGraph, load_topic_graph, save_topic_graph
+from repro.topics import Campaign, Piece, uniform_piece, unit_piece
+from repro.diffusion import (
+    AdoptionModel,
+    PieceGraph,
+    project_campaign,
+    simulate_adoption_utility,
+)
+from repro.sampling import MRRCollection, ReverseReachableSampler
+from repro.core import (
+    AssignmentPlan,
+    BranchAndBoundSolver,
+    CliqueReduction,
+    OIPAProblem,
+    SolverResult,
+    brute_force_oipa,
+    solve_bab,
+    solve_bab_progressive,
+)
+from repro.im import BaselineResult, im_baseline, tim_baseline
+from repro.datasets import load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "TopicError",
+    "ParameterError",
+    "SamplingError",
+    "SolverError",
+    "BudgetExhaustedError",
+    "DatasetError",
+    "ExperimentError",
+    # graph
+    "TopicGraph",
+    "load_topic_graph",
+    "save_topic_graph",
+    # topics
+    "Piece",
+    "Campaign",
+    "unit_piece",
+    "uniform_piece",
+    # diffusion
+    "AdoptionModel",
+    "PieceGraph",
+    "project_campaign",
+    "simulate_adoption_utility",
+    # sampling
+    "MRRCollection",
+    "ReverseReachableSampler",
+    # core
+    "AssignmentPlan",
+    "OIPAProblem",
+    "BranchAndBoundSolver",
+    "SolverResult",
+    "solve_bab",
+    "solve_bab_progressive",
+    "brute_force_oipa",
+    "CliqueReduction",
+    # baselines
+    "BaselineResult",
+    "im_baseline",
+    "tim_baseline",
+    # datasets
+    "load_dataset",
+]

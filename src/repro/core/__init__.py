@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the OIPA problem and its solvers."""
+
+from repro.core.plan import AssignmentPlan
+from repro.core.problem import OIPAProblem
+from repro.core.coverage import CoverageState
+from repro.core.tangent import MajorantTable, refine_tangent_slope
+from repro.core.upper_bound import TauState
+from repro.core.compute_bound import BoundResult, compute_bound
+from repro.core.progressive import compute_bound_progressive
+from repro.core.bab import (
+    BranchAndBoundSolver,
+    SolverDiagnostics,
+    SolverResult,
+    solve_bab,
+    solve_bab_progressive,
+)
+from repro.core.brute_force import (
+    brute_force_oipa,
+    deterministic_adoption_utility,
+)
+from repro.core.hardness import CliqueReduction
+from repro.core.local_search import LocalSearchResult, local_search
+
+__all__ = [
+    "AssignmentPlan",
+    "OIPAProblem",
+    "CoverageState",
+    "MajorantTable",
+    "refine_tangent_slope",
+    "TauState",
+    "BoundResult",
+    "compute_bound",
+    "compute_bound_progressive",
+    "BranchAndBoundSolver",
+    "SolverDiagnostics",
+    "SolverResult",
+    "solve_bab",
+    "solve_bab_progressive",
+    "brute_force_oipa",
+    "deterministic_adoption_utility",
+    "CliqueReduction",
+    "LocalSearchResult",
+    "local_search",
+]

@@ -1,0 +1,132 @@
+"""Exhaustive OIPA solvers for tiny instances — the test oracles.
+
+Two oracles:
+
+* :func:`brute_force_oipa` enumerates every assignment plan of size
+  ``<= k`` over the candidate pool and scores it on the *same* MRR
+  collection a solver under test uses, so approximation-ratio assertions
+  (Theorems 2 and 3 are stated w.r.t. the MRR-based objective) compare
+  like with like.
+* :func:`deterministic_adoption_utility` computes the exact adoption
+  utility when every projected edge probability is 0 or 1 (cascades are
+  then deterministic reachability) — which is precisely the regime of the
+  paper's running example (Fig. 1 / Examples 1-3) and of the hardness
+  construction (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.plan import AssignmentPlan
+from repro.core.problem import OIPAProblem
+from repro.diffusion.adoption import AdoptionModel
+from repro.diffusion.projection import PieceGraph, project_campaign
+from repro.exceptions import SolverError
+from repro.graph.digraph import TopicGraph
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign
+
+__all__ = [
+    "brute_force_oipa",
+    "deterministic_adoption_utility",
+    "deterministic_reach",
+]
+
+
+def brute_force_oipa(
+    problem: OIPAProblem,
+    mrr: MRRCollection,
+    *,
+    max_plans: int = 2_000_000,
+) -> tuple[AssignmentPlan, float]:
+    """Enumerate all plans with ``|S-bar| <= k``; return the best.
+
+    The objective is monotone, so only exact-size-``k`` plans need
+    enumerating unless fewer candidate pairs exist.  Guarded by
+    ``max_plans`` because the space is ``C(l * |V^p|, k)``.
+    """
+    pairs = [
+        (int(v), j)
+        for j in range(problem.num_pieces)
+        for v in problem.pool
+    ]
+    k = min(problem.k, len(pairs))
+    total = _n_choose_k(len(pairs), k)
+    if total > max_plans:
+        raise SolverError(
+            f"brute force would enumerate {total} plans (> {max_plans}); "
+            "use a smaller instance"
+        )
+    best_plan = problem.empty_plan()
+    best_utility = mrr.estimate(best_plan.seed_lists(), problem.adoption)
+    for combo in combinations(pairs, k):
+        seed_sets: list[set[int]] = [set() for _ in range(problem.num_pieces)]
+        for v, j in combo:
+            seed_sets[j].add(v)
+        plan = AssignmentPlan(seed_sets)
+        utility = mrr.estimate(plan.seed_lists(), problem.adoption)
+        if utility > best_utility:
+            best_utility = utility
+            best_plan = plan
+    return best_plan, best_utility
+
+
+def _n_choose_k(n: int, k: int) -> int:
+    import math
+
+    return math.comb(n, k)
+
+
+def deterministic_reach(piece_graph: PieceGraph, seeds) -> np.ndarray:
+    """Reachable-set mask when all edge probabilities are 0 or 1."""
+    probs = piece_graph.out_prob
+    if probs.size and np.any((probs != 0.0) & (probs != 1.0)):
+        raise SolverError(
+            "deterministic reach requires all edge probabilities in {0, 1}"
+        )
+    n = piece_graph.n
+    active = np.zeros(n, dtype=bool)
+    stack = []
+    for s in seeds:
+        s = int(s)
+        if not active[s]:
+            active[s] = True
+            stack.append(s)
+    while stack:
+        u = stack.pop()
+        lo, hi = piece_graph.out_ptr[u], piece_graph.out_ptr[u + 1]
+        for slot in range(lo, hi):
+            if probs[slot] == 1.0:
+                v = int(piece_graph.out_dst[slot])
+                if not active[v]:
+                    active[v] = True
+                    stack.append(v)
+    return active
+
+
+def deterministic_adoption_utility(
+    graph: TopicGraph,
+    campaign: Campaign,
+    plan: AssignmentPlan,
+    adoption: AdoptionModel,
+) -> float:
+    """Exact sigma(S-bar) on a deterministic (0/1-probability) instance.
+
+    Used to reproduce the paper's hand-worked numbers: Example 1's
+    ``sigma({{a},{e}}) = 1.05`` and Example 2's non-submodularity gap.
+    """
+    if plan.num_pieces != campaign.num_pieces:
+        raise SolverError(
+            f"plan has {plan.num_pieces} pieces, campaign has "
+            f"{campaign.num_pieces}"
+        )
+    counts = np.zeros(graph.n, dtype=np.int64)
+    for j, pg in enumerate(project_campaign(graph, campaign)):
+        seeds = plan.seed_sets[j]
+        if not seeds:
+            continue
+        counts += deterministic_reach(pg, seeds)
+    return float(adoption.probability(counts).sum())

@@ -1,0 +1,88 @@
+"""Incremental per-sample coverage bookkeeping over an MRR collection.
+
+Every solver needs the same two quantities, updated as assignments are
+added: which (sample, piece) cells are already covered, and how many
+distinct pieces cover each sample (``counts``).  :class:`CoverageState`
+maintains both with O(index lookup) updates and O(theta * l) copies, and
+is shared by the AU estimator, the tau upper-bound state, and the
+baselines' coverage greedy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import AssignmentPlan
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import SolverError
+from repro.sampling.mrr import MRRCollection
+
+__all__ = ["CoverageState"]
+
+
+class CoverageState:
+    """Mutable (sample x piece) coverage induced by a growing plan."""
+
+    __slots__ = ("mrr", "covered", "counts")
+
+    def __init__(self, mrr: MRRCollection) -> None:
+        self.mrr = mrr
+        self.covered = np.zeros((mrr.theta, mrr.num_pieces), dtype=bool)
+        self.counts = np.zeros(mrr.theta, dtype=np.int64)
+
+    @classmethod
+    def from_plan(cls, mrr: MRRCollection, plan: AssignmentPlan) -> "CoverageState":
+        """Build the state induced by an existing plan."""
+        state = cls(mrr)
+        for v, j in plan.assignments():
+            state.add(v, j)
+        return state
+
+    def copy(self) -> "CoverageState":
+        """Independent copy (used when branching)."""
+        clone = CoverageState.__new__(CoverageState)
+        clone.mrr = self.mrr
+        clone.covered = self.covered.copy()
+        clone.counts = self.counts.copy()
+        return clone
+
+    # ------------------------------------------------------------------
+
+    def add(self, vertex: int, piece: int) -> np.ndarray:
+        """Cover ``(vertex, piece)``; return sample ids newly covered.
+
+        Idempotent per (sample, piece) cell: a sample already covered for
+        ``piece`` is unaffected, matching the indicator semantics
+        ``I[R_i^j ∩ S_j ≠ ∅]``.
+        """
+        if not (0 <= piece < self.mrr.num_pieces):
+            raise SolverError(
+                f"piece {piece} outside [0, {self.mrr.num_pieces})"
+            )
+        samples = self.mrr.samples_containing(piece, vertex)
+        if samples.size == 0:
+            return samples
+        fresh = samples[~self.covered[samples, piece]]
+        if fresh.size:
+            self.covered[fresh, piece] = True
+            self.counts[fresh] += 1
+        return fresh
+
+    def newly_covered(self, vertex: int, piece: int) -> np.ndarray:
+        """Samples that *would* be newly covered, without mutating."""
+        samples = self.mrr.samples_containing(piece, vertex)
+        if samples.size == 0:
+            return samples
+        return samples[~self.covered[samples, piece]]
+
+    # ------------------------------------------------------------------
+
+    def utility(self, adoption: AdoptionModel) -> float:
+        """Current AU estimate (Eq. 6 over the tracked counts)."""
+        return self.mrr.estimate_from_counts(self.counts, adoption)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageState(covered={int(self.covered.sum())} cells, "
+            f"theta={self.mrr.theta}, pieces={self.mrr.num_pieces})"
+        )

@@ -1,0 +1,189 @@
+"""The Maximum-Clique-to-OIPA reduction (Sec. IV-B).
+
+The paper's inapproximability proof (Theorem 1) constructs, from a Max
+Clique instance ``Pi_a`` on ``n`` vertices, an OIPA instance ``Pi_b``
+with ``3n`` vertices (``x_i``, ``y_i``, ``r_i``), ``n`` single-topic
+pieces, logistic parameters ``alpha = 2n*ln(2n)``, ``beta = 2*ln(2n)``,
+and budget ``k = n``, such that (Lemma 1)
+
+    2 * OPT(Pi_b) - 1/n  <=  OPT(Pi_a)  <=  2 * OPT(Pi_b).
+
+The construction makes ``x_i`` and ``y_i`` the only eligible promoters of
+piece ``i``: choosing ``x_i`` corresponds to putting vertex ``v_i`` into
+the clique (``r_i`` then receives all pieces only if the chosen vertices
+are pairwise adjacent), choosing ``y_i`` to leaving it out.
+
+This module builds ``Pi_b`` exactly, converts between cliques and
+assignment plans in both directions, and ships a small exact Max Clique
+solver (Bron-Kerbosch with pivoting) so the Lemma 1 inequalities are
+verifiable end-to-end in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.brute_force import deterministic_adoption_utility
+from repro.core.plan import AssignmentPlan
+from repro.core.problem import OIPAProblem
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import SolverError
+from repro.graph.digraph import TopicGraph
+from repro.topics.distributions import Campaign, unit_piece
+
+__all__ = ["CliqueReduction", "maximum_clique"]
+
+
+def maximum_clique(n: int, edges: Iterable[tuple[int, int]]) -> set[int]:
+    """Exact maximum clique via Bron-Kerbosch with pivoting.
+
+    Suitable for the small instances the hardness tests exercise
+    (``n`` up to a few dozen).
+    """
+    adj: dict[int, set[int]] = {v: set() for v in range(n)}
+    for u, v in edges:
+        if u == v:
+            continue
+        adj[u].add(v)
+        adj[v].add(u)
+    best: set[int] = set()
+
+    def expand(r: set[int], p: set[int], x: set[int]) -> None:
+        nonlocal best
+        if not p and not x:
+            if len(r) > len(best):
+                best = set(r)
+            return
+        if len(r) + len(p) <= len(best):
+            return
+        pivot = max(p | x, key=lambda u: len(adj[u] & p))
+        for v in list(p - adj[pivot]):
+            expand(r | {v}, p & adj[v], x & adj[v])
+            p.remove(v)
+            x.add(v)
+
+    expand(set(), set(range(n)), set())
+    return best
+
+
+class CliqueReduction:
+    """The ``Pi_a -> Pi_b`` construction, with both direction mappings."""
+
+    def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]]) -> None:
+        if num_vertices < 2:
+            raise SolverError(
+                f"the reduction needs n >= 2 vertices, got {num_vertices}"
+            )
+        self.n = int(num_vertices)
+        self.edges = {
+            (min(int(u), int(v)), max(int(u), int(v)))
+            for u, v in edges
+            if u != v
+        }
+        for u, v in self.edges:
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise SolverError(f"edge ({u}, {v}) outside vertex range")
+        self._adj: dict[int, set[int]] = {v: set() for v in range(self.n)}
+        for u, v in self.edges:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+        self.graph = self._build_graph()
+        self.campaign = Campaign(
+            [unit_piece(i, self.n, name=f"t{i}") for i in range(self.n)]
+        )
+        # Step 5: alpha = 2n ln(2n), beta = 2 ln(2n) — so a vertex
+        # receiving all n pieces adopts with probability exactly 1/2 and
+        # one receiving <= n-1 pieces with probability <= 1/(1+(2n)^2).
+        log2n = math.log(2 * self.n)
+        self.adoption = AdoptionModel(alpha=2 * self.n * log2n, beta=2 * log2n)
+
+    # ------------------------------------------------------------------
+    # vertex naming
+    # ------------------------------------------------------------------
+
+    def x(self, i: int) -> int:
+        """Promoter vertex ``x_i`` ("v_i joins the clique")."""
+        return i
+
+    def y(self, i: int) -> int:
+        """Promoter vertex ``y_i`` ("v_i stays out")."""
+        return self.n + i
+
+    def r(self, i: int) -> int:
+        """Receiver vertex ``r_i`` (stands for Pi_a's vertex ``v_i``)."""
+        return 2 * self.n + i
+
+    # ------------------------------------------------------------------
+
+    def _build_graph(self) -> TopicGraph:
+        n = self.n
+        triples: list[tuple[int, int, dict[int, float]]] = []
+        for i in range(n):
+            # Step 3: x_i -> r_j for j == i and every neighbour of v_i.
+            for j in sorted({i} | self._adj[i]):
+                triples.append((self.x(i), self.r(j), {i: 1.0}))
+            # Step 4: y_i -> r_j for every j != i.
+            for j in range(n):
+                if j != i:
+                    triples.append((self.y(i), self.r(j), {i: 1.0}))
+        return TopicGraph.from_edges(3 * n, n, triples)
+
+    def problem(self) -> OIPAProblem:
+        """The complete OIPA instance ``Pi_b`` (pool = all x's and y's)."""
+        pool = np.arange(2 * self.n, dtype=np.int64)
+        return OIPAProblem(
+            self.graph, self.campaign, self.adoption, k=self.n, pool=pool
+        )
+
+    # ------------------------------------------------------------------
+    # clique <-> plan mappings (the two directions of Lemma 1)
+    # ------------------------------------------------------------------
+
+    def plan_from_clique(self, clique: Iterable[int]) -> AssignmentPlan:
+        """Forward direction: pick ``x_i`` inside the clique, ``y_i`` out."""
+        clique = set(int(v) for v in clique)
+        for v in clique:
+            if not (0 <= v < self.n):
+                raise SolverError(f"clique vertex {v} outside range")
+        seed_sets = []
+        for i in range(self.n):
+            promoter = self.x(i) if i in clique else self.y(i)
+            seed_sets.append({promoter})
+        return AssignmentPlan(seed_sets)
+
+    def clique_from_plan(self, plan: AssignmentPlan) -> set[int]:
+        """Reverse direction: ``C(S-bar)`` mapped back to Pi_a vertices.
+
+        ``C(S-bar)`` is the set of ``r`` vertices adjacent to *every*
+        chosen promoter (the intersection of their neighbour sets); by the
+        construction these correspond to vertices of a clique in Pi_a.
+        """
+        if plan.num_pieces != self.n:
+            raise SolverError(
+                f"plan has {plan.num_pieces} pieces, reduction needs {self.n}"
+            )
+        common: set[int] | None = None
+        for j, seeds in enumerate(plan.seed_sets):
+            for u in seeds:
+                neighbours = {
+                    int(t) for t in self.graph.successors(int(u))
+                }
+                common = neighbours if common is None else (common & neighbours)
+        if common is None:
+            return set()
+        return {t - 2 * self.n for t in common if t >= 2 * self.n}
+
+    def utility(self, plan: AssignmentPlan) -> float:
+        """Exact AU of a plan on Pi_b (the instance is deterministic)."""
+        return deterministic_adoption_utility(
+            self.graph, self.campaign, plan, self.adoption
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CliqueReduction(n={self.n}, clique_edges={len(self.edges)}, "
+            f"oipa_vertices={3 * self.n})"
+        )

@@ -1,0 +1,139 @@
+"""Exchange-based local search over assignment plans (an extension).
+
+The paper's solvers stop at the branch-and-bound incumbent.  A natural
+post-processing step — standard in the IM toolbox, and useful here
+because BAB-P's progressive bound can leave budget unused — is
+first-improvement *exchange* search over the plan space:
+
+* **fill moves**: while the budget has slack, add the best
+  (vertex, piece) assignment;
+* **swap moves**: replace one existing assignment with a currently
+  unused one (possibly for a different piece) whenever the estimated AU
+  strictly improves.
+
+The search only ever *increases* the MRR-estimated utility and
+terminates at a plan that is 1-exchange-optimal.  The ablation
+benchmark measures how much it recovers on top of BAB-P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coverage import CoverageState
+from repro.core.plan import AssignmentPlan
+from repro.core.problem import OIPAProblem
+from repro.exceptions import SolverError
+from repro.sampling.mrr import MRRCollection
+from repro.utils.timer import Timer
+
+__all__ = ["LocalSearchResult", "local_search"]
+
+
+@dataclass(frozen=True)
+class LocalSearchResult:
+    """Outcome of a local-search pass."""
+
+    plan: AssignmentPlan
+    utility: float
+    initial_utility: float
+    fills: int
+    swaps: int
+    rounds: int
+    elapsed_seconds: float
+
+    @property
+    def improvement(self) -> float:
+        """Absolute AU gained over the starting plan."""
+        return self.utility - self.initial_utility
+
+
+def _estimate(mrr: MRRCollection, problem: OIPAProblem, plan: AssignmentPlan) -> float:
+    return mrr.estimate(plan.seed_lists(), problem.adoption)
+
+
+def local_search(
+    problem: OIPAProblem,
+    mrr: MRRCollection,
+    plan: AssignmentPlan,
+    *,
+    max_rounds: int = 10,
+) -> LocalSearchResult:
+    """Improve ``plan`` by greedy fill and first-improvement swaps.
+
+    Parameters
+    ----------
+    problem, mrr:
+        The instance and the sample collection scoring moves.
+    plan:
+        Starting plan (typically a solver incumbent).  Must be feasible.
+    max_rounds:
+        Upper bound on full passes; each pass is O(k * |V^p| * l)
+        estimate evaluations, so keep this small on large pools.
+    """
+    problem.validate_plan(plan)
+    timer = Timer().start()
+    initial = _estimate(mrr, problem, plan)
+    current_plan = plan
+    current = initial
+    fills = swaps = rounds = 0
+    pool = [int(v) for v in problem.pool]
+
+    for _ in range(max_rounds):
+        rounds += 1
+        improved = False
+
+        # Fill any remaining budget with the best single addition.
+        while current_plan.size < problem.k:
+            best_gain, best_move = 0.0, None
+            for j in range(problem.num_pieces):
+                taken = current_plan.seed_sets[j]
+                for v in pool:
+                    if v in taken:
+                        continue
+                    candidate = current_plan.with_assignment(v, j)
+                    gain = _estimate(mrr, problem, candidate) - current
+                    if gain > best_gain:
+                        best_gain, best_move = gain, (v, j)
+            if best_move is None:
+                break
+            current_plan = current_plan.with_assignment(*best_move)
+            current += best_gain
+            fills += 1
+            improved = True
+
+        # First-improvement swap scan.
+        swap_done = False
+        for v_out, j_out in current_plan.assignments():
+            reduced_sets = [set(s) for s in current_plan.seed_sets]
+            reduced_sets[j_out].discard(v_out)
+            reduced = AssignmentPlan(reduced_sets)
+            for j_in in range(problem.num_pieces):
+                taken = reduced.seed_sets[j_in]
+                for v_in in pool:
+                    if v_in in taken or (v_in, j_in) == (v_out, j_out):
+                        continue
+                    candidate = reduced.with_assignment(v_in, j_in)
+                    score = _estimate(mrr, problem, candidate)
+                    if score > current + 1e-12:
+                        current_plan, current = candidate, score
+                        swaps += 1
+                        improved = swap_done = True
+                        break
+                if swap_done:
+                    break
+            if swap_done:
+                break
+
+        if not improved:
+            break
+
+    return LocalSearchResult(
+        plan=current_plan,
+        utility=current,
+        initial_utility=initial,
+        fills=fills,
+        swaps=swaps,
+        rounds=rounds,
+        elapsed_seconds=timer.stop(),
+    )

@@ -1,0 +1,141 @@
+"""Assignment plans and their algebra (Sec. IV-A, Defs. 2-4).
+
+An assignment plan ``S-bar = {S_1, ..., S_l}`` assigns a seed set of
+promoters to every campaign piece.  The paper defines a containment
+partial order over plans (Def. 2), plan unions and marginal gains
+(Def. 3), and piece-indexed ``i``-unions (Def. 4); the monotonicity /
+submodularity notions of Def. 5 are phrased over this order, so the plan
+algebra here is what the property-based tests quantify over.
+
+Plans are immutable: every operation returns a new plan.  Seed sets are
+``frozenset``s, and the plan's *size* is the total number of assignments
+``|S-bar| = sum_j |S_j|`` (the budget the OIPA constraint caps).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import SolverError
+
+__all__ = ["AssignmentPlan"]
+
+
+class AssignmentPlan:
+    """Immutable plan: one frozen seed set per campaign piece."""
+
+    __slots__ = ("seed_sets",)
+
+    def __init__(self, seed_sets: Sequence[Iterable[int]]) -> None:
+        sets = tuple(frozenset(int(v) for v in s) for s in seed_sets)
+        if not sets:
+            raise SolverError("a plan needs at least one piece slot")
+        self.seed_sets: tuple[frozenset[int], ...] = sets
+
+    @classmethod
+    def empty(cls, num_pieces: int) -> "AssignmentPlan":
+        """The empty plan ``{∅, ..., ∅}`` over ``num_pieces`` pieces."""
+        if num_pieces < 1:
+            raise SolverError(f"need at least one piece, got {num_pieces}")
+        return cls([frozenset()] * num_pieces)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pieces(self) -> int:
+        """Number of piece slots ``l``."""
+        return len(self.seed_sets)
+
+    @property
+    def size(self) -> int:
+        """Total assignments ``|S-bar| = sum_j |S_j|`` (budget usage)."""
+        return sum(len(s) for s in self.seed_sets)
+
+    def is_empty(self) -> bool:
+        """True when every seed set is empty."""
+        return all(not s for s in self.seed_sets)
+
+    def assignments(self) -> list[tuple[int, int]]:
+        """All ``(vertex, piece)`` pairs, sorted for determinism."""
+        return sorted(
+            (v, j) for j, s in enumerate(self.seed_sets) for v in s
+        )
+
+    def seed_lists(self) -> list[list[int]]:
+        """Sorted-list view per piece (the sampling API's plan format)."""
+        return [sorted(s) for s in self.seed_sets]
+
+    def contains(self, other: "AssignmentPlan") -> bool:
+        """Containment per Def. 2: ``other ⊆ self`` piecewise."""
+        self._check_compatible(other)
+        return all(
+            o <= s for o, s in zip(other.seed_sets, self.seed_sets)
+        )
+
+    def __contains__(self, assignment: tuple[int, int]) -> bool:
+        v, j = assignment
+        return 0 <= j < self.num_pieces and v in self.seed_sets[j]
+
+    # ------------------------------------------------------------------
+    # algebra (Defs. 3-4)
+    # ------------------------------------------------------------------
+
+    def union(self, other: "AssignmentPlan") -> "AssignmentPlan":
+        """Plan union per Def. 3: piecewise seed-set union."""
+        self._check_compatible(other)
+        return AssignmentPlan(
+            [a | b for a, b in zip(self.seed_sets, other.seed_sets)]
+        )
+
+    def i_union(self, piece: int, seeds: Iterable[int]) -> "AssignmentPlan":
+        """``i``-union per Def. 4: union ``seeds`` into piece ``piece``."""
+        self._check_piece(piece)
+        new_sets = list(self.seed_sets)
+        new_sets[piece] = new_sets[piece] | frozenset(int(v) for v in seeds)
+        return AssignmentPlan(new_sets)
+
+    def with_assignment(self, vertex: int, piece: int) -> "AssignmentPlan":
+        """Add one ``(vertex, piece)`` assignment (no-op if present)."""
+        return self.i_union(piece, (vertex,))
+
+    def difference(self, other: "AssignmentPlan") -> "AssignmentPlan":
+        """Piecewise set difference ``self \\ other`` (paper's notation)."""
+        self._check_compatible(other)
+        return AssignmentPlan(
+            [a - b for a, b in zip(self.seed_sets, other.seed_sets)]
+        )
+
+    # ------------------------------------------------------------------
+    # internals / dunders
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, other: "AssignmentPlan") -> None:
+        if not isinstance(other, AssignmentPlan):
+            raise SolverError(f"expected AssignmentPlan, got {type(other).__name__}")
+        if other.num_pieces != self.num_pieces:
+            raise SolverError(
+                f"plans disagree on piece count: {self.num_pieces} vs "
+                f"{other.num_pieces}"
+            )
+
+    def _check_piece(self, piece: int) -> None:
+        if not (0 <= piece < self.num_pieces):
+            raise SolverError(
+                f"piece index {piece} outside [0, {self.num_pieces})"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AssignmentPlan):
+            return NotImplemented
+        return self.seed_sets == other.seed_sets
+
+    def __hash__(self) -> int:
+        return hash(self.seed_sets)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            "{" + ", ".join(map(str, sorted(s))) + "}" for s in self.seed_sets
+        )
+        return f"AssignmentPlan([{body}])"

@@ -1,0 +1,114 @@
+"""The OIPA problem instance (Definition 1).
+
+Bundles the social graph ``G``, the campaign ``T``, the pool of eligible
+promoters ``V^p ⊆ V``, the budget ``k`` and the logistic adoption
+parameters.  The experiments draw ``V^p`` as a uniform 10 % of users
+("in reality not all users are eligible for promoting ads", Sec. VI-A),
+which :meth:`OIPAProblem.with_random_pool` reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import AssignmentPlan
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import SolverError
+from repro.graph.digraph import TopicGraph
+from repro.topics.distributions import Campaign
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["OIPAProblem"]
+
+
+class OIPAProblem:
+    """One OIPA instance: maximise sigma(S-bar) subject to |S-bar| <= k."""
+
+    __slots__ = ("graph", "campaign", "adoption", "k", "pool")
+
+    def __init__(
+        self,
+        graph: TopicGraph,
+        campaign: Campaign,
+        adoption: AdoptionModel,
+        k: int,
+        pool: np.ndarray | None = None,
+    ) -> None:
+        if campaign.num_topics != graph.num_topics:
+            raise SolverError(
+                f"campaign topic space ({campaign.num_topics}) does not match "
+                f"graph ({graph.num_topics})"
+            )
+        self.graph = graph
+        self.campaign = campaign
+        self.adoption = adoption
+        self.k = check_positive_int("k", k)
+        if pool is None:
+            pool = np.arange(graph.n, dtype=np.int64)
+        pool = np.unique(np.asarray(pool, dtype=np.int64))
+        if pool.size == 0:
+            raise SolverError("promoter pool V^p is empty")
+        if pool.min() < 0 or pool.max() >= graph.n:
+            raise SolverError("promoter pool contains out-of-range vertices")
+        self.pool = pool
+        self.pool.setflags(write=False)
+
+    @classmethod
+    def with_random_pool(
+        cls,
+        graph: TopicGraph,
+        campaign: Campaign,
+        adoption: AdoptionModel,
+        k: int,
+        *,
+        pool_fraction: float = 0.1,
+        seed=None,
+    ) -> "OIPAProblem":
+        """Draw ``V^p`` uniformly as in the experiments (10 % of ``V``)."""
+        check_fraction("pool_fraction", pool_fraction)
+        rng = as_generator(seed)
+        size = max(1, int(round(pool_fraction * graph.n)))
+        pool = rng.choice(graph.n, size=size, replace=False)
+        return cls(graph, campaign, adoption, k, pool)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pieces(self) -> int:
+        """Campaign facet count ``l``."""
+        return self.campaign.num_pieces
+
+    @property
+    def pool_size(self) -> int:
+        """Number of eligible promoters ``|V^p|``."""
+        return int(self.pool.size)
+
+    def empty_plan(self) -> AssignmentPlan:
+        """The empty assignment plan sized for this campaign."""
+        return AssignmentPlan.empty(self.num_pieces)
+
+    def validate_plan(self, plan: AssignmentPlan) -> None:
+        """Check a plan is feasible for this instance (raises otherwise)."""
+        if plan.num_pieces != self.num_pieces:
+            raise SolverError(
+                f"plan has {plan.num_pieces} pieces, instance has "
+                f"{self.num_pieces}"
+            )
+        if plan.size > self.k:
+            raise SolverError(
+                f"plan uses {plan.size} assignments, budget is {self.k}"
+            )
+        pool_set = set(self.pool.tolist())
+        for v, j in plan.assignments():
+            if v not in pool_set:
+                raise SolverError(
+                    f"vertex {v} (piece {j}) is not in the promoter pool"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"OIPAProblem(n={self.graph.n}, l={self.num_pieces}, "
+            f"k={self.k}, |V^p|={self.pool_size}, "
+            f"alpha={self.adoption.alpha:.4g}, beta={self.adoption.beta:.4g})"
+        )

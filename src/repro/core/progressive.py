@@ -1,0 +1,125 @@
+"""``ComputeBoundPro`` — progressive upper-bound estimation (Algorithm 3).
+
+The plain greedy of Algorithm 2 rescans every candidate per selection,
+``O(k n)`` tau evaluations per bound.  Algorithm 3 instead:
+
+1. sorts candidates once by their *individual* gain ``delta_∅(v)``;
+2. runs a decreasing-threshold sweep: at threshold ``h``, any candidate
+   whose current marginal gain reaches ``h`` is taken immediately;
+3. breaks a sweep early as soon as a candidate's individual gain falls
+   below ``h`` — by submodularity everything after it in the sorted order
+   is also below ``h`` (line 11-12 of the paper's pseudocode);
+4. lowers ``h`` geometrically by ``(1 + eps)`` (line 13) and stops the
+   whole procedure once ``h <= tau(S-bar|S-bar^a)/(k - |S-bar^a|) *
+   e^{-1}/(1 - e^{-1})`` (line 14) — at that point even taking every
+   remaining candidate cannot lift the optimum above
+   ``tau / (1 - 1/e)``, which is what Theorem 3's ``d < k'`` case needs.
+
+The result carries a (1 − 1/e − eps) guarantee (Lemma 3 / Theorem 3) at a
+fraction of the evaluations (Theorem 4): the early break means only
+candidates whose individual gain lies within the current threshold window
+are ever touched, and the power-law influence distribution keeps that
+window sparse.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.compute_bound import BoundResult, CandidateSpace
+from repro.core.coverage import CoverageState
+from repro.core.plan import AssignmentPlan
+from repro.core.tangent import MajorantTable
+from repro.core.upper_bound import TauState
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import SolverError
+from repro.sampling.mrr import MRRCollection
+from repro.utils.validation import check_positive
+
+__all__ = ["compute_bound_progressive"]
+
+_E_FACTOR = math.exp(-1) / (1.0 - math.exp(-1))  # e^{-1} / (1 - e^{-1})
+
+
+def compute_bound_progressive(
+    mrr: MRRCollection,
+    table: MajorantTable,
+    adoption: AdoptionModel,
+    partial_plan: AssignmentPlan,
+    candidates: CandidateSpace,
+    k: int,
+    *,
+    epsilon: float = 0.5,
+) -> BoundResult:
+    """Run Algorithm 3 for one search node.
+
+    ``epsilon`` is the threshold-decay knob the experiments sweep in
+    Fig. 3: larger values take bigger threshold steps (faster, coarser),
+    degrading the guarantee to (1 − 1/e − eps).
+    """
+    check_positive("epsilon", epsilon)
+    if partial_plan.size > k:
+        raise SolverError(
+            f"partial plan already uses {partial_plan.size} > k = {k}"
+        )
+    base = CoverageState.from_plan(mrr, partial_plan)
+    tau = TauState(mrr, table, base, adoption)
+    budget = k - partial_plan.size
+
+    # Line 2: order candidates by individual gain delta_∅(v).
+    pairs = candidates.pairs(partial_plan)
+    individual: list[tuple[float, tuple[int, int]]] = []
+    for pair in pairs:
+        gain = tau.marginal_gain(pair[0], pair[1])
+        if gain > 0.0:
+            individual.append((gain, pair))
+    individual.sort(key=lambda item: -item[0])
+
+    picks: list[tuple[int, int]] = []
+    if individual and budget > 0:
+        # Lines 3-4: threshold starts at the largest individual gain.
+        max_inf = individual[0][0]
+        h = max_inf
+        chosen: set[tuple[int, int]] = set()
+        # Lines 6-15: progressive threshold sweep.
+        while len(picks) < budget:
+            advanced = False
+            for delta_0, pair in individual:
+                if delta_0 < h:
+                    # Lines 11-12: sorted order => everything further is
+                    # below h too (submodularity: marginal <= individual).
+                    break
+                if pair in chosen:
+                    continue
+                gain = tau.marginal_gain(pair[0], pair[1])
+                if gain >= h:
+                    tau.add(pair[0], pair[1])
+                    chosen.add(pair)
+                    picks.append(pair)
+                    advanced = True
+                    if len(picks) >= budget:
+                        break
+            if len(picks) >= budget:
+                break
+            # Line 13: lower the threshold geometrically.
+            h = h / (1.0 + epsilon)
+            # Line 14: early termination once h is provably negligible.
+            if h <= tau.value / budget * _E_FACTOR:
+                break
+            # Safety: once the threshold sinks below every remaining
+            # individual gain and a full sweep added nothing, no further
+            # sweep can add anything either.
+            if not advanced and h < min(g for g, _ in individual):
+                break
+
+    plan = partial_plan
+    for v, j in picks:
+        plan = plan.with_assignment(v, j)
+    return BoundResult(
+        plan=plan,
+        lower=tau.utility(),
+        upper=tau.value,
+        first_pick=picks[0] if picks else None,
+        evaluations=tau.evaluations,
+        selected=len(picks),
+    )

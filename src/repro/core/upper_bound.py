@@ -1,0 +1,123 @@
+"""The submodular upper-bound function ``tau`` over MRR samples (Def. 6).
+
+For a partial plan ``S-bar^a`` with per-sample base counts ``b_i``,
+
+    tau(S-bar | S-bar^a) = (n / theta) * sum_i phi_{b_i}( n_i(S-bar ∪ S-bar^a) )
+
+where ``n_i`` is the sample's distinct-piece coverage count and
+``phi_{b_i}`` is the concave majorant anchored at ``b_i``
+(:class:`repro.core.tangent.MajorantTable`).  Because each ``phi`` is
+nondecreasing and concave, and coverage counts are coverage functions,
+``tau`` is a monotone submodular set function over (vertex, piece)
+assignments — the property Theorems 2 and 3 rest on.
+
+:class:`TauState` is the mutable greedy-evaluation state: it tracks the
+covered cells and current counts, answers marginal-gain queries through
+the MRR inverted index, and counts every evaluation (the quantity
+Theorem 4 bounds, and the currency of the BAB-vs-BAB-P ablation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coverage import CoverageState
+from repro.core.tangent import MajorantTable
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import SolverError
+from repro.sampling.mrr import MRRCollection
+
+__all__ = ["TauState"]
+
+
+class TauState:
+    """Greedy-evaluation state of ``tau(. | S-bar^a)``.
+
+    Construction freezes the *base* (the partial plan's coverage, whose
+    counts anchor the majorants — the "refinement" step of Fig. 2);
+    subsequent :meth:`add` calls grow the candidate set ``S-bar`` along
+    those fixed majorants, which is exactly what keeps the function
+    submodular throughout one ``ComputeBound`` invocation.
+    """
+
+    __slots__ = (
+        "mrr",
+        "table",
+        "adoption",
+        "base_counts",
+        "covered",
+        "counts",
+        "scale",
+        "evaluations",
+        "_value",
+    )
+
+    def __init__(
+        self,
+        mrr: MRRCollection,
+        table: MajorantTable,
+        base_coverage: CoverageState,
+        adoption: AdoptionModel,
+    ) -> None:
+        if table.num_pieces != mrr.num_pieces:
+            raise SolverError(
+                f"majorant table built for l={table.num_pieces} but the MRR "
+                f"collection has {mrr.num_pieces} pieces"
+            )
+        self.mrr = mrr
+        self.table = table
+        self.adoption = adoption
+        self.base_counts = base_coverage.counts.copy()
+        self.covered = base_coverage.covered.copy()
+        self.counts = base_coverage.counts.copy()
+        self.scale = mrr.n / mrr.theta
+        self.evaluations = 0
+        anchors = table.values[self.base_counts, self.base_counts]
+        self._value = float(self.scale * anchors.sum())
+
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        """Current ``tau`` value (absolute, same scale as sigma)."""
+        return self._value
+
+    def utility(self) -> float:
+        """The *actual* AU estimate of the tracked coverage (Eq. 6)."""
+        return self.mrr.estimate_from_counts(self.counts, self.adoption)
+
+    def marginal_gain(self, vertex: int, piece: int) -> float:
+        """``tau`` gain of adding ``(vertex, piece)`` — no mutation.
+
+        Each call is one tau evaluation (Theorem 4's unit of work).
+        """
+        self.evaluations += 1
+        samples = self.mrr.samples_containing(piece, vertex)
+        if samples.size == 0:
+            return 0.0
+        fresh = samples[~self.covered[samples, piece]]
+        if fresh.size == 0:
+            return 0.0
+        gains = self.table.gains[self.base_counts[fresh], self.counts[fresh]]
+        return float(self.scale * gains.sum())
+
+    def add(self, vertex: int, piece: int) -> float:
+        """Commit ``(vertex, piece)``; return the realised ``tau`` gain."""
+        samples = self.mrr.samples_containing(piece, vertex)
+        if samples.size == 0:
+            return 0.0
+        fresh = samples[~self.covered[samples, piece]]
+        if fresh.size == 0:
+            return 0.0
+        gains = self.table.gains[self.base_counts[fresh], self.counts[fresh]]
+        gain = float(self.scale * gains.sum())
+        self.covered[fresh, piece] = True
+        self.counts[fresh] += 1
+        self._value += gain
+        return gain
+
+    def __repr__(self) -> str:
+        return (
+            f"TauState(value={self._value:.6g}, "
+            f"evaluations={self.evaluations})"
+        )

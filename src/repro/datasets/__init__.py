@@ -1,0 +1,29 @@
+"""Datasets: the paper's running example and the three synthetic pipelines."""
+
+from repro.datasets.running_example import (
+    VERTEX_NAMES,
+    running_example_adoption,
+    running_example_campaign,
+    running_example_graph,
+    running_example_problem,
+)
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    DatasetBundle,
+    DatasetSpec,
+    clear_dataset_cache,
+    load_dataset,
+)
+
+__all__ = [
+    "VERTEX_NAMES",
+    "running_example_graph",
+    "running_example_campaign",
+    "running_example_adoption",
+    "running_example_problem",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "DatasetBundle",
+    "load_dataset",
+    "clear_dataset_cache",
+]

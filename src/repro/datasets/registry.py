@@ -1,0 +1,159 @@
+"""Dataset registry: named specs, builders, and an in-process cache.
+
+``load_dataset("lastfm")`` returns the same built bundle on repeated
+calls (datasets are deterministic given ``(name, scale, seed)``), so the
+experiment harness and benchmark suite can share one build per process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.datasets.synth import (
+    build_dblp_like,
+    build_lastfm_like,
+    build_tweet_like,
+)
+from repro.exceptions import DatasetError
+from repro.graph.digraph import TopicGraph
+from repro.graph.stats import GraphSummary, summarize_graph
+
+__all__ = [
+    "DatasetSpec",
+    "DatasetBundle",
+    "DATASET_SPECS",
+    "load_dataset",
+    "clear_dataset_cache",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """What the paper's dataset was, and what our stand-in is."""
+
+    name: str
+    description: str
+    paper_vertices: int
+    paper_edges: int
+    paper_topics: int
+    default_scale: float
+    builder: object = field(repr=False)
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "lastfm": DatasetSpec(
+        name="lastfm",
+        description=(
+            "social music sharing network; p(e|z) learned from a "
+            "(synthetic) action log via TIC"
+        ),
+        paper_vertices=1_300,
+        paper_edges=15_000,
+        paper_topics=20,
+        default_scale=1.0,  # full paper scale — it is small
+        builder=build_lastfm_like,
+    ),
+    "dblp": DatasetSpec(
+        name="dblp",
+        description=(
+            "co-author graph; research fields as topics, p(e|z) from "
+            "venue profiles"
+        ),
+        paper_vertices=500_000,
+        paper_edges=6_000_000,
+        paper_topics=9,
+        default_scale=0.4,  # 20k * 0.4 = 8k vertices by default
+        builder=build_dblp_like,
+    ),
+    "tweet": DatasetSpec(
+        name="tweet",
+        description=(
+            "sparse retweet/reply network; LDA over hashtag documents, "
+            "p(e|z) from user topic affinity"
+        ),
+        paper_vertices=10_000_000,
+        paper_edges=12_000_000,
+        paper_topics=50,
+        default_scale=0.2,  # 50k * 0.2 = 10k vertices by default
+        builder=build_tweet_like,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A built dataset plus its statistics (Table III's row)."""
+
+    name: str
+    graph: TopicGraph
+    spec: DatasetSpec
+    summary: GraphSummary
+    build_seconds: float
+    metadata: dict
+
+    def table3_row(self) -> list:
+        """Row for the Table III reproduction."""
+        return [
+            self.name,
+            f"{self.spec.paper_vertices:,}",
+            f"{self.spec.paper_edges:,}",
+            self.spec.paper_topics,
+            f"{self.summary.num_vertices:,}",
+            f"{self.summary.num_edges:,}",
+            round(self.summary.average_degree, 2),
+            self.summary.num_topics,
+            round(self.summary.mean_topics_per_edge, 2),
+        ]
+
+
+_CACHE: dict[tuple[str, float, int], DatasetBundle] = {}
+
+
+def load_dataset(
+    name: str, *, scale: float | None = None, seed: int | None = None
+) -> DatasetBundle:
+    """Build (or fetch from cache) a named dataset.
+
+    Parameters
+    ----------
+    name:
+        One of ``lastfm``, ``dblp``, ``tweet``.
+    scale:
+        Vertex-count multiplier relative to the builder's reproduction
+        base size (see :mod:`repro.datasets.synth`).  Defaults to the
+        spec's ``default_scale``.
+    seed:
+        Override the builder's deterministic default seed.
+    """
+    spec = DATASET_SPECS.get(name)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_SPECS)}"
+        )
+    scale = spec.default_scale if scale is None else float(scale)
+    kwargs = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    key = (name, scale, -1 if seed is None else int(seed))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    start = time.perf_counter()
+    graph, metadata = spec.builder(**kwargs)
+    elapsed = time.perf_counter() - start
+    bundle = DatasetBundle(
+        name=name,
+        graph=graph,
+        spec=spec,
+        summary=summarize_graph(graph),
+        build_seconds=elapsed,
+        metadata=metadata,
+    )
+    _CACHE[key] = bundle
+    return bundle
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached bundles (tests use this to force rebuilds)."""
+    _CACHE.clear()

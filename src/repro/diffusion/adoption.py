@@ -1,0 +1,97 @@
+"""The logistic adoption model (Eq. 1).
+
+A user who receives ``x >= 1`` distinct pieces of campaign ``T`` adopts it
+with probability
+
+    p[X_v = 1 | x] = 1 / (1 + exp(alpha - beta * x)),
+
+and with probability 0 when ``x = 0`` (Eq. 1's "0 otherwise" branch —
+confirmed by the paper's Example 2, where the empty plan scores 0.00 and
+``sigma({{a}, 0}) = 4 * f(1) = 0.48``).
+
+``alpha`` controls how hard adoption is (larger = harder); ``beta``
+weights the effect of each additional piece.  The experiments fix
+``beta = 1`` and sweep the ratio ``beta/alpha`` (Sec. VI-E), which
+:meth:`AdoptionModel.from_ratio` mirrors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["AdoptionModel"]
+
+
+class AdoptionModel:
+    """Immutable logistic adoption parameters ``(alpha, beta)``."""
+
+    __slots__ = ("alpha", "beta", "zero_if_unreached")
+
+    def __init__(
+        self, alpha: float, beta: float, *, zero_if_unreached: bool = True
+    ) -> None:
+        self.alpha = check_positive("alpha", alpha)
+        self.beta = check_positive("beta", beta)
+        # Eq. 6 as printed omits the zero branch; the worked examples keep
+        # it.  Default matches the examples; flipping the switch
+        # reproduces the literal Eq. 6 estimator.
+        self.zero_if_unreached = bool(zero_if_unreached)
+
+    @classmethod
+    def from_ratio(
+        cls, beta_over_alpha: float, *, beta: float = 1.0, **kwargs
+    ) -> "AdoptionModel":
+        """Build from the ``beta/alpha`` ratio the experiments sweep."""
+        check_positive("beta_over_alpha", beta_over_alpha)
+        return cls(alpha=beta / beta_over_alpha, beta=beta, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def logistic(self, pieces_received) -> np.ndarray:
+        """Raw logistic value ``f(x) = 1/(1+exp(alpha - beta x))``.
+
+        No zero branch — this is the smooth curve the tangent-line bound
+        majorises.  Accepts scalars or arrays.
+        """
+        x = np.asarray(pieces_received, dtype=np.float64)
+        out = 1.0 / (1.0 + np.exp(self.alpha - self.beta * x))
+        return out if out.ndim else float(out)
+
+    def probability(self, pieces_received) -> np.ndarray:
+        """Adoption probability per Eq. 1 (with the zero branch)."""
+        x = np.asarray(pieces_received, dtype=np.float64)
+        p = 1.0 / (1.0 + np.exp(self.alpha - self.beta * x))
+        if self.zero_if_unreached:
+            p = np.where(x >= 1, p, 0.0)
+        return p if p.ndim else float(p)
+
+    def inflection_count(self) -> float:
+        """The piece count at the S-curve's inflection, ``alpha / beta``.
+
+        Below it the logistic is convex (extra pieces accelerate
+        adoption); above it, concave (diminishing returns).  The tangent
+        bound needs this to know when the curve is already concave.
+        """
+        return self.alpha / self.beta
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdoptionModel):
+            return NotImplemented
+        return (
+            self.alpha == other.alpha
+            and self.beta == other.beta
+            and self.zero_if_unreached == other.zero_if_unreached
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.alpha, self.beta, self.zero_if_unreached))
+
+    def __repr__(self) -> str:
+        return (
+            f"AdoptionModel(alpha={self.alpha}, beta={self.beta}, "
+            f"zero_if_unreached={self.zero_if_unreached})"
+        )

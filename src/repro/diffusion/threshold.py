@@ -1,0 +1,204 @@
+"""The Linear Threshold (LT) diffusion model.
+
+The paper's problem statement evaluates under the independent cascade
+model, but notes (Sec. II) that classical IM is NP-hard "under the
+popular independent cascade (IC) and linear threshold (LT) influence
+models" with the same RIS machinery applying to both.  This module
+supplies the LT substrate so OIPA instances can be built and solved on
+LT semantics as well:
+
+* :func:`normalize_lt_weights` — rescales a piece graph's incoming edge
+  probabilities so each vertex's total incoming weight is at most 1
+  (the LT feasibility condition);
+* :func:`simulate_lt_cascade` — forward LT simulation with uniform
+  random thresholds;
+* :class:`LinearThresholdSampler` — RR-set sampling under LT via the
+  classic single-in-neighbour random walk (Mossel-Roch equivalence: in
+  the live-edge view of LT, each vertex keeps at most one incoming edge,
+  chosen with probability equal to its weight).
+
+Because both samplers emit plain RR sets, the whole OIPA stack — MRR
+collections, tau bounds, BAB/BAB-P — runs unchanged on LT influence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion.projection import PieceGraph
+from repro.exceptions import ParameterError, SamplingError
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "normalize_lt_weights",
+    "simulate_lt_cascade",
+    "LinearThresholdSampler",
+]
+
+
+def normalize_lt_weights(piece_graph: PieceGraph) -> PieceGraph:
+    """Rescale incoming weights so every vertex's in-sum is <= 1.
+
+    Vertices whose incoming probability mass exceeds 1 have all their
+    incoming weights divided by that mass; others are untouched.  The
+    result is a new :class:`PieceGraph` sharing the adjacency arrays.
+    """
+    n = piece_graph.n
+    in_ptr, in_prob = piece_graph.in_ptr, piece_graph.in_prob
+    new_in = in_prob.copy()
+    new_out = piece_graph.out_prob.copy()
+    # Map reverse slots back to forward slots via shared ordering: the
+    # reverse view was built as out_prob[in_edge]; we rebuild the
+    # forward view from scratch afterwards instead of tracking indexes.
+    for v in range(n):
+        lo, hi = in_ptr[v], in_ptr[v + 1]
+        total = float(in_prob[lo:hi].sum())
+        if total > 1.0:
+            new_in[lo:hi] = in_prob[lo:hi] / total
+    # Rebuild forward probabilities consistently: for each reverse slot
+    # we know (src, dst) and can look up the forward slot by scanning
+    # the source's out-range once.
+    slot_of_edge = {}
+    for v in range(n):
+        lo, hi = piece_graph.out_ptr[v], piece_graph.out_ptr[v + 1]
+        for s in range(lo, hi):
+            slot_of_edge[(v, int(piece_graph.out_dst[s]))] = s
+    for v in range(n):
+        lo, hi = in_ptr[v], in_ptr[v + 1]
+        for s in range(lo, hi):
+            u = int(piece_graph.in_src[s])
+            new_out[slot_of_edge[(u, v)]] = new_in[s]
+    return PieceGraph(
+        n,
+        piece_graph.out_ptr,
+        piece_graph.out_dst,
+        new_out,
+        in_ptr,
+        piece_graph.in_src,
+        new_in,
+    )
+
+
+def simulate_lt_cascade(piece_graph: PieceGraph, seeds, rng) -> np.ndarray:
+    """One LT trial: uniform thresholds, weighted in-neighbour sums.
+
+    A vertex activates when the weight of its active in-neighbours
+    reaches its threshold.  Requires per-vertex incoming weight sums of
+    at most 1 (use :func:`normalize_lt_weights` first); raises otherwise.
+    """
+    n = piece_graph.n
+    in_ptr, in_src, in_prob = (
+        piece_graph.in_ptr,
+        piece_graph.in_src,
+        piece_graph.in_prob,
+    )
+    for v in range(n):
+        if float(in_prob[in_ptr[v] : in_ptr[v + 1]].sum()) > 1.0 + 1e-9:
+            raise ParameterError(
+                f"vertex {v} has incoming LT weight > 1; normalise first"
+            )
+    thresholds = rng.random(n)
+    active = np.zeros(n, dtype=bool)
+    pressure = np.zeros(n, dtype=np.float64)
+    frontier = []
+    for s in seeds:
+        s = int(s)
+        if not (0 <= s < n):
+            raise ParameterError(f"seed {s} outside [0, {n})")
+        if not active[s]:
+            active[s] = True
+            frontier.append(s)
+    out_ptr, out_dst, out_prob = (
+        piece_graph.out_ptr,
+        piece_graph.out_dst,
+        piece_graph.out_prob,
+    )
+    while frontier:
+        next_frontier = []
+        for u in frontier:
+            lo, hi = out_ptr[u], out_ptr[u + 1]
+            for s in range(lo, hi):
+                v = int(out_dst[s])
+                if active[v]:
+                    continue
+                pressure[v] += out_prob[s]
+                if pressure[v] >= thresholds[v]:
+                    active[v] = True
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return active
+
+
+class LinearThresholdSampler:
+    """RR-set sampler under LT: a weighted single-predecessor walk.
+
+    In LT's live-edge formulation each vertex keeps exactly one incoming
+    edge ``(u, v)`` with probability ``w(u, v)`` (and none with the
+    remaining mass), so a reverse-reachable set is the path followed by
+    repeatedly sampling one predecessor until the walk stops or cycles.
+    Drop-in compatible with :class:`repro.sampling.rr.
+    ReverseReachableSampler` (same ``sample`` / ``sample_many`` API).
+    """
+
+    __slots__ = ("_graph", "_mark", "_stamp")
+
+    def __init__(self, piece_graph: PieceGraph) -> None:
+        self._graph = piece_graph
+        self._mark = np.zeros(piece_graph.n, dtype=np.int64)
+        self._stamp = 0
+
+    @property
+    def graph(self) -> PieceGraph:
+        """The underlying (weight-normalised) piece graph."""
+        return self._graph
+
+    def sample(self, root: int, rng) -> np.ndarray:
+        n = self._graph.n
+        if not (0 <= root < n):
+            raise SamplingError(f"root {root} outside [0, {n})")
+        self._stamp += 1
+        stamp = self._stamp
+        mark = self._mark
+        in_ptr, in_src, in_prob = (
+            self._graph.in_ptr,
+            self._graph.in_src,
+            self._graph.in_prob,
+        )
+        path = [root]
+        mark[root] = stamp
+        current = root
+        while True:
+            lo, hi = in_ptr[current], in_ptr[current + 1]
+            if lo == hi:
+                break
+            weights = in_prob[lo:hi]
+            draw = rng.random()
+            cumulative = 0.0
+            chosen = -1
+            for idx in range(weights.size):
+                cumulative += weights[idx]
+                if draw < cumulative:
+                    chosen = idx
+                    break
+            if chosen < 0:
+                break  # the "no live incoming edge" mass
+            nxt = int(in_src[lo + chosen])
+            if mark[nxt] == stamp:
+                break  # walked into a cycle: stop
+            mark[nxt] = stamp
+            path.append(nxt)
+            current = nxt
+        return np.asarray(path, dtype=np.int64)
+
+    def sample_many(self, roots, rng) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-flattened batch form, mirroring the IC sampler."""
+        ptr = np.zeros(len(roots) + 1, dtype=np.int64)
+        chunks = []
+        for i, root in enumerate(roots):
+            rr = self.sample(int(root), rng)
+            chunks.append(rr)
+            ptr[i + 1] = ptr[i] + rr.size
+        nodes = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        )
+        return ptr, nodes

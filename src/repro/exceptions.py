@@ -1,0 +1,84 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error deliberately raised by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+masking genuine programming errors (``TypeError``, ``KeyError``, ...).
+
+The hierarchy mirrors the package layout: graph construction problems,
+model/parameter validation problems, sampling problems, and solver
+problems each get their own subclass so tests and downstream users can
+assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "TopicError",
+    "ParameterError",
+    "SamplingError",
+    "SolverError",
+    "BudgetExhaustedError",
+    "DatasetError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """A graph is structurally invalid for the requested operation."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing or serialising a graph fails.
+
+    Carries the offending ``line`` number when raised by a parser so
+    error messages can point at the exact input record.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class TopicError(ReproError):
+    """A topic vector or topic model input is invalid."""
+
+
+class ParameterError(ReproError):
+    """A model or algorithm parameter is outside its legal domain."""
+
+
+class SamplingError(ReproError):
+    """RR/MRR sampling was asked to do something impossible."""
+
+
+class SolverError(ReproError):
+    """An OIPA solver received an infeasible or inconsistent instance."""
+
+
+class BudgetExhaustedError(SolverError):
+    """A solver ran out of its node/evaluation budget before converging.
+
+    The partially optimised result is attached so callers can decide
+    whether the incumbent plan is still usable.
+    """
+
+    def __init__(self, message: str, incumbent: object | None = None) -> None:
+        super().__init__(message)
+        self.incumbent = incumbent
+
+
+class DatasetError(ReproError):
+    """A dataset pipeline was misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """An experiment sweep was misconfigured."""

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.experiments.config import (
+    PAPER_PARAMETER_GRID,
+    ExperimentProfile,
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    get_profile,
+)
+from repro.experiments.runner import CellResult, run_cell, run_methods
+from repro.experiments.figures import (
+    FigureResult,
+    figure3_epsilon,
+    figure4_promoters,
+    figure5_pieces,
+    figure6_beta_alpha,
+    headline_claims,
+    table3_datasets,
+)
+
+__all__ = [
+    "PAPER_PARAMETER_GRID",
+    "ExperimentProfile",
+    "QUICK_PROFILE",
+    "FULL_PROFILE",
+    "get_profile",
+    "CellResult",
+    "run_cell",
+    "run_methods",
+    "FigureResult",
+    "table3_datasets",
+    "figure3_epsilon",
+    "figure4_promoters",
+    "figure5_pieces",
+    "figure6_beta_alpha",
+    "headline_claims",
+]

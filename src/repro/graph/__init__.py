@@ -1,0 +1,26 @@
+"""Directed social graphs with topic-aware edge influence probabilities."""
+
+from repro.graph.digraph import TopicGraph
+from repro.graph.generators import (
+    build_topic_graph,
+    directed_configuration_model,
+    power_law_degree_sequence,
+    preferential_attachment_digraph,
+    random_edge_topic_profiles,
+)
+from repro.graph.io import load_topic_graph, save_topic_graph
+from repro.graph.stats import GraphSummary, fit_power_law_mle, summarize_graph
+
+__all__ = [
+    "TopicGraph",
+    "build_topic_graph",
+    "power_law_degree_sequence",
+    "directed_configuration_model",
+    "preferential_attachment_digraph",
+    "random_edge_topic_profiles",
+    "load_topic_graph",
+    "save_topic_graph",
+    "GraphSummary",
+    "fit_power_law_mle",
+    "summarize_graph",
+]

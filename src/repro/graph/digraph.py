@@ -1,0 +1,402 @@
+"""The core social-graph data structure.
+
+The paper (Sec. III-A) models a social network as a directed graph
+``G(V, E)`` where each edge ``e = (u, v)`` carries a *topic-wise influence
+vector* ``p(e)``: ``p(e|z)`` is the probability that ``u`` activates ``v``
+via ``e`` when the propagating message is entirely about topic ``z``.  A
+message piece with topic distribution ``t`` crosses ``e`` with probability
+``p(t, e) = t · p(e)``.
+
+Real topic-influence vectors are sparse (the paper notes the ``tweet``
+dataset averages only 1.5 non-zero entries per edge), so we store them in
+a CSR-within-CSR layout:
+
+* ``out_ptr / out_dst`` — CSR adjacency over edges sorted by source;
+* ``tp_ptr / tp_topics / tp_probs`` — per-edge sparse topic vectors,
+  aligned with the canonical (source-sorted) edge order;
+* ``in_ptr / in_src / in_edge`` — CSR *reverse* adjacency used by the
+  reverse-reachable samplers, where ``in_edge`` maps each reverse slot
+  back to its canonical edge id so probability arrays need computing only
+  once per piece.
+
+All arrays are plain ``numpy`` so piece-projection (``t · p(e)`` for every
+edge) is a single vectorised pass — this is the hot path feeding the
+Monte-Carlo samplers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError, TopicError
+
+__all__ = ["TopicGraph"]
+
+
+def _as_sparse_topic_entries(
+    topic_probs, num_topics: int
+) -> tuple[list[int], list[float]]:
+    """Normalise one edge's topic probabilities into (topics, probs) lists.
+
+    Accepts a mapping ``{topic: prob}``, a dense sequence of length
+    ``num_topics`` (zeros dropped), or an iterable of ``(topic, prob)``
+    pairs.
+    """
+    if isinstance(topic_probs, Mapping):
+        items = sorted(topic_probs.items())
+    elif isinstance(topic_probs, np.ndarray) or (
+        isinstance(topic_probs, Sequence) and not _looks_like_pairs(topic_probs)
+    ):
+        dense = np.asarray(topic_probs, dtype=np.float64)
+        if dense.shape != (num_topics,):
+            raise TopicError(
+                f"dense topic vector has shape {dense.shape}, expected ({num_topics},)"
+            )
+        items = [(int(z), float(p)) for z, p in enumerate(dense) if p != 0.0]
+    else:
+        items = sorted((int(z), float(p)) for z, p in topic_probs)
+    topics: list[int] = []
+    probs: list[float] = []
+    seen: set[int] = set()
+    for z, p in items:
+        if z in seen:
+            raise TopicError(f"duplicate topic {z} on one edge")
+        if not (0 <= z < num_topics):
+            raise TopicError(f"topic index {z} outside [0, {num_topics})")
+        if not (0.0 <= p <= 1.0):
+            raise TopicError(f"influence probability p(e|z={z}) = {p} outside [0, 1]")
+        seen.add(z)
+        if p == 0.0:
+            continue
+        topics.append(z)
+        probs.append(p)
+    return topics, probs
+
+
+def _looks_like_pairs(value: Sequence) -> bool:
+    """Heuristic: a sequence of 2-tuples is (topic, prob) pairs."""
+    return bool(value) and isinstance(value[0], tuple)
+
+
+class TopicGraph:
+    """Directed graph with sparse per-edge topic influence vectors.
+
+    Instances are immutable after construction; all mutating experiments
+    build new graphs.  Construct via :meth:`from_edges` (convenient) or
+    :meth:`from_arrays` (fast path for generators).
+    """
+
+    __slots__ = (
+        "n",
+        "num_topics",
+        "out_ptr",
+        "out_dst",
+        "tp_ptr",
+        "tp_topics",
+        "tp_probs",
+        "in_ptr",
+        "in_src",
+        "in_edge",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        num_topics: int,
+        out_ptr: np.ndarray,
+        out_dst: np.ndarray,
+        tp_ptr: np.ndarray,
+        tp_topics: np.ndarray,
+        tp_probs: np.ndarray,
+    ) -> None:
+        self.n = int(n)
+        self.num_topics = int(num_topics)
+        self.out_ptr = np.ascontiguousarray(out_ptr, dtype=np.int64)
+        self.out_dst = np.ascontiguousarray(out_dst, dtype=np.int64)
+        self.tp_ptr = np.ascontiguousarray(tp_ptr, dtype=np.int64)
+        self.tp_topics = np.ascontiguousarray(tp_topics, dtype=np.int64)
+        self.tp_probs = np.ascontiguousarray(tp_probs, dtype=np.float64)
+        self._validate()
+        self.in_ptr, self.in_src, self.in_edge = self._build_reverse_csr()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        num_topics: int,
+        edges: Iterable[tuple],
+    ) -> "TopicGraph":
+        """Build a graph from ``(u, v, topic_probs)`` triples.
+
+        ``topic_probs`` may be a ``{topic: prob}`` mapping, a dense vector
+        of length ``num_topics``, or an iterable of ``(topic, prob)``
+        pairs.  Edges are re-sorted into canonical (source-major) order;
+        parallel edges are rejected.
+        """
+        if n < 0:
+            raise GraphError(f"vertex count must be >= 0, got {n}")
+        if num_topics < 1:
+            raise TopicError(f"need at least one topic, got {num_topics}")
+        records: list[tuple[int, int, list[int], list[float]]] = []
+        seen: set[tuple[int, int]] = set()
+        for u, v, topic_probs in edges:
+            u, v = int(u), int(v)
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) outside vertex range [0, {n})")
+            if u == v:
+                raise GraphError(f"self-loop at vertex {u} is not allowed")
+            if (u, v) in seen:
+                raise GraphError(f"parallel edge ({u}, {v})")
+            seen.add((u, v))
+            topics, probs = _as_sparse_topic_entries(topic_probs, num_topics)
+            records.append((u, v, topics, probs))
+        records.sort(key=lambda r: (r[0], r[1]))
+        m = len(records)
+        out_ptr = np.zeros(n + 1, dtype=np.int64)
+        out_dst = np.empty(m, dtype=np.int64)
+        tp_ptr = np.zeros(m + 1, dtype=np.int64)
+        all_topics: list[int] = []
+        all_probs: list[float] = []
+        for i, (u, v, topics, probs) in enumerate(records):
+            out_ptr[u + 1] += 1
+            out_dst[i] = v
+            tp_ptr[i + 1] = tp_ptr[i] + len(topics)
+            all_topics.extend(topics)
+            all_probs.extend(probs)
+        np.cumsum(out_ptr, out=out_ptr)
+        return cls(
+            n,
+            num_topics,
+            out_ptr,
+            out_dst,
+            tp_ptr,
+            np.asarray(all_topics, dtype=np.int64),
+            np.asarray(all_probs, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        num_topics: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        tp_ptr: np.ndarray,
+        tp_topics: np.ndarray,
+        tp_probs: np.ndarray,
+    ) -> "TopicGraph":
+        """Fast constructor from parallel edge arrays.
+
+        ``src``/``dst`` need not be pre-sorted; the per-edge topic CSR
+        (``tp_*``) must be aligned with the order of ``src``/``dst`` and
+        is permuted together with the edges.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        tp_ptr = np.asarray(tp_ptr, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphError("src and dst must have the same length")
+        m = src.size
+        if tp_ptr.shape != (m + 1,):
+            raise GraphError(f"tp_ptr must have length m+1 = {m + 1}")
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        counts = np.diff(tp_ptr)[order]
+        new_tp_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_tp_ptr[1:])
+        # Gather the topic entries edge-by-edge in the new order.
+        gather = np.empty(int(new_tp_ptr[-1]), dtype=np.int64)
+        pos = 0
+        starts = tp_ptr[:-1][order]
+        for i in range(m):
+            c = counts[i]
+            gather[pos : pos + c] = np.arange(starts[i], starts[i] + c)
+            pos += c
+        out_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(out_ptr, src + 1, 1)
+        np.cumsum(out_ptr, out=out_ptr)
+        return cls(
+            n,
+            num_topics,
+            out_ptr,
+            dst,
+            new_tp_ptr,
+            np.asarray(tp_topics, dtype=np.int64)[gather],
+            np.asarray(tp_probs, dtype=np.float64)[gather],
+        )
+
+    # ------------------------------------------------------------------
+    # validation and reverse adjacency
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        n, m = self.n, self.num_edges
+        if self.out_ptr.shape != (n + 1,):
+            raise GraphError("out_ptr must have length n+1")
+        if self.out_ptr[0] != 0 or self.out_ptr[-1] != m:
+            raise GraphError("out_ptr must start at 0 and end at m")
+        if np.any(np.diff(self.out_ptr) < 0):
+            raise GraphError("out_ptr must be non-decreasing")
+        if m and (self.out_dst.min() < 0 or self.out_dst.max() >= n):
+            raise GraphError("edge destination outside vertex range")
+        if self.tp_ptr.shape != (m + 1,):
+            raise GraphError("tp_ptr must have length m+1")
+        if self.tp_ptr[0] != 0 or self.tp_ptr[-1] != self.tp_topics.size:
+            raise GraphError("tp_ptr inconsistent with topic entry count")
+        if self.tp_topics.size != self.tp_probs.size:
+            raise GraphError("tp_topics and tp_probs must be parallel")
+        if self.tp_topics.size:
+            if self.tp_topics.min() < 0 or self.tp_topics.max() >= self.num_topics:
+                raise TopicError("topic index outside range")
+            if self.tp_probs.min() < 0.0 or self.tp_probs.max() > 1.0:
+                raise TopicError("edge topic probability outside [0, 1]")
+
+    def _build_reverse_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        m = self.num_edges
+        src = self.edge_sources()
+        in_ptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.add.at(in_ptr, self.out_dst + 1, 1)
+        np.cumsum(in_ptr, out=in_ptr)
+        order = np.argsort(self.out_dst, kind="stable")
+        in_src = src[order]
+        in_edge = order.astype(np.int64)
+        return in_ptr, in_src, in_edge
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m``."""
+        return int(self.out_dst.size)
+
+    def edge_sources(self) -> np.ndarray:
+        """Per-edge source vertex, in canonical edge order."""
+        return np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self.out_ptr)
+        )
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.out_ptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex."""
+        return np.diff(self.in_ptr)
+
+    def successors(self, u: int) -> np.ndarray:
+        """Vertices ``v`` with an edge ``u -> v``."""
+        self._check_vertex(u)
+        return self.out_dst[self.out_ptr[u] : self.out_ptr[u + 1]]
+
+    def predecessors(self, v: int) -> np.ndarray:
+        """Vertices ``u`` with an edge ``u -> v``."""
+        self._check_vertex(v)
+        return self.in_src[self.in_ptr[v] : self.in_ptr[v + 1]]
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Canonical edge id of ``u -> v`` (raises if absent)."""
+        self._check_vertex(u)
+        lo, hi = self.out_ptr[u], self.out_ptr[u + 1]
+        block = self.out_dst[lo:hi]
+        pos = int(np.searchsorted(block, v))
+        if pos >= block.size or block[pos] != v:
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        return int(lo + pos)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``u -> v`` exists."""
+        try:
+            self.edge_id(u, v)
+        except GraphError:
+            return False
+        return True
+
+    def edge_topic_vector(self, edge: int) -> np.ndarray:
+        """Dense topic influence vector ``p(e)`` of one edge."""
+        if not (0 <= edge < self.num_edges):
+            raise GraphError(f"edge id {edge} outside [0, {self.num_edges})")
+        dense = np.zeros(self.num_topics, dtype=np.float64)
+        lo, hi = self.tp_ptr[edge], self.tp_ptr[edge + 1]
+        dense[self.tp_topics[lo:hi]] = self.tp_probs[lo:hi]
+        return dense
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self.n):
+            raise GraphError(f"vertex {v} outside [0, {self.n})")
+
+    # ------------------------------------------------------------------
+    # piece projection
+    # ------------------------------------------------------------------
+
+    def piece_probabilities(self, piece_vector: np.ndarray) -> np.ndarray:
+        """Per-edge crossing probabilities ``p(t, e) = t · p(e)`` (Sec. III-A).
+
+        Returns an array aligned with the canonical edge order, clipped
+        into ``[0, 1]`` (the dot product can marginally exceed 1 only when
+        a caller supplies an unnormalised topic vector; clipping keeps the
+        samplers safe).
+        """
+        t = np.asarray(piece_vector, dtype=np.float64)
+        if t.shape != (self.num_topics,):
+            raise TopicError(
+                f"piece vector has shape {t.shape}, expected ({self.num_topics},)"
+            )
+        if np.any(t < 0):
+            raise TopicError("piece topic vector must be non-negative")
+        m = self.num_edges
+        if m == 0:
+            return np.zeros(0, dtype=np.float64)
+        weighted = self.tp_probs * t[self.tp_topics]
+        sums = np.zeros(m, dtype=np.float64)
+        nonempty = np.flatnonzero(np.diff(self.tp_ptr) > 0)
+        if nonempty.size:
+            seg = np.add.reduceat(weighted, self.tp_ptr[nonempty])
+            sums[nonempty] = seg
+        return np.clip(sums, 0.0, 1.0)
+
+    def mean_edge_probabilities(self, piece_vectors: Sequence[np.ndarray]) -> np.ndarray:
+        """Average ``p(t_j, e)`` over a collection of pieces.
+
+        This flattening feeds the ``IM`` baseline (Sec. VI-A), which runs a
+        classical single-message IC influence maximisation on ``G``.
+        """
+        if not len(piece_vectors):
+            raise TopicError("need at least one piece vector to flatten")
+        acc = np.zeros(self.num_edges, dtype=np.float64)
+        for t in piece_vectors:
+            acc += self.piece_probabilities(t)
+        return acc / float(len(piece_vectors))
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"TopicGraph(n={self.n}, m={self.num_edges}, "
+            f"topics={self.num_topics})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopicGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.num_topics == other.num_topics
+            and np.array_equal(self.out_ptr, other.out_ptr)
+            and np.array_equal(self.out_dst, other.out_dst)
+            and np.array_equal(self.tp_ptr, other.tp_ptr)
+            and np.array_equal(self.tp_topics, other.tp_topics)
+            and np.allclose(self.tp_probs, other.tp_probs)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)

@@ -1,0 +1,127 @@
+"""Serialisation of :class:`~repro.graph.digraph.TopicGraph`.
+
+The on-disk format is a plain text edge list, one record per line::
+
+    # repro-topic-graph v1
+    # n=<vertices> m=<edges> topics=<num_topics>
+    <u>\t<v>\t<z1>:<p1>,<z2>:<p2>,...
+
+Human-readable, diff-able, and loadable with nothing but the standard
+library — matching the public release format of most IM codebases.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import TopicGraph
+
+__all__ = ["save_topic_graph", "load_topic_graph"]
+
+_MAGIC = "# repro-topic-graph v1"
+
+
+def save_topic_graph(graph: TopicGraph, path: str | os.PathLike) -> None:
+    """Write ``graph`` to ``path`` in the v1 text format."""
+    src = graph.edge_sources()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(_MAGIC + "\n")
+        fh.write(
+            f"# n={graph.n} m={graph.num_edges} topics={graph.num_topics}\n"
+        )
+        for e in range(graph.num_edges):
+            lo, hi = graph.tp_ptr[e], graph.tp_ptr[e + 1]
+            pairs = ",".join(
+                f"{int(z)}:{p:.10g}"
+                for z, p in zip(graph.tp_topics[lo:hi], graph.tp_probs[lo:hi])
+            )
+            fh.write(f"{int(src[e])}\t{int(graph.out_dst[e])}\t{pairs}\n")
+
+
+def load_topic_graph(path: str | os.PathLike) -> TopicGraph:
+    """Load a graph previously written by :func:`save_topic_graph`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline().rstrip("\n")
+        if header != _MAGIC:
+            raise GraphFormatError(
+                f"bad magic line {header!r}, expected {_MAGIC!r}", line=1
+            )
+        meta_line = fh.readline().rstrip("\n")
+        meta = _parse_meta(meta_line)
+        n, m, num_topics = meta["n"], meta["m"], meta["topics"]
+        src = np.empty(m, dtype=np.int64)
+        dst = np.empty(m, dtype=np.int64)
+        tp_ptr = np.zeros(m + 1, dtype=np.int64)
+        topics: list[int] = []
+        probs: list[float] = []
+        count = 0
+        for lineno, line in enumerate(fh, start=3):
+            # Strip only the newline: a trailing tab is significant (an
+            # edge with an empty topic vector ends in one).
+            line = line.rstrip("\n")
+            if not line.strip() or line.startswith("#"):
+                continue
+            if count >= m:
+                raise GraphFormatError(
+                    f"more than the declared m={m} edges", line=lineno
+                )
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise GraphFormatError(
+                    f"expected 3 tab-separated fields, got {len(parts)}",
+                    line=lineno,
+                )
+            try:
+                src[count] = int(parts[0])
+                dst[count] = int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(str(exc), line=lineno) from exc
+            entries = parts[2].strip()
+            added = 0
+            if entries:
+                for token in entries.split(","):
+                    try:
+                        z_str, p_str = token.split(":")
+                        topics.append(int(z_str))
+                        probs.append(float(p_str))
+                    except ValueError as exc:
+                        raise GraphFormatError(
+                            f"bad topic entry {token!r}", line=lineno
+                        ) from exc
+                    added += 1
+            tp_ptr[count + 1] = tp_ptr[count] + added
+            count += 1
+        if count != m:
+            raise GraphFormatError(f"declared m={m} edges but found {count}")
+    return TopicGraph.from_arrays(
+        n,
+        num_topics,
+        src,
+        dst,
+        tp_ptr,
+        np.asarray(topics, dtype=np.int64),
+        np.asarray(probs, dtype=np.float64),
+    )
+
+
+def _parse_meta(line: str) -> dict[str, int]:
+    if not line.startswith("#"):
+        raise GraphFormatError(f"missing metadata line, got {line!r}", line=2)
+    meta: dict[str, int] = {}
+    for token in line.lstrip("#").split():
+        if "=" not in token:
+            raise GraphFormatError(f"bad metadata token {token!r}", line=2)
+        key, value = token.split("=", 1)
+        try:
+            meta[key] = int(value)
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"metadata {key}={value!r} is not an integer", line=2
+            ) from exc
+    for key in ("n", "m", "topics"):
+        if key not in meta:
+            raise GraphFormatError(f"metadata key {key!r} missing", line=2)
+    return meta

@@ -1,0 +1,17 @@
+"""Classical influence maximisation substrate and the OIPA baselines."""
+
+from repro.im.ris import max_coverage_seeds, ris_influence_maximization
+from repro.im.greedy import celf_greedy_im
+from repro.im.baselines import BaselineResult, im_baseline, tim_baseline
+from repro.im.heuristics import max_degree_baseline, random_baseline
+
+__all__ = [
+    "max_coverage_seeds",
+    "ris_influence_maximization",
+    "celf_greedy_im",
+    "BaselineResult",
+    "im_baseline",
+    "tim_baseline",
+    "max_degree_baseline",
+    "random_baseline",
+]

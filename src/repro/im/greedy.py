@@ -1,0 +1,80 @@
+"""Classical Monte-Carlo greedy IM (Kempe et al. [16]) with CELF [19].
+
+The original greedy influence maximisation evaluates marginal spread by
+forward cascade simulation.  It is far slower than RIS selection and
+exists here as (a) the historically faithful baseline substrate and
+(b) a cross-validation oracle: on small graphs the RIS pipeline and this
+simulation-based greedy must pick seed sets of near-identical quality,
+which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.diffusion.projection import PieceGraph
+from repro.diffusion.simulate import simulate_cascade
+from repro.exceptions import SolverError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["celf_greedy_im"]
+
+
+def celf_greedy_im(
+    piece_graph: PieceGraph,
+    k: int,
+    *,
+    pool: np.ndarray | None = None,
+    rounds: int = 200,
+    seed=None,
+) -> tuple[list[int], float]:
+    """Select ``k`` seeds by CELF lazy greedy over simulated spread.
+
+    ``rounds`` cascades are averaged per marginal-spread evaluation; the
+    same common-random-numbers generator is reused across evaluations to
+    reduce comparison noise.
+
+    Returns ``(seeds, spread_estimate)``.
+
+    Note: CELF's laziness is exact only for submodular objectives; the
+    *estimated* spread is submodular up to Monte-Carlo noise, so (as in
+    the original CELF paper) results can differ from plain greedy by a
+    noise-sized margin.
+    """
+    check_positive_int("k", k)
+    check_positive_int("rounds", rounds)
+    rng = as_generator(seed)
+    if pool is None:
+        pool = np.arange(piece_graph.n, dtype=np.int64)
+    pool = np.asarray(pool, dtype=np.int64)
+    if pool.size == 0:
+        raise SolverError("empty candidate pool")
+
+    def spread(seeds: list[int]) -> float:
+        if not seeds:
+            return 0.0
+        total = 0
+        eval_rng = as_generator(int(rng.integers(0, 2**63 - 1)))
+        for _ in range(rounds):
+            total += int(simulate_cascade(piece_graph, seeds, eval_rng).sum())
+        return total / rounds
+
+    seeds: list[int] = []
+    current = 0.0
+    heap: list[tuple[float, int, int, int]] = []
+    for idx, v in enumerate(pool):
+        gain = spread([int(v)])
+        heap.append((-gain, idx, int(v), 0))
+    heapq.heapify(heap)
+    while heap and len(seeds) < k:
+        neg_gain, idx, v, evaluated_at = heapq.heappop(heap)
+        if evaluated_at == len(seeds):
+            seeds.append(v)
+            current = current + (-neg_gain)
+            continue
+        gain = spread(seeds + [v]) - current
+        heapq.heappush(heap, (-gain, idx, v, len(seeds)))
+    return seeds, current

@@ -1,0 +1,20 @@
+"""Reverse-reachable sampling: RR sets, MRR collections, theta bounds."""
+
+from repro.sampling.rr import ReverseReachableSampler
+from repro.sampling.mrr import MRRCollection
+from repro.sampling.adaptive import generate_adaptive, theta_for_error_target
+from repro.sampling.theta import (
+    estimation_error,
+    hoeffding_theta,
+    relative_error_theta,
+)
+
+__all__ = [
+    "ReverseReachableSampler",
+    "MRRCollection",
+    "hoeffding_theta",
+    "estimation_error",
+    "relative_error_theta",
+    "generate_adaptive",
+    "theta_for_error_target",
+]

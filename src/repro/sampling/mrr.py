@@ -1,0 +1,227 @@
+"""Multi-Reverse-Reachable (MRR) collections — the paper's Sec. V-A.
+
+The MRR method extends RR sampling to multifaceted campaigns: ``theta``
+root users are drawn uniformly, and for each root one RR set is generated
+*per piece*, under that piece's projected influence graph.  With
+``I_i^{S_j} = I[R_i^j ∩ S_j ≠ ∅]``, the adoption utility of a plan
+``S-bar`` is estimated (Eq. 6 + Eq. 1's zero branch, Lemma 2) as
+
+    sigma(S-bar) ≈ (n / theta) * sum_i g(sum_j I_i^{S_j})
+
+where ``g`` is the logistic adoption probability (zero when no piece
+covers the sample).
+
+Besides the raw sets, the collection maintains one inverted index per
+piece (vertex -> sample ids whose RR set contains the vertex).  Every
+solver in :mod:`repro.core` and every RIS baseline drives its coverage
+bookkeeping through these indexes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.diffusion.adoption import AdoptionModel
+from repro.diffusion.projection import PieceGraph, project_campaign
+from repro.exceptions import SamplingError
+from repro.graph.digraph import TopicGraph
+from repro.sampling.rr import ReverseReachableSampler
+from repro.topics.distributions import Campaign
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["MRRCollection"]
+
+
+class MRRCollection:
+    """``theta`` MRR samples: per-piece RR sets sharing common roots."""
+
+    __slots__ = (
+        "n",
+        "theta",
+        "num_pieces",
+        "roots",
+        "_rr_ptr",
+        "_rr_nodes",
+        "_idx_ptr",
+        "_idx_samples",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        roots: np.ndarray,
+        rr_ptr: Sequence[np.ndarray],
+        rr_nodes: Sequence[np.ndarray],
+    ) -> None:
+        self.n = int(n)
+        self.roots = np.asarray(roots, dtype=np.int64)
+        self.theta = int(self.roots.size)
+        if not rr_ptr or len(rr_ptr) != len(rr_nodes):
+            raise SamplingError("need one (ptr, nodes) pair per piece")
+        self.num_pieces = len(rr_ptr)
+        for j in range(self.num_pieces):
+            if rr_ptr[j].shape != (self.theta + 1,):
+                raise SamplingError(
+                    f"piece {j}: ptr length {rr_ptr[j].shape} != theta+1"
+                )
+        self._rr_ptr = [np.asarray(p, dtype=np.int64) for p in rr_ptr]
+        self._rr_nodes = [np.asarray(x, dtype=np.int64) for x in rr_nodes]
+        self._idx_ptr: list[np.ndarray] = []
+        self._idx_samples: list[np.ndarray] = []
+        self._build_indexes()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        graph: TopicGraph,
+        campaign: Campaign,
+        theta: int,
+        *,
+        seed=None,
+        piece_graphs: Sequence[PieceGraph] | None = None,
+    ) -> "MRRCollection":
+        """Generate ``theta`` MRR samples for ``campaign`` on ``graph``.
+
+        Mirrors Sec. V-A: roots are uniform over ``V``; for each root one
+        RR set per piece under the piece's projection.  Pass pre-computed
+        ``piece_graphs`` to skip re-projection (the experiment harness
+        reuses projections between the optimisation and evaluation
+        collections).
+        """
+        theta = check_positive_int("theta", theta)
+        if graph.n == 0:
+            raise SamplingError("cannot sample from an empty graph")
+        rng = as_generator(seed)
+        if piece_graphs is None:
+            piece_graphs = project_campaign(graph, campaign)
+        elif len(piece_graphs) != campaign.num_pieces:
+            raise SamplingError(
+                f"{len(piece_graphs)} piece graphs for "
+                f"{campaign.num_pieces} pieces"
+            )
+        roots = rng.integers(0, graph.n, size=theta)
+        rr_ptr: list[np.ndarray] = []
+        rr_nodes: list[np.ndarray] = []
+        for pg in piece_graphs:
+            sampler = ReverseReachableSampler(pg)
+            ptr, nodes = sampler.sample_many(roots, rng)
+            rr_ptr.append(ptr)
+            rr_nodes.append(nodes)
+        return cls(graph.n, roots, rr_ptr, rr_nodes)
+
+    def _build_indexes(self) -> None:
+        """Inverted index per piece: vertex -> sorted sample ids."""
+        for j in range(self.num_pieces):
+            ptr, nodes = self._rr_ptr[j], self._rr_nodes[j]
+            sample_of_slot = np.repeat(
+                np.arange(self.theta, dtype=np.int64), np.diff(ptr)
+            )
+            order = np.argsort(nodes, kind="stable")
+            sorted_nodes = nodes[order]
+            idx_samples = sample_of_slot[order]
+            idx_ptr = np.zeros(self.n + 1, dtype=np.int64)
+            if sorted_nodes.size:
+                counts = np.bincount(sorted_nodes, minlength=self.n)
+                np.cumsum(counts, out=idx_ptr[1:])
+            self._idx_ptr.append(idx_ptr)
+            self._idx_samples.append(idx_samples)
+
+    # ------------------------------------------------------------------
+    # raw access
+    # ------------------------------------------------------------------
+
+    def rr_set(self, piece: int, sample: int) -> np.ndarray:
+        """The RR set of ``sample`` (0-based) for ``piece``."""
+        self._check_piece(piece)
+        if not (0 <= sample < self.theta):
+            raise SamplingError(f"sample {sample} outside [0, {self.theta})")
+        ptr = self._rr_ptr[piece]
+        return self._rr_nodes[piece][ptr[sample] : ptr[sample + 1]]
+
+    def samples_containing(self, piece: int, vertex: int) -> np.ndarray:
+        """Sample ids whose RR set for ``piece`` contains ``vertex``.
+
+        This is the inverted-index lookup at the heart of every marginal
+        gain computation.
+        """
+        self._check_piece(piece)
+        if not (0 <= vertex < self.n):
+            raise SamplingError(f"vertex {vertex} outside [0, {self.n})")
+        ptr = self._idx_ptr[piece]
+        return self._idx_samples[piece][ptr[vertex] : ptr[vertex + 1]]
+
+    def rr_set_sizes(self, piece: int) -> np.ndarray:
+        """Sizes of every RR set for ``piece``."""
+        self._check_piece(piece)
+        return np.diff(self._rr_ptr[piece])
+
+    def vertex_frequencies(self, piece: int) -> np.ndarray:
+        """How many RR sets of ``piece`` contain each vertex.
+
+        Proportional to each vertex's single-seed influence spread — the
+        quantity whose power-law tail Lemma 4 leans on.
+        """
+        self._check_piece(piece)
+        return np.diff(self._idx_ptr[piece])
+
+    def _check_piece(self, piece: int) -> None:
+        if not (0 <= piece < self.num_pieces):
+            raise SamplingError(
+                f"piece {piece} outside [0, {self.num_pieces})"
+            )
+
+    # ------------------------------------------------------------------
+    # estimation (Lemma 2)
+    # ------------------------------------------------------------------
+
+    def coverage_counts(self, plan_seed_sets: Sequence[Iterable[int]]) -> np.ndarray:
+        """Distinct-piece coverage count per sample for a full plan.
+
+        ``counts[i] = sum_j I[R_i^j ∩ S_j ≠ ∅]`` — the argument of the
+        logistic in Eq. 6.
+        """
+        if len(plan_seed_sets) != self.num_pieces:
+            raise SamplingError(
+                f"plan has {len(plan_seed_sets)} seed sets for "
+                f"{self.num_pieces} pieces"
+            )
+        counts = np.zeros(self.theta, dtype=np.int64)
+        covered = np.zeros(self.theta, dtype=bool)
+        for j, seeds in enumerate(plan_seed_sets):
+            covered[:] = False
+            for v in seeds:
+                covered[self.samples_containing(j, int(v))] = True
+            counts += covered
+        return counts
+
+    def estimate(
+        self,
+        plan_seed_sets: Sequence[Iterable[int]],
+        adoption: AdoptionModel,
+    ) -> float:
+        """Unbiased AU estimate of a plan (Eq. 6 with Eq. 1's zero branch)."""
+        counts = self.coverage_counts(plan_seed_sets)
+        return self.estimate_from_counts(counts, adoption)
+
+    def estimate_from_counts(
+        self, counts: np.ndarray, adoption: AdoptionModel
+    ) -> float:
+        """AU estimate given precomputed per-sample coverage counts."""
+        if counts.shape != (self.theta,):
+            raise SamplingError(
+                f"counts must have shape ({self.theta},), got {counts.shape}"
+            )
+        return float(self.n / self.theta * adoption.probability(counts).sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"MRRCollection(theta={self.theta}, pieces={self.num_pieces}, "
+            f"n={self.n})"
+        )

@@ -1,0 +1,56 @@
+"""Sample-size (theta) bounds for the MRR estimator.
+
+The paper invokes "the Chernoff bound used in the RR sets method [26]" to
+argue MRR convergence, then fixes ``theta = 10^6`` in the experiments.
+These helpers make the trade-off explicit for our scaled runs: the
+per-sample variables ``X_i = g(sum_j I_i^j) ∈ [0, 1]`` are i.i.d., so
+Hoeffding/Chernoff machinery applies directly to their mean, and the AU
+estimate is ``n`` times that mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["hoeffding_theta", "estimation_error", "relative_error_theta"]
+
+
+def hoeffding_theta(epsilon: float, delta: float) -> int:
+    """Samples needed for AU error ``<= epsilon * n`` w.p. ``>= 1 - delta``.
+
+    From Hoeffding on the mean of [0,1] variables:
+    ``theta >= ln(2/delta) / (2 epsilon^2)``.
+    """
+    check_fraction("epsilon", epsilon)
+    check_fraction("delta", delta)
+    return int(math.ceil(math.log(2.0 / delta) / (2.0 * epsilon**2)))
+
+
+def estimation_error(theta: int, delta: float) -> float:
+    """The ``epsilon`` guaranteed by ``theta`` samples at confidence ``1-delta``.
+
+    Inverse of :func:`hoeffding_theta`: absolute AU error is at most
+    ``epsilon * n`` with probability ``1 - delta``.
+    """
+    theta = check_positive_int("theta", theta)
+    check_fraction("delta", delta)
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * theta))
+
+
+def relative_error_theta(
+    epsilon: float, delta: float, mean_lower_bound: float
+) -> int:
+    """Samples for *relative* error ``epsilon`` via multiplicative Chernoff.
+
+    ``theta >= (2 + 2*epsilon/3) * ln(2/delta) / (epsilon^2 * mu)`` where
+    ``mu`` lower-bounds the per-sample mean ``sigma(S-bar)/n``.  Useful
+    when utilities are small relative to ``n`` (e.g. the tweet-like
+    dataset), where the additive bound is loose.
+    """
+    check_fraction("epsilon", epsilon)
+    check_fraction("delta", delta)
+    check_fraction("mean_lower_bound", mean_lower_bound)
+    numerator = (2.0 + 2.0 * epsilon / 3.0) * math.log(2.0 / delta)
+    return int(math.ceil(numerator / (epsilon**2 * mean_lower_bound)))

@@ -1,0 +1,26 @@
+"""Topic machinery: campaign pieces, topic models, influence learning."""
+
+from repro.topics.distributions import Campaign, Piece, uniform_piece, unit_piece
+from repro.topics.action_log import (
+    Action,
+    ActionLog,
+    generate_action_log,
+)
+from repro.topics.tic import learn_tic_probabilities
+from repro.topics.lda import LdaModel, fit_lda
+from repro.topics.fields import assign_field_topics, venue_topic_profiles
+
+__all__ = [
+    "Piece",
+    "Campaign",
+    "unit_piece",
+    "uniform_piece",
+    "Action",
+    "ActionLog",
+    "generate_action_log",
+    "learn_tic_probabilities",
+    "LdaModel",
+    "fit_lda",
+    "assign_field_topics",
+    "venue_topic_profiles",
+]

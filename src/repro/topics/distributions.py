@@ -1,0 +1,158 @@
+"""Campaign pieces and their topic distributions.
+
+A *piece* (Sec. III-B) is one facet of a multifaceted campaign,
+``t = (t_1, ..., t_|Z|)`` with ``t_z`` the probability that the piece is
+about topic ``z``.  A *campaign* ``T = {t_1, ..., t_l}`` bundles ``l``
+pieces.  The experiments (Sec. VI-A) generate each piece's topic vector
+"by uniformly sampling a non-zero topic dimension" — i.e. unit pieces —
+which :meth:`Campaign.sample_unit` reproduces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import TopicError
+from repro.utils.rng import as_generator
+
+__all__ = ["Piece", "Campaign", "unit_piece", "uniform_piece"]
+
+
+class Piece:
+    """One viral piece: a name plus a normalised topic distribution."""
+
+    __slots__ = ("name", "vector")
+
+    def __init__(self, name: str, vector: np.ndarray) -> None:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1:
+            raise TopicError(f"piece vector must be 1-D, got shape {vector.shape}")
+        if np.any(vector < 0) or np.any(~np.isfinite(vector)):
+            raise TopicError("piece vector entries must be finite and >= 0")
+        total = float(vector.sum())
+        if total <= 0:
+            raise TopicError("piece vector must have positive mass")
+        self.name = str(name)
+        self.vector = vector / total
+        self.vector.setflags(write=False)
+
+    @property
+    def num_topics(self) -> int:
+        """Dimensionality ``|Z|`` of the topic space."""
+        return int(self.vector.size)
+
+    def support(self) -> np.ndarray:
+        """Indices of topics with non-zero probability."""
+        return np.flatnonzero(self.vector)
+
+    def __repr__(self) -> str:
+        nz = self.support()
+        body = ", ".join(f"z{int(z)}:{self.vector[z]:.3g}" for z in nz[:4])
+        if nz.size > 4:
+            body += ", ..."
+        return f"Piece({self.name!r}, {body})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Piece):
+            return NotImplemented
+        return self.name == other.name and np.allclose(self.vector, other.vector)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.vector.tobytes()))
+
+
+def unit_piece(topic: int, num_topics: int, *, name: str | None = None) -> Piece:
+    """A piece entirely about one topic (the experiments' piece shape)."""
+    if not (0 <= topic < num_topics):
+        raise TopicError(f"topic {topic} outside [0, {num_topics})")
+    vec = np.zeros(num_topics, dtype=np.float64)
+    vec[topic] = 1.0
+    return Piece(name if name is not None else f"t[z{topic}]", vec)
+
+
+def uniform_piece(num_topics: int, *, name: str = "t[uniform]") -> Piece:
+    """A piece spread evenly over every topic."""
+    if num_topics < 1:
+        raise TopicError(f"need at least one topic, got {num_topics}")
+    return Piece(name, np.full(num_topics, 1.0 / num_topics))
+
+
+class Campaign:
+    """A multifaceted campaign ``T``: an ordered collection of pieces.
+
+    Pieces are indexed ``0 .. l-1``; assignment plans address seed sets by
+    these indices.  The campaign is immutable.
+    """
+
+    __slots__ = ("pieces", "num_topics")
+
+    def __init__(self, pieces: Sequence[Piece]) -> None:
+        pieces = list(pieces)
+        if not pieces:
+            raise TopicError("a campaign needs at least one piece")
+        dims = {p.num_topics for p in pieces}
+        if len(dims) != 1:
+            raise TopicError(f"pieces disagree on topic dimensionality: {sorted(dims)}")
+        names = [p.name for p in pieces]
+        if len(set(names)) != len(names):
+            raise TopicError(f"duplicate piece names: {names}")
+        self.pieces: tuple[Piece, ...] = tuple(pieces)
+        self.num_topics = pieces[0].num_topics
+
+    @classmethod
+    def from_vectors(
+        cls, vectors: Iterable[np.ndarray], *, names: Sequence[str] | None = None
+    ) -> "Campaign":
+        """Build a campaign from raw topic vectors."""
+        vectors = list(vectors)
+        if names is None:
+            names = [f"t{j}" for j in range(len(vectors))]
+        if len(names) != len(vectors):
+            raise TopicError("names and vectors must align")
+        return cls([Piece(nm, v) for nm, v in zip(names, vectors)])
+
+    @classmethod
+    def sample_unit(
+        cls, num_pieces: int, num_topics: int, *, seed=None
+    ) -> "Campaign":
+        """Sample ``num_pieces`` unit pieces on distinct uniform topics.
+
+        Reproduces the paper's workload generator: "for each viral piece,
+        we generate the topic vector by uniformly sampling a non-zero
+        topic dimension" (Sec. VI-A).  Topics are drawn without
+        replacement when possible so pieces stay distinct.
+        """
+        if num_pieces < 1:
+            raise TopicError(f"need at least one piece, got {num_pieces}")
+        rng = as_generator(seed)
+        replace = num_pieces > num_topics
+        topics = rng.choice(num_topics, size=num_pieces, replace=replace)
+        return cls(
+            [
+                unit_piece(int(z), num_topics, name=f"t{j}[z{int(z)}]")
+                for j, z in enumerate(topics)
+            ]
+        )
+
+    @property
+    def num_pieces(self) -> int:
+        """Number of pieces ``l``."""
+        return len(self.pieces)
+
+    def vectors(self) -> list[np.ndarray]:
+        """Topic vectors of every piece, in piece order."""
+        return [p.vector for p in self.pieces]
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+    def __getitem__(self, index: int) -> Piece:
+        return self.pieces[index]
+
+    def __iter__(self):
+        return iter(self.pieces)
+
+    def __repr__(self) -> str:
+        return f"Campaign(l={self.num_pieces}, topics={self.num_topics})"

@@ -1,0 +1,116 @@
+"""Research-field topic assignment (the ``dblp`` pipeline).
+
+The paper's dblp dataset has no action log, so the authors "follow the
+settings in [9] to use research fields as topics and compute ``p(e|z)`` of
+two authors by categorizing their related conferences using the topics".
+We reproduce the same recipe for the synthetic co-author graph:
+
+1. every author gets a *venue profile* — a distribution over research
+   fields, concentrated on a primary field (authors mostly publish in one
+   community);
+2. the influence of edge ``(u, v)`` on field ``z`` combines how much both
+   endpoints publish in ``z`` and the inverse popularity of ``v`` (a
+   standard weighted-cascade style normalisation, so prolific authors are
+   not trivially activated by every neighbour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError, TopicError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["venue_topic_profiles", "assign_field_topics"]
+
+
+def venue_topic_profiles(
+    num_authors: int,
+    num_fields: int,
+    *,
+    concentration: float = 0.3,
+    seed=None,
+) -> np.ndarray:
+    """Sample per-author research-field distributions.
+
+    Each author draws a primary field uniformly and a Dirichlet profile
+    sharply peaked there (smaller ``concentration`` = sharper peak),
+    reflecting that most authors publish predominantly in one community.
+
+    Returns an array of shape ``(num_authors, num_fields)`` whose rows sum
+    to 1.
+    """
+    num_authors = check_positive_int("num_authors", num_authors)
+    num_fields = check_positive_int("num_fields", num_fields)
+    check_positive("concentration", concentration)
+    rng = as_generator(seed)
+    primary = rng.integers(0, num_fields, size=num_authors)
+    alphas = np.full((num_authors, num_fields), concentration)
+    alphas[np.arange(num_authors), primary] += 3.0
+    profiles = np.empty((num_authors, num_fields), dtype=np.float64)
+    for i in range(num_authors):
+        profiles[i] = rng.dirichlet(alphas[i])
+    return profiles
+
+
+def assign_field_topics(
+    src: np.ndarray,
+    dst: np.ndarray,
+    author_profiles: np.ndarray,
+    in_degrees: np.ndarray,
+    *,
+    scale: float = 1.0,
+    sparsity_floor: float = 0.01,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Derive sparse per-edge ``p(e|z)`` from author venue profiles.
+
+    For edge ``u -> v`` and field ``z``::
+
+        p(e|z) = scale * sqrt(profile[u, z] * profile[v, z]) / in_degree(v)
+
+    The geometric mean rewards *shared* fields (a tax-policy author rarely
+    influences a systems author), and dividing by ``v``'s in-degree is the
+    weighted-cascade normalisation that keeps total incoming influence
+    bounded.  Entries below ``sparsity_floor`` (pre-normalisation) are
+    dropped, keeping the per-edge vectors sparse.
+
+    Returns the ``(tp_ptr, tp_topics, tp_probs)`` CSR triple for
+    :meth:`repro.graph.digraph.TopicGraph.from_arrays`.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ParameterError("src and dst must be parallel")
+    author_profiles = np.asarray(author_profiles, dtype=np.float64)
+    if author_profiles.ndim != 2:
+        raise TopicError("author_profiles must be 2-D")
+    check_positive("scale", scale)
+    if not (0.0 <= sparsity_floor < 1.0):
+        raise ParameterError(
+            f"sparsity_floor must lie in [0, 1), got {sparsity_floor}"
+        )
+    in_degrees = np.asarray(in_degrees, dtype=np.float64)
+    m = src.size
+    tp_ptr = np.zeros(m + 1, dtype=np.int64)
+    topics: list[np.ndarray] = []
+    probs: list[np.ndarray] = []
+    for e in range(m):
+        u, v = src[e], dst[e]
+        affinity = np.sqrt(author_profiles[u] * author_profiles[v])
+        keep = affinity >= sparsity_floor
+        if not np.any(keep):
+            keep = affinity == affinity.max()
+        z = np.flatnonzero(keep)
+        denom = max(in_degrees[v], 1.0)
+        p = np.clip(scale * affinity[z] / denom, 0.0, 1.0)
+        topics.append(z.astype(np.int64))
+        probs.append(p)
+        tp_ptr[e + 1] = tp_ptr[e] + z.size
+    tp_topics = (
+        np.concatenate(topics) if topics else np.zeros(0, dtype=np.int64)
+    )
+    tp_probs = (
+        np.concatenate(probs) if probs else np.zeros(0, dtype=np.float64)
+    )
+    return tp_ptr, tp_topics, tp_probs

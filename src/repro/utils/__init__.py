@@ -1,0 +1,25 @@
+"""Shared utilities: RNG handling, timers, validation, ASCII tables."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timer import Timer
+from repro.utils.tables import format_table, format_series
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "format_table",
+    "format_series",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,87 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper's tables and
+figures report.  Output is deliberately dependency-free ASCII so it reads
+cleanly in CI logs and ``tee``'d benchmark output files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    >>> print(format_table(["k", "utility"], [[10, 15.5], [20, 18.25]]))
+    k  | utility
+    ---+--------
+    10 | 15.5
+    20 | 18.25
+    """
+    str_rows = [[_render_cell(cell, floatfmt) for cell in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    separator = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in str_rows
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(header_line)
+    lines.append(separator)
+    lines.extend(body)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render one figure panel: an x-axis column plus one column per line.
+
+    This matches how the paper's figures are read — e.g. Figure 4's
+    ``lastfm`` utility panel becomes columns ``k, IM, TIM, BAB, BAB-P``.
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points but the x-axis "
+                f"has {len(x_values)}"
+            )
+    rows = [
+        [x, *(series[name][i] for name in names)] for i, x in enumerate(x_values)
+    ]
+    return format_table([x_name, *names], rows, floatfmt=floatfmt, title=title)

@@ -1,0 +1,65 @@
+"""Wall-clock timing helper used by solvers and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context manager / stopwatch measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+
+    The stopwatch form supports repeated ``split()`` reads while running:
+
+    >>> t = Timer().start()
+    >>> first = t.split()
+    >>> second = t.split()
+    >>> second >= first
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        """Start (or restart) the stopwatch and return ``self``."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    def split(self) -> float:
+        """Return elapsed seconds without stopping."""
+        if self._start is None:
+            return self._elapsed
+        return time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds measured by the most recent run (live if running)."""
+        return self.split()
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self._start is not None else "stopped"
+        return f"Timer({self.split():.6f}s, {state})"

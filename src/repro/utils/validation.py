@@ -1,0 +1,63 @@
+"""Small argument-validation helpers.
+
+These keep parameter checking uniform across the package: every check
+raises :class:`repro.exceptions.ParameterError` with the argument name in
+the message, so failures surface at the API boundary instead of deep in a
+numeric kernel.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_probability",
+    "check_fraction",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` (finite); return it as ``float``."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ParameterError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0`` (finite); return it as ``float``."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0:
+        raise ParameterError(f"{name} must be non-negative and finite, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Require an integral ``value >= 1``; return it as ``int``."""
+    if isinstance(value, bool) or int(value) != value:
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 1:
+        raise ParameterError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it as ``float``."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ParameterError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 < value < 1`` (an open-interval fraction)."""
+    value = float(value)
+    if not (0.0 < value < 1.0):
+        raise ParameterError(f"{name} must lie in (0, 1), got {value!r}")
+    return value

@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic graphs, campaigns, collections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import OIPAProblem
+from repro.diffusion.adoption import AdoptionModel
+from repro.graph.digraph import TopicGraph
+from repro.graph.generators import (
+    build_topic_graph,
+    preferential_attachment_digraph,
+)
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign, unit_piece
+
+
+@pytest.fixture()
+def line_graph() -> TopicGraph:
+    """0 -> 1 -> 2 -> 3, all edges certain for topic 0, dead for topic 1."""
+    edges = [(i, i + 1, {0: 1.0}) for i in range(3)]
+    return TopicGraph.from_edges(4, 2, edges)
+
+
+@pytest.fixture()
+def two_topic_star() -> TopicGraph:
+    """Hub 0 reaches 1..4: edges to 1,2 carry topic 0; to 3,4 topic 1."""
+    edges = [
+        (0, 1, {0: 1.0}),
+        (0, 2, {0: 1.0}),
+        (0, 3, {1: 1.0}),
+        (0, 4, {1: 1.0}),
+    ]
+    return TopicGraph.from_edges(5, 2, edges)
+
+
+@pytest.fixture()
+def small_random_graph() -> TopicGraph:
+    """A 60-vertex power-law graph with 4 topics (deterministic seed)."""
+    src, dst = preferential_attachment_digraph(60, 3, seed=11)
+    return build_topic_graph(
+        60, src, dst, 4, topics_per_edge=2.0, prob_mean=0.2, seed=12
+    )
+
+
+@pytest.fixture()
+def small_campaign() -> Campaign:
+    """Three unit pieces over 4 topics."""
+    return Campaign([unit_piece(z, 4, name=f"t{z}") for z in range(3)])
+
+
+@pytest.fixture()
+def adoption() -> AdoptionModel:
+    return AdoptionModel(alpha=2.0, beta=1.0)
+
+
+@pytest.fixture()
+def small_problem(small_random_graph, small_campaign, adoption) -> OIPAProblem:
+    pool = np.arange(0, 60, 4)  # 15 eligible promoters
+    return OIPAProblem(
+        small_random_graph, small_campaign, adoption, k=4, pool=pool
+    )
+
+
+@pytest.fixture()
+def small_mrr(small_random_graph, small_campaign) -> MRRCollection:
+    return MRRCollection.generate(
+        small_random_graph, small_campaign, theta=600, seed=21
+    )

@@ -1,0 +1,133 @@
+"""Tests for action logs and the synthetic cascade generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, TopicError
+from repro.graph.digraph import TopicGraph
+from repro.topics.action_log import Action, ActionLog, generate_action_log
+
+
+def make_log() -> ActionLog:
+    return ActionLog(
+        users=np.array([2, 0, 1]),
+        items=np.array([0, 0, 1]),
+        times=np.array([3.0, 1.0, 2.0]),
+        num_users=3,
+        num_items=2,
+    )
+
+
+class TestActionLog:
+    def test_sorted_by_time(self):
+        log = make_log()
+        assert log.times.tolist() == [1.0, 2.0, 3.0]
+        assert log.users.tolist() == [0, 1, 2]
+
+    def test_len_and_iter(self):
+        log = make_log()
+        assert len(log) == 3
+        actions = list(log)
+        assert actions[0] == Action(time=1.0, user=0, item=0)
+
+    def test_item_actions(self):
+        log = make_log()
+        users, times = log.item_actions(0)
+        assert users.tolist() == [0, 2]
+        assert times.tolist() == [1.0, 3.0]
+
+    def test_actions_per_item(self):
+        assert make_log().actions_per_item().tolist() == [2, 1]
+
+    def test_arrays_read_only(self):
+        log = make_log()
+        with pytest.raises(ValueError):
+            log.users[0] = 5
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ParameterError):
+            ActionLog(
+                users=np.array([5]),
+                items=np.array([0]),
+                times=np.array([0.0]),
+                num_users=3,
+                num_items=1,
+            )
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ParameterError):
+            ActionLog(
+                users=np.array([0, 1]),
+                items=np.array([0]),
+                times=np.array([0.0]),
+                num_users=3,
+                num_items=1,
+            )
+
+    def test_empty_log(self):
+        log = ActionLog(
+            users=np.array([], dtype=np.int64),
+            items=np.array([], dtype=np.int64),
+            times=np.array([]),
+            num_users=2,
+            num_items=2,
+        )
+        assert len(log) == 0
+        assert log.actions_per_item().tolist() == [0, 0]
+
+
+class TestGenerateActionLog:
+    @pytest.fixture()
+    def chain(self) -> TopicGraph:
+        # 0 -> 1 -> 2 always succeed on topic 0; topic 1 never spreads.
+        return TopicGraph.from_edges(
+            3, 2, [(0, 1, {0: 1.0}), (1, 2, {0: 1.0})]
+        )
+
+    def test_deterministic_chain_cascade(self, chain):
+        item_topics = np.array([[1.0, 0.0]])
+        log = generate_action_log(
+            chain, item_topics, seeds_per_item=1, seed=1
+        )
+        # Whatever the seed user, the cascade closes downstream: the
+        # number of actions equals seed + reachable set.
+        users = set(log.users.tolist())
+        assert len(users) == len(log)
+        # Action times respect cascade depth ordering.
+        by_time = {int(u): float(t) for u, t in zip(log.users, log.times)}
+        for u in users:
+            for v in users:
+                if u < v:  # deeper in the chain
+                    assert by_time[u] < by_time[v]
+
+    def test_dead_topic_produces_only_seed_actions(self, chain):
+        item_topics = np.array([[0.0, 1.0]])
+        log = generate_action_log(
+            chain, item_topics, seeds_per_item=2, seed=2
+        )
+        assert len(log) == 2  # nothing propagates on topic 1
+
+    def test_multiple_items(self, chain):
+        item_topics = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        log = generate_action_log(chain, item_topics, seeds_per_item=1, seed=3)
+        assert log.num_items == 3
+        assert set(log.items.tolist()) <= {0, 1, 2}
+
+    def test_shape_validation(self, chain):
+        with pytest.raises(TopicError):
+            generate_action_log(chain, np.ones((2, 3)), seed=4)
+
+    def test_jitter_bounds_validated(self, chain):
+        with pytest.raises(ParameterError):
+            generate_action_log(
+                chain, np.array([[1.0, 0.0]]), time_jitter=0.7, seed=5
+            )
+
+    def test_deterministic_given_seed(self, chain):
+        item_topics = np.array([[1.0, 0.0]])
+        a = generate_action_log(chain, item_topics, seeds_per_item=1, seed=6)
+        b = generate_action_log(chain, item_topics, seeds_per_item=1, seed=6)
+        assert a.users.tolist() == b.users.tolist()
+        assert a.times.tolist() == b.times.tolist()

@@ -1,0 +1,105 @@
+"""Tests for adaptive MRR sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.running_example import (
+    running_example_adoption,
+    running_example_campaign,
+    running_example_graph,
+)
+from repro.exceptions import SamplingError
+from repro.sampling.adaptive import generate_adaptive, theta_for_error_target
+from repro.sampling.theta import hoeffding_theta
+
+
+class TestThetaForErrorTarget:
+    def test_matches_hoeffding_with_floor(self):
+        assert theta_for_error_target(0.01, 0.05) == hoeffding_theta(0.01, 0.05)
+        assert theta_for_error_target(0.4, 0.4, minimum=5000) == 5000
+
+    def test_tighter_targets_need_more(self):
+        assert theta_for_error_target(0.005, 0.05) > theta_for_error_target(
+            0.02, 0.05
+        )
+
+
+class TestGenerateAdaptive:
+    @pytest.fixture()
+    def world(self):
+        return (
+            running_example_graph(),
+            running_example_campaign(),
+            running_example_adoption(),
+        )
+
+    def test_converges_on_small_instance(self, world):
+        graph, campaign, adoption = world
+        mrr, info = generate_adaptive(
+            graph,
+            campaign,
+            adoption,
+            [[0], [4]],
+            epsilon=0.05,
+            delta=0.1,
+            initial_theta=500,
+            seed=1,
+        )
+        assert info["trace"], "doubling trace must be recorded"
+        assert mrr.theta >= 250
+        # The final estimate agrees with the known exact value.
+        assert mrr.estimate([[0], [4]], adoption) == pytest.approx(
+            1.05, abs=0.08
+        )
+
+    def test_ceiling_respected(self, world):
+        graph, campaign, adoption = world
+        mrr, info = generate_adaptive(
+            graph,
+            campaign,
+            adoption,
+            [[0], [4]],
+            epsilon=0.01,
+            delta=0.05,
+            initial_theta=200,
+            max_theta=800,
+            seed=2,
+        )
+        assert mrr.theta <= 800
+        assert info["hoeffding_ceiling"] == 800
+
+    def test_trace_thetas_grow(self, world):
+        graph, campaign, adoption = world
+        _, info = generate_adaptive(
+            graph,
+            campaign,
+            adoption,
+            [[0], [4]],
+            epsilon=0.005,
+            delta=0.05,
+            initial_theta=100,
+            max_theta=1600,
+            seed=3,
+        )
+        thetas = [step["theta"] for step in info["trace"]]
+        assert thetas == sorted(thetas)
+
+    def test_probe_plan_validated(self, world):
+        graph, campaign, adoption = world
+        with pytest.raises(SamplingError):
+            generate_adaptive(
+                graph, campaign, adoption, [[0]], epsilon=0.05, delta=0.1
+            )
+
+    def test_deterministic_given_seed(self, world):
+        graph, campaign, adoption = world
+        a, _ = generate_adaptive(
+            graph, campaign, adoption, [[0], [4]],
+            epsilon=0.05, delta=0.1, initial_theta=400, seed=4,
+        )
+        b, _ = generate_adaptive(
+            graph, campaign, adoption, [[0], [4]],
+            epsilon=0.05, delta=0.1, initial_theta=400, seed=4,
+        )
+        assert (a.roots == b.roots).all()

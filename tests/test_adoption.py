@@ -1,0 +1,105 @@
+"""Tests for the logistic adoption model (Eq. 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import ParameterError
+
+
+class TestPaperValues:
+    """Numbers quoted in the paper's examples."""
+
+    def test_example1_single_piece(self):
+        model = AdoptionModel(alpha=3.0, beta=1.0)
+        assert model.probability(1) == pytest.approx(0.12, abs=0.005)
+
+    def test_example1_two_pieces(self):
+        model = AdoptionModel(alpha=3.0, beta=1.0)
+        # p(X_b) = 1 / (1 + exp(3 - 2)) = 0.27
+        assert model.probability(2) == pytest.approx(0.27, abs=0.005)
+
+    def test_zero_branch(self):
+        model = AdoptionModel(alpha=3.0, beta=1.0)
+        assert model.probability(0) == 0.0
+
+    def test_literal_eq6_mode(self):
+        model = AdoptionModel(alpha=3.0, beta=1.0, zero_if_unreached=False)
+        assert model.probability(0) == pytest.approx(1 / (1 + math.exp(3)))
+
+    def test_hardness_construction_values(self):
+        """Step 5 of the reduction: p = 1/2 at n pieces, tiny below."""
+        n = 7
+        model = AdoptionModel(
+            alpha=2 * n * math.log(2 * n), beta=2 * math.log(2 * n)
+        )
+        assert model.probability(n) == pytest.approx(0.5)
+        assert model.probability(n - 1) <= 1 / (1 + (2 * n) ** 2) + 1e-12
+
+
+class TestBasics:
+    def test_vectorised(self):
+        model = AdoptionModel(alpha=2.0, beta=1.0)
+        out = model.probability(np.array([0, 1, 2, 3]))
+        assert out.shape == (4,)
+        assert out[0] == 0.0
+        assert np.all(np.diff(out[1:]) > 0)
+
+    def test_logistic_has_no_zero_branch(self):
+        model = AdoptionModel(alpha=2.0, beta=1.0)
+        assert model.logistic(0) > 0.0
+
+    def test_monotone_in_count(self):
+        model = AdoptionModel(alpha=4.0, beta=0.7)
+        values = model.probability(np.arange(0, 12))
+        assert np.all(np.diff(values) >= 0)
+
+    def test_from_ratio(self):
+        model = AdoptionModel.from_ratio(0.5)
+        assert model.beta == 1.0
+        assert model.alpha == pytest.approx(2.0)
+
+    def test_from_ratio_custom_beta(self):
+        model = AdoptionModel.from_ratio(0.25, beta=2.0)
+        assert model.alpha == pytest.approx(8.0)
+
+    def test_inflection(self):
+        model = AdoptionModel(alpha=3.0, beta=1.5)
+        assert model.inflection_count() == pytest.approx(2.0)
+        assert model.logistic(model.inflection_count()) == pytest.approx(0.5)
+
+    def test_parameter_validation(self):
+        for bad in (0.0, -1.0, math.nan):
+            with pytest.raises(ParameterError):
+                AdoptionModel(alpha=bad, beta=1.0)
+            with pytest.raises(ParameterError):
+                AdoptionModel(alpha=1.0, beta=bad)
+
+    def test_equality_and_hash(self):
+        a = AdoptionModel(alpha=2.0, beta=1.0)
+        b = AdoptionModel(alpha=2.0, beta=1.0)
+        c = AdoptionModel(alpha=2.0, beta=1.0, zero_if_unreached=False)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    alpha=st.floats(0.1, 20.0),
+    beta=st.floats(0.1, 5.0),
+    count=st.integers(0, 30),
+)
+def test_probability_bounds_and_consistency(alpha, beta, count):
+    model = AdoptionModel(alpha=alpha, beta=beta)
+    p = model.probability(count)
+    assert 0.0 <= p <= 1.0  # == 1.0 only via float underflow of exp
+    if count >= 1:
+        assert p == pytest.approx(model.logistic(count))
+    else:
+        assert p == 0.0

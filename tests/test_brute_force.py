@@ -1,0 +1,97 @@
+"""Tests for the brute-force oracle and deterministic utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import (
+    brute_force_oipa,
+    deterministic_adoption_utility,
+    deterministic_reach,
+)
+from repro.core.plan import AssignmentPlan
+from repro.core.problem import OIPAProblem
+from repro.datasets.running_example import (
+    running_example_adoption,
+    running_example_campaign,
+    running_example_graph,
+    running_example_problem,
+)
+from repro.diffusion.projection import PieceGraph
+from repro.exceptions import SolverError
+from repro.graph.digraph import TopicGraph
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import unit_piece
+
+
+class TestDeterministicReach:
+    def test_chain(self):
+        g = TopicGraph.from_edges(
+            3, 1, [(0, 1, {0: 1.0}), (1, 2, {0: 1.0})]
+        )
+        pg = PieceGraph.project(g, unit_piece(0, 1))
+        assert deterministic_reach(pg, [0]).tolist() == [True, True, True]
+        assert deterministic_reach(pg, [1]).tolist() == [False, True, True]
+
+    def test_fractional_probability_rejected(self):
+        g = TopicGraph.from_edges(2, 1, [(0, 1, {0: 0.5})])
+        pg = PieceGraph.project(g, unit_piece(0, 1))
+        with pytest.raises(SolverError):
+            deterministic_reach(pg, [0])
+
+    def test_zero_edges_stop_reach(self):
+        g = TopicGraph.from_edges(2, 2, [(0, 1, {1: 1.0})])
+        pg = PieceGraph.project(g, unit_piece(0, 2))
+        assert deterministic_reach(pg, [0]).tolist() == [True, False]
+
+
+class TestDeterministicUtility:
+    def test_example1(self):
+        utility = deterministic_adoption_utility(
+            running_example_graph(),
+            running_example_campaign(),
+            AssignmentPlan([{0}, {4}]),
+            running_example_adoption(),
+        )
+        assert utility == pytest.approx(1.0452, abs=1e-3)
+
+    def test_piece_count_validated(self):
+        with pytest.raises(SolverError):
+            deterministic_adoption_utility(
+                running_example_graph(),
+                running_example_campaign(),
+                AssignmentPlan([{0}]),
+                running_example_adoption(),
+            )
+
+
+class TestBruteForce:
+    def test_running_example_optimum(self):
+        problem = running_example_problem(k=2)
+        mrr = MRRCollection.generate(
+            problem.graph, problem.campaign, theta=2000, seed=16
+        )
+        plan, utility = brute_force_oipa(problem, mrr)
+        assert plan == AssignmentPlan([{0}, {4}])
+        assert utility == pytest.approx(1.05, abs=0.05)
+
+    def test_optimum_dominates_every_enumerated_plan(self):
+        problem = running_example_problem(k=1)
+        mrr = MRRCollection.generate(
+            problem.graph, problem.campaign, theta=800, seed=17
+        )
+        _, best = brute_force_oipa(problem, mrr)
+        for v in range(5):
+            for j in range(2):
+                plan = [[], []]
+                plan[j] = [v]
+                assert best >= mrr.estimate(plan, problem.adoption) - 1e-9
+
+    def test_plan_size_guard(self):
+        problem = running_example_problem(k=2)
+        mrr = MRRCollection.generate(
+            problem.graph, problem.campaign, theta=100, seed=18
+        )
+        with pytest.raises(SolverError, match="enumerate"):
+            brute_force_oipa(problem, mrr, max_plans=3)

@@ -1,0 +1,84 @@
+"""Tests for the incremental coverage state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageState
+from repro.core.plan import AssignmentPlan
+from repro.datasets.running_example import (
+    running_example_adoption,
+    running_example_campaign,
+    running_example_graph,
+)
+from repro.exceptions import SolverError
+from repro.sampling.mrr import MRRCollection
+
+
+@pytest.fixture()
+def mrr() -> MRRCollection:
+    return MRRCollection.generate(
+        running_example_graph(), running_example_campaign(), theta=800, seed=2
+    )
+
+
+class TestCoverageState:
+    def test_fresh_state_empty(self, mrr):
+        state = CoverageState(mrr)
+        assert state.counts.sum() == 0
+        assert not state.covered.any()
+
+    def test_add_updates_counts(self, mrr):
+        state = CoverageState(mrr)
+        fresh = state.add(0, 0)  # vertex a covers piece t1
+        assert fresh.size > 0
+        assert state.counts.sum() == fresh.size
+
+    def test_add_idempotent(self, mrr):
+        state = CoverageState(mrr)
+        first = state.add(0, 0)
+        second = state.add(0, 0)
+        assert second.size == 0
+        assert state.counts.sum() == first.size
+
+    def test_counts_match_mrr_coverage(self, mrr):
+        plan = AssignmentPlan([{0}, {4}])
+        state = CoverageState.from_plan(mrr, plan)
+        np.testing.assert_array_equal(
+            state.counts, mrr.coverage_counts(plan.seed_lists())
+        )
+
+    def test_newly_covered_does_not_mutate(self, mrr):
+        state = CoverageState(mrr)
+        preview = state.newly_covered(0, 0)
+        assert preview.size > 0
+        assert state.counts.sum() == 0
+        committed = state.add(0, 0)
+        np.testing.assert_array_equal(np.sort(preview), np.sort(committed))
+
+    def test_copy_is_independent(self, mrr):
+        state = CoverageState(mrr)
+        state.add(0, 0)
+        clone = state.copy()
+        clone.add(4, 1)
+        assert clone.counts.sum() > state.counts.sum()
+
+    def test_utility_matches_estimator(self, mrr):
+        adoption = running_example_adoption()
+        plan = AssignmentPlan([{0}, {4}])
+        state = CoverageState.from_plan(mrr, plan)
+        assert state.utility(adoption) == pytest.approx(
+            mrr.estimate(plan.seed_lists(), adoption)
+        )
+
+    def test_piece_range_validated(self, mrr):
+        with pytest.raises(SolverError):
+            CoverageState(mrr).add(0, 9)
+
+    def test_counts_never_exceed_pieces(self, mrr):
+        state = CoverageState(mrr)
+        for v in range(5):
+            for j in range(2):
+                state.add(v, j)
+        assert state.counts.max() <= mrr.num_pieces

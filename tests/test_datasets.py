@@ -1,0 +1,116 @@
+"""Tests for the dataset registry and synthetic pipelines.
+
+Pipelines run at tiny scales here; the statistical shape assertions
+(power-law degrees, topic sparsity) are what the paper's Table III
+substitution rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    clear_dataset_cache,
+    load_dataset,
+)
+from repro.datasets.synth import (
+    build_dblp_like,
+    build_lastfm_like,
+    build_tweet_like,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_specs_present(self):
+        assert set(DATASET_SPECS) == {"lastfm", "dblp", "tweet"}
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError, match="unknown"):
+            load_dataset("facebook")
+
+    def test_caching_returns_same_object(self):
+        clear_dataset_cache()
+        a = load_dataset("lastfm", scale=0.1, seed=1)
+        b = load_dataset("lastfm", scale=0.1, seed=1)
+        assert a is b
+
+    def test_cache_distinguishes_scale_and_seed(self):
+        clear_dataset_cache()
+        a = load_dataset("lastfm", scale=0.1, seed=1)
+        b = load_dataset("lastfm", scale=0.1, seed=2)
+        assert a is not b
+
+    def test_bundle_fields(self):
+        clear_dataset_cache()
+        bundle = load_dataset("lastfm", scale=0.1, seed=3)
+        assert bundle.name == "lastfm"
+        assert bundle.graph.n >= 50
+        assert bundle.build_seconds >= 0
+        assert len(bundle.table3_row()) == 9
+
+    def test_clear_cache_forces_rebuild(self):
+        clear_dataset_cache()
+        a = load_dataset("lastfm", scale=0.1, seed=4)
+        clear_dataset_cache()
+        b = load_dataset("lastfm", scale=0.1, seed=4)
+        assert a is not b
+        assert a.graph == b.graph  # deterministic rebuild
+
+
+class TestLastfmPipeline:
+    def test_structure_and_learning(self):
+        graph, meta = build_lastfm_like(scale=0.08, seed=5, num_items=60)
+        assert graph.num_topics == 20
+        assert meta["pipeline"] == "tic-log"
+        assert meta["actions"] > 0
+        # Learned graphs stay sparse.
+        assert graph.tp_topics.size / graph.num_edges < 6.0
+
+    def test_deterministic(self):
+        g1, _ = build_lastfm_like(scale=0.08, seed=6, num_items=40)
+        g2, _ = build_lastfm_like(scale=0.08, seed=6, num_items=40)
+        assert g1 == g2
+
+
+class TestDblpPipeline:
+    def test_structure(self):
+        graph, meta = build_dblp_like(scale=0.01, seed=7)
+        assert graph.num_topics == 9
+        assert meta["pipeline"] == "fields"
+        assert graph.num_edges > graph.n  # co-author graph is dense-ish
+        # Sparse per-edge fields.
+        assert graph.tp_topics.size / graph.num_edges < 5.0
+
+    def test_probabilities_bounded(self):
+        graph, _ = build_dblp_like(scale=0.01, seed=8)
+        assert graph.tp_probs.max() <= 1.0
+        assert graph.tp_probs.min() >= 0.0
+
+
+class TestTweetPipeline:
+    def test_structure(self):
+        graph, meta = build_tweet_like(
+            scale=0.01, seed=9, vocab_size=60, lda_sample_docs=150
+        )
+        assert graph.num_topics == 50
+        assert meta["pipeline"] == "lda-hashtags"
+        # The defining property: extreme edge sparsity (~1-2 topics/edge
+        # and average degree near 1.2).
+        avg_degree = graph.num_edges / graph.n
+        assert avg_degree < 3.0
+        assert graph.tp_topics.size / max(graph.num_edges, 1) < 2.5
+
+    def test_scale_validation(self):
+        with pytest.raises(DatasetError):
+            build_tweet_like(scale=-1.0)
+
+
+class TestPowerLawShape:
+    def test_lastfm_heavy_tail(self):
+        graph, _ = build_lastfm_like(scale=0.3, seed=10, num_items=30)
+        degree = np.asarray(graph.out_degrees() + graph.in_degrees())
+        # Heavy tail: the max degree is far above the median.
+        assert degree.max() >= 5 * max(np.median(degree), 1)

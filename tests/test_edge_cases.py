@@ -1,0 +1,113 @@
+"""Cross-cutting edge cases and failure injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.plan import AssignmentPlan
+from repro.core.problem import OIPAProblem
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import SamplingError, SolverError
+from repro.graph.digraph import TopicGraph
+from repro.graph.io import load_topic_graph, save_topic_graph
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign, unit_piece
+
+
+class TestZeroTopicEdges:
+    """Edges may carry an empty topic vector (no influence at all)."""
+
+    def test_construction_and_projection(self):
+        g = TopicGraph.from_edges(3, 2, [(0, 1, {}), (1, 2, {0: 0.5})])
+        assert g.num_edges == 2
+        p = g.piece_probabilities(np.array([1.0, 0.0]))
+        np.testing.assert_allclose(p, [0.0, 0.5])
+
+    def test_io_roundtrip_with_empty_entries(self, tmp_path):
+        g = TopicGraph.from_edges(3, 2, [(0, 1, {}), (1, 2, {1: 0.25})])
+        path = tmp_path / "g.tsv"
+        save_topic_graph(g, path)
+        assert load_topic_graph(path) == g
+
+
+class TestDegenerateInstances:
+    def test_isolated_vertices_instance(self):
+        """A graph with no edges: every plan scores only its seeds."""
+        g = TopicGraph.from_edges(6, 2, [])
+        campaign = Campaign([unit_piece(0, 2), unit_piece(1, 2)])
+        adoption = AdoptionModel(alpha=1.0, beta=1.0)
+        mrr = MRRCollection.generate(g, campaign, theta=600, seed=71)
+        # Each RR set is exactly its root.
+        assert mrr.rr_set_sizes(0).max() == 1
+        est = mrr.estimate([[0], [0]], adoption)
+        # Only samples rooted at vertex 0 are covered (both pieces).
+        expected = (
+            6
+            / 600
+            * adoption.probability(2)
+            * int((mrr.roots == 0).sum())
+        )
+        assert est == pytest.approx(expected)
+
+    def test_single_vertex_pool(self):
+        g = TopicGraph.from_edges(4, 1, [(0, 1, {0: 1.0})])
+        campaign = Campaign([unit_piece(0, 1)])
+        adoption = AdoptionModel(alpha=1.0, beta=1.0)
+        problem = OIPAProblem(g, campaign, adoption, 2, pool=np.array([0]))
+        mrr = MRRCollection.generate(g, campaign, theta=300, seed=72)
+        from repro.core.bab import solve_bab
+
+        result = solve_bab(problem, mrr, gap_tolerance=0.0)
+        assert result.plan == AssignmentPlan([{0}])
+
+    def test_empty_pool_rejected(self):
+        g = TopicGraph.from_edges(2, 1, [(0, 1, {0: 0.5})])
+        campaign = Campaign([unit_piece(0, 1)])
+        adoption = AdoptionModel(alpha=1.0, beta=1.0)
+        with pytest.raises(SolverError):
+            OIPAProblem(g, campaign, adoption, 1, pool=np.array([], dtype=np.int64))
+
+    def test_pool_out_of_range_rejected(self):
+        g = TopicGraph.from_edges(2, 1, [(0, 1, {0: 0.5})])
+        campaign = Campaign([unit_piece(0, 1)])
+        adoption = AdoptionModel(alpha=1.0, beta=1.0)
+        with pytest.raises(SolverError):
+            OIPAProblem(g, campaign, adoption, 1, pool=np.array([5]))
+
+    def test_plan_validation_catches_foreign_vertex(self):
+        g = TopicGraph.from_edges(4, 1, [(0, 1, {0: 0.5})])
+        campaign = Campaign([unit_piece(0, 1)])
+        adoption = AdoptionModel(alpha=1.0, beta=1.0)
+        problem = OIPAProblem(g, campaign, adoption, 2, pool=np.array([0, 1]))
+        with pytest.raises(SolverError, match="not in the promoter pool"):
+            problem.validate_plan(AssignmentPlan([{3}]))
+
+    def test_campaign_topic_mismatch_rejected(self):
+        g = TopicGraph.from_edges(2, 2, [(0, 1, {0: 0.5})])
+        campaign = Campaign([unit_piece(0, 5)])
+        adoption = AdoptionModel(alpha=1.0, beta=1.0)
+        with pytest.raises(SolverError, match="topic space"):
+            OIPAProblem(g, campaign, adoption, 1)
+
+    def test_mrr_empty_graph_rejected(self):
+        g = TopicGraph.from_edges(0, 1, [])
+        campaign = Campaign([unit_piece(0, 1)])
+        with pytest.raises(SamplingError):
+            MRRCollection.generate(g, campaign, theta=10, seed=73)
+
+
+class TestBaselineSampleTimeField:
+    def test_im_reports_sampling_separately(self):
+        from repro.im.baselines import im_baseline
+
+        g = TopicGraph.from_edges(
+            5, 1, [(0, i, {0: 0.8}) for i in range(1, 5)]
+        )
+        campaign = Campaign([unit_piece(0, 1)])
+        adoption = AdoptionModel(alpha=1.0, beta=1.0)
+        problem = OIPAProblem(g, campaign, adoption, 1, pool=np.arange(5))
+        mrr = MRRCollection.generate(g, campaign, theta=400, seed=74)
+        result = im_baseline(problem, mrr, seed=1)
+        assert result.sample_seconds > 0.0
+        assert result.elapsed_seconds >= 0.0

@@ -1,0 +1,69 @@
+"""The exception hierarchy is what callers catch on — lock it down."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExhaustedError,
+    DatasetError,
+    ExperimentError,
+    GraphError,
+    GraphFormatError,
+    ParameterError,
+    ReproError,
+    SamplingError,
+    SolverError,
+    TopicError,
+)
+
+ALL_ERRORS = [
+    GraphError,
+    GraphFormatError,
+    TopicError,
+    ParameterError,
+    SamplingError,
+    SolverError,
+    BudgetExhaustedError,
+    DatasetError,
+    ExperimentError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_graph_format_error_is_graph_error():
+    assert issubclass(GraphFormatError, GraphError)
+
+
+def test_budget_exhausted_is_solver_error():
+    assert issubclass(BudgetExhaustedError, SolverError)
+
+
+def test_graph_format_error_line_prefix():
+    err = GraphFormatError("bad token", line=7)
+    assert "line 7" in str(err)
+    assert err.line == 7
+
+
+def test_graph_format_error_without_line():
+    err = GraphFormatError("bad header")
+    assert err.line is None
+    assert "bad header" in str(err)
+
+
+def test_budget_exhausted_carries_incumbent():
+    sentinel = object()
+    err = BudgetExhaustedError("out of nodes", incumbent=sentinel)
+    assert err.incumbent is sentinel
+
+
+def test_catching_base_catches_all():
+    for exc in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            if exc is GraphFormatError:
+                raise exc("x", line=1)
+            raise exc("x")

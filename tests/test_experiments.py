@@ -1,0 +1,172 @@
+"""Tests for the experiment harness (config, runner, figures, CLI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.cli import build_parser, main
+from repro.experiments.config import (
+    FULL_PROFILE,
+    PAPER_PARAMETER_GRID,
+    QUICK_PROFILE,
+    ExperimentProfile,
+    get_profile,
+)
+from repro.experiments.runner import prepare_instance, run_cell, run_methods
+
+#: A deliberately tiny profile so harness tests stay fast.
+TINY_PROFILE = ExperimentProfile(
+    name="tiny",
+    datasets=("lastfm",),
+    dataset_scale={"lastfm": 0.08},
+    theta=400,
+    k_grid=(2, 3),
+    default_k=3,
+    l_grid=(1, 2),
+    default_l=2,
+    epsilon_grid=(0.3, 0.7),
+    max_nodes=20,
+    eval_theta=800,
+)
+
+
+class TestConfig:
+    def test_paper_grid_matches_table4(self):
+        assert PAPER_PARAMETER_GRID["k"] == tuple(range(10, 101, 10))
+        assert PAPER_PARAMETER_GRID["l"] == (1, 2, 3, 4, 5)
+        assert PAPER_PARAMETER_GRID["beta_over_alpha"] == (0.3, 0.5, 0.7)
+        assert len(PAPER_PARAMETER_GRID["epsilon"]) == 9
+
+    def test_get_profile(self):
+        assert get_profile("quick") is QUICK_PROFILE
+        assert get_profile("full") is FULL_PROFILE
+        with pytest.raises(ExperimentError):
+            get_profile("huge")
+
+    def test_with_overrides(self):
+        p = QUICK_PROFILE.with_overrides(theta=123)
+        assert p.theta == 123
+        assert QUICK_PROFILE.theta != 123  # original untouched
+
+    def test_theta_for_multiplier(self):
+        opt, ev = QUICK_PROFILE.theta_for("tweet")
+        assert opt > QUICK_PROFILE.theta
+        assert ev > opt
+
+    def test_theta_for_default(self):
+        opt, ev = TINY_PROFILE.theta_for("lastfm")
+        assert opt == 400 and ev == 800
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return prepare_instance(
+            "lastfm", TINY_PROFILE, k=3, num_pieces=2, beta_over_alpha=0.5
+        )
+
+    def test_prepare_instance_shapes(self, instance):
+        assert instance.problem.k == 3
+        assert instance.mrr_opt.theta == 400
+        assert instance.mrr_eval.theta == 800
+        assert instance.sample_seconds > 0
+
+    @pytest.mark.parametrize("method", ["IM", "TIM", "BAB", "BAB-P"])
+    def test_run_cell_every_method(self, instance, method):
+        cell = run_cell(instance, method, max_nodes=10)
+        assert cell.method == method
+        assert cell.utility >= 0.0
+        assert cell.elapsed_seconds >= 0.0
+        assert cell.k == 3
+
+    def test_unknown_method_rejected(self, instance):
+        with pytest.raises(ExperimentError):
+            run_cell(instance, "MAGIC")
+
+    def test_run_methods_shares_instance(self):
+        cells = run_methods("lastfm", TINY_PROFILE)
+        assert set(cells) == {"IM", "TIM", "BAB", "BAB-P"}
+        ks = {c.k for c in cells.values()}
+        assert ks == {TINY_PROFILE.default_k}
+
+    def test_cell_result_row(self, instance):
+        cell = run_cell(instance, "TIM")
+        row = cell.as_row()
+        assert row[0] == "lastfm"
+        assert row[1] == "TIM"
+
+    def test_determinism_of_prepared_instances(self):
+        a = prepare_instance(
+            "lastfm", TINY_PROFILE, k=2, num_pieces=2, beta_over_alpha=0.5
+        )
+        b = prepare_instance(
+            "lastfm", TINY_PROFILE, k=2, num_pieces=2, beta_over_alpha=0.5
+        )
+        np.testing.assert_array_equal(a.problem.pool, b.problem.pool)
+        np.testing.assert_array_equal(a.mrr_opt.roots, b.mrr_opt.roots)
+
+
+class TestFigures:
+    def test_table3(self):
+        from repro.experiments.figures import table3_datasets
+
+        result = table3_datasets(TINY_PROFILE)
+        assert "lastfm" in result.text
+        assert "paper |V|" in result.text
+
+    def test_figure3_epsilon_sweep(self):
+        from repro.experiments.figures import figure3_epsilon
+
+        result = figure3_epsilon(TINY_PROFILE)
+        panel = result.panels["lastfm"]
+        assert panel["epsilon"] == [0.3, 0.7]
+        assert len(panel["BAB-P"]) == 2
+
+    def test_figure4_sweep_structure(self):
+        from repro.experiments.figures import figure4_promoters
+
+        result = figure4_promoters(TINY_PROFILE)
+        panel = result.panels["lastfm"]
+        assert panel["k"] == [2, 3]
+        assert set(panel["utility"]) == {"IM", "TIM", "BAB", "BAB-P"}
+        # Utility grows (weakly, modulo noise) with k for the solver.
+        bab = panel["utility"]["BAB"]
+        assert bab[-1] >= bab[0] - 0.5
+
+    def test_headline_claims_structure(self):
+        from repro.experiments.figures import headline_claims
+
+        result = headline_claims(TINY_PROFILE)
+        panel = result.panels["lastfm"]
+        assert "speedup_time" in panel
+        assert "BAB" in panel["utilities"]
+
+
+class TestCli:
+    def test_parser_targets(self):
+        parser = build_parser()
+        args = parser.parse_args(["table3"])
+        assert args.target == "table3"
+        assert args.profile == "quick"
+
+    def test_params_target_prints_table4(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "beta_over_alpha" in out
+
+    def test_bad_target_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_out_file_written(self, tmp_path, capsys, monkeypatch):
+        # Patch in the tiny profile so the CLI run stays fast.
+        import repro.experiments.cli as cli
+
+        monkeypatch.setitem(cli.__dict__, "get_profile", lambda name: TINY_PROFILE)
+        out_file = tmp_path / "report.txt"
+        assert main(["table3", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "lastfm" in out_file.read_text()

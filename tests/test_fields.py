@@ -1,0 +1,114 @@
+"""Tests for research-field topic assignment (dblp pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, TopicError
+from repro.topics.fields import assign_field_topics, venue_topic_profiles
+
+
+class TestVenueProfiles:
+    def test_rows_normalised(self):
+        profiles = venue_topic_profiles(50, 6, seed=1)
+        assert profiles.shape == (50, 6)
+        np.testing.assert_allclose(profiles.sum(axis=1), 1.0)
+
+    def test_concentration_sharpens_profiles(self):
+        sharp = venue_topic_profiles(200, 6, concentration=0.05, seed=2)
+        flat = venue_topic_profiles(200, 6, concentration=5.0, seed=2)
+        assert sharp.max(axis=1).mean() > flat.max(axis=1).mean()
+
+    def test_deterministic(self):
+        a = venue_topic_profiles(20, 4, seed=3)
+        b = venue_topic_profiles(20, 4, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            venue_topic_profiles(0, 4)
+        with pytest.raises(ParameterError):
+            venue_topic_profiles(4, 4, concentration=0)
+
+
+class TestAssignFieldTopics:
+    def _simple(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        profiles = np.array(
+            [
+                [0.9, 0.1],
+                [0.8, 0.2],
+                [0.1, 0.9],
+            ]
+        )
+        in_degrees = np.array([0.0, 1.0, 1.0])
+        return src, dst, profiles, in_degrees
+
+    def test_csr_alignment(self):
+        src, dst, profiles, in_deg = self._simple()
+        ptr, topics, probs = assign_field_topics(
+            src, dst, profiles, in_deg, sparsity_floor=0.0
+        )
+        assert ptr.shape == (3,)
+        assert ptr[-1] == topics.size == probs.size
+
+    def test_shared_field_scores_higher(self):
+        src, dst, profiles, in_deg = self._simple()
+        ptr, topics, probs = assign_field_topics(
+            src, dst, profiles, in_deg, sparsity_floor=0.0
+        )
+        # Edge 0 -> 1 shares field 0; edge 1 -> 2 has mismatched profiles.
+        e0 = {int(z): p for z, p in zip(topics[ptr[0]:ptr[1]], probs[ptr[0]:ptr[1]])}
+        e1 = {int(z): p for z, p in zip(topics[ptr[1]:ptr[2]], probs[ptr[1]:ptr[2]])}
+        assert e0[0] > e0[1]
+        assert e0[0] > max(e1.values()) - 1e-12
+
+    def test_floor_sparsifies(self):
+        src, dst, profiles, in_deg = self._simple()
+        ptr, _, _ = assign_field_topics(
+            src, dst, profiles, in_deg, sparsity_floor=0.5
+        )
+        counts = np.diff(ptr)
+        assert np.all(counts >= 1)  # at least the argmax survives
+        assert counts.sum() < 4  # but the floor dropped entries
+
+    def test_in_degree_normalisation(self):
+        src = np.array([0, 0])
+        dst = np.array([1, 2])
+        profiles = np.array([[1.0], [1.0], [1.0]])
+        in_deg = np.array([0.0, 1.0, 10.0])
+        _, _, probs = assign_field_topics(
+            src, dst, profiles, in_deg, sparsity_floor=0.0
+        )
+        assert probs[0] > probs[1]  # popular target is harder to influence
+
+    def test_probabilities_clipped(self):
+        src = np.array([0])
+        dst = np.array([1])
+        profiles = np.array([[1.0], [1.0]])
+        in_deg = np.array([0.0, 1.0])
+        _, _, probs = assign_field_topics(
+            src, dst, profiles, in_deg, scale=50.0, sparsity_floor=0.0
+        )
+        assert probs[0] == 1.0
+
+    def test_validation(self):
+        src, dst, profiles, in_deg = self._simple()
+        with pytest.raises(ParameterError):
+            assign_field_topics(src, dst[:1], profiles, in_deg)
+        with pytest.raises(TopicError):
+            assign_field_topics(src, dst, profiles[0], in_deg)
+        with pytest.raises(ParameterError):
+            assign_field_topics(src, dst, profiles, in_deg, sparsity_floor=1.5)
+
+    def test_empty_edges(self):
+        ptr, topics, probs = assign_field_topics(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.ones((2, 2)) / 2,
+            np.zeros(2),
+        )
+        assert ptr.tolist() == [0]
+        assert topics.size == probs.size == 0

@@ -1,0 +1,221 @@
+"""Unit tests for the TopicGraph CSR structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError, TopicError
+from repro.graph.digraph import TopicGraph
+
+
+def triangle() -> TopicGraph:
+    return TopicGraph.from_edges(
+        3,
+        2,
+        [
+            (0, 1, {0: 0.5}),
+            (1, 2, {1: 0.25}),
+            (2, 0, {0: 0.1, 1: 0.9}),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = triangle()
+        assert g.n == 3
+        assert g.num_edges == 3
+        assert g.num_topics == 2
+
+    def test_empty_graph(self):
+        g = TopicGraph.from_edges(4, 3, [])
+        assert g.num_edges == 0
+        assert g.out_degrees().tolist() == [0, 0, 0, 0]
+        assert g.piece_probabilities(np.array([1.0, 0, 0])).size == 0
+
+    def test_dense_vector_input(self):
+        g = TopicGraph.from_edges(2, 3, [(0, 1, [0.1, 0.0, 0.3])])
+        np.testing.assert_allclose(g.edge_topic_vector(0), [0.1, 0.0, 0.3])
+
+    def test_pair_list_input(self):
+        g = TopicGraph.from_edges(2, 3, [(0, 1, [(2, 0.3), (0, 0.1)])])
+        np.testing.assert_allclose(g.edge_topic_vector(0), [0.1, 0.0, 0.3])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            TopicGraph.from_edges(2, 1, [(1, 1, {0: 0.5})])
+
+    def test_parallel_edge_rejected(self):
+        with pytest.raises(GraphError, match="parallel"):
+            TopicGraph.from_edges(
+                2, 1, [(0, 1, {0: 0.5}), (0, 1, {0: 0.3})]
+            )
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(GraphError, match="outside"):
+            TopicGraph.from_edges(2, 1, [(0, 5, {0: 0.5})])
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(TopicError):
+            TopicGraph.from_edges(2, 1, [(0, 1, {0: 1.5})])
+
+    def test_bad_topic_rejected(self):
+        with pytest.raises(TopicError):
+            TopicGraph.from_edges(2, 1, [(0, 1, {3: 0.5})])
+
+    def test_duplicate_topic_rejected(self):
+        with pytest.raises(TopicError, match="duplicate"):
+            TopicGraph.from_edges(2, 2, [(0, 1, [(0, 0.5), (0, 0.2)])])
+
+    def test_zero_probability_entries_dropped(self):
+        g = TopicGraph.from_edges(2, 2, [(0, 1, {0: 0.0, 1: 0.4})])
+        assert g.tp_topics.tolist() == [1]
+
+    def test_from_arrays_matches_from_edges(self):
+        g1 = triangle()
+        src = np.array([2, 0, 1])
+        dst = np.array([0, 1, 2])
+        tp_ptr = np.array([0, 2, 3, 4])
+        tp_topics = np.array([0, 1, 0, 1])
+        tp_probs = np.array([0.1, 0.9, 0.5, 0.25])
+        g2 = TopicGraph.from_arrays(3, 2, src, dst, tp_ptr, tp_topics, tp_probs)
+        assert g1 == g2
+
+    def test_from_arrays_shape_validation(self):
+        with pytest.raises(GraphError):
+            TopicGraph.from_arrays(
+                2,
+                1,
+                np.array([0]),
+                np.array([1, 0]),
+                np.array([0, 0]),
+                np.array([], dtype=np.int64),
+                np.array([]),
+            )
+
+
+class TestAccessors:
+    def test_successors_predecessors(self):
+        g = triangle()
+        assert g.successors(0).tolist() == [1]
+        assert g.predecessors(0).tolist() == [2]
+
+    def test_degrees_sum_to_m(self):
+        g = triangle()
+        assert g.out_degrees().sum() == g.num_edges
+        assert g.in_degrees().sum() == g.num_edges
+
+    def test_edge_id_roundtrip(self):
+        g = triangle()
+        src = g.edge_sources()
+        for e in range(g.num_edges):
+            assert g.edge_id(int(src[e]), int(g.out_dst[e])) == e
+
+    def test_edge_id_missing_raises(self):
+        with pytest.raises(GraphError, match="does not exist"):
+            triangle().edge_id(0, 2)
+
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_vertex_range_checked(self):
+        with pytest.raises(GraphError):
+            triangle().successors(10)
+
+    def test_edge_topic_vector_range_checked(self):
+        with pytest.raises(GraphError):
+            triangle().edge_topic_vector(99)
+
+    def test_reverse_csr_consistency(self):
+        g = triangle()
+        # Every reverse slot's in_edge must point at an edge whose
+        # destination is the indexed vertex.
+        src = g.edge_sources()
+        for v in range(g.n):
+            lo, hi = g.in_ptr[v], g.in_ptr[v + 1]
+            for slot in range(lo, hi):
+                e = g.in_edge[slot]
+                assert g.out_dst[e] == v
+                assert src[e] == g.in_src[slot]
+
+
+class TestPieceProjection:
+    def test_unit_piece_selects_topic_column(self):
+        g = triangle()
+        p0 = g.piece_probabilities(np.array([1.0, 0.0]))
+        np.testing.assert_allclose(p0, [0.5, 0.0, 0.1])
+        p1 = g.piece_probabilities(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(p1, [0.0, 0.25, 0.9])
+
+    def test_mixture_is_linear(self):
+        g = triangle()
+        mix = g.piece_probabilities(np.array([0.5, 0.5]))
+        p0 = g.piece_probabilities(np.array([1.0, 0.0]))
+        p1 = g.piece_probabilities(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(mix, 0.5 * p0 + 0.5 * p1)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(TopicError):
+            triangle().piece_probabilities(np.array([1.0, 0.0, 0.0]))
+
+    def test_negative_vector_rejected(self):
+        with pytest.raises(TopicError):
+            triangle().piece_probabilities(np.array([1.0, -0.1]))
+
+    def test_clipping_overweight_vector(self):
+        g = TopicGraph.from_edges(2, 1, [(0, 1, {0: 0.9})])
+        p = g.piece_probabilities(np.array([2.0]))
+        assert p[0] == 1.0
+
+    def test_mean_edge_probabilities(self):
+        g = triangle()
+        mean = g.mean_edge_probabilities(
+            [np.array([1.0, 0.0]), np.array([0.0, 1.0])]
+        )
+        np.testing.assert_allclose(mean, [0.25, 0.125, 0.5])
+
+    def test_mean_requires_pieces(self):
+        with pytest.raises(TopicError):
+            triangle().mean_edge_probabilities([])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 12),
+    num_topics=st.integers(1, 4),
+    data=st.data(),
+)
+def test_random_graph_csr_invariants(n, num_topics, data):
+    """CSR structure stays self-consistent for arbitrary simple graphs."""
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = data.draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=20)
+    )
+    triples = []
+    for u, v in edges:
+        probs = data.draw(
+            st.dictionaries(
+                st.integers(0, num_topics - 1),
+                st.floats(0.01, 1.0),
+                min_size=1,
+                max_size=num_topics,
+            )
+        )
+        triples.append((u, v, probs))
+    g = TopicGraph.from_edges(n, num_topics, triples)
+    assert g.num_edges == len(edges)
+    assert g.out_ptr[-1] == g.num_edges
+    assert g.in_ptr[-1] == g.num_edges
+    assert g.out_degrees().sum() == g.in_degrees().sum() == g.num_edges
+    # piece probabilities within [0, 1] for the uniform mixture
+    uniform = np.full(num_topics, 1.0 / num_topics)
+    p = g.piece_probabilities(uniform)
+    assert np.all((0.0 <= p) & (p <= 1.0))
+    # adjacency round-trip
+    for u, v in edges:
+        assert g.has_edge(u, v)

@@ -1,0 +1,154 @@
+"""Unit tests for synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, ParameterError
+from repro.graph.generators import (
+    build_topic_graph,
+    directed_configuration_model,
+    power_law_degree_sequence,
+    preferential_attachment_digraph,
+    random_edge_topic_profiles,
+)
+
+
+class TestPowerLawDegrees:
+    def test_bounds_respected(self):
+        deg = power_law_degree_sequence(
+            500, 2.5, min_degree=2, max_degree=40, seed=1
+        )
+        assert deg.min() >= 2 and deg.max() <= 40
+        assert deg.shape == (500,)
+
+    def test_heavier_tail_for_smaller_exponent(self):
+        light = power_law_degree_sequence(4000, 3.5, seed=2).mean()
+        heavy = power_law_degree_sequence(4000, 2.1, seed=2).mean()
+        assert heavy > light
+
+    def test_deterministic_given_seed(self):
+        a = power_law_degree_sequence(100, 2.5, seed=3)
+        b = power_law_degree_sequence(100, 2.5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ParameterError):
+            power_law_degree_sequence(10, 2.5, min_degree=5, max_degree=2)
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(ParameterError):
+            power_law_degree_sequence(10, -1.0)
+
+
+class TestConfigurationModel:
+    def test_simple_graph_no_self_loops_or_duplicates(self):
+        out_deg = power_law_degree_sequence(200, 2.3, seed=4)
+        in_deg = power_law_degree_sequence(200, 2.3, seed=5)
+        src, dst = directed_configuration_model(out_deg, in_deg, seed=6)
+        assert np.all(src != dst)
+        keys = set(zip(src.tolist(), dst.tolist()))
+        assert len(keys) == src.size
+
+    def test_degree_mass_approximately_preserved(self):
+        out_deg = np.full(300, 3)
+        in_deg = np.full(300, 3)
+        src, dst = directed_configuration_model(out_deg, in_deg, seed=7)
+        # The erased model loses only self-loops and duplicates.
+        assert src.size >= 0.8 * 900
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphError):
+            directed_configuration_model(np.ones(3), np.ones(4))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(GraphError):
+            directed_configuration_model(np.array([-1]), np.array([1]))
+
+    def test_empty_sequences(self):
+        src, dst = directed_configuration_model(
+            np.zeros(5, dtype=int), np.zeros(5, dtype=int), seed=8
+        )
+        assert src.size == 0
+
+
+class TestPreferentialAttachment:
+    def test_edge_count_bidirectional(self):
+        src, dst = preferential_attachment_digraph(50, 3, seed=9)
+        assert src.size == dst.size
+        # Bidirectional doubles the underlying attachment edges.
+        assert src.size % 2 == 0
+
+    def test_unidirectional(self):
+        src, dst = preferential_attachment_digraph(
+            50, 2, seed=10, bidirectional=False
+        )
+        keys = set(zip(src.tolist(), dst.tolist()))
+        assert len(keys) == src.size
+
+    def test_hubs_emerge(self):
+        src, dst = preferential_attachment_digraph(400, 3, seed=11)
+        degree = np.bincount(np.concatenate([src, dst]), minlength=400)
+        # Preferential attachment: the max degree dwarfs the median.
+        assert degree.max() > 5 * np.median(degree)
+
+    def test_no_self_loops(self):
+        src, dst = preferential_attachment_digraph(80, 4, seed=12)
+        assert np.all(src != dst)
+
+    def test_small_n(self):
+        src, dst = preferential_attachment_digraph(2, 3, seed=13)
+        assert src.size >= 1
+
+
+class TestTopicProfiles:
+    def test_csr_shape(self):
+        ptr, topics, probs = random_edge_topic_profiles(
+            100, 8, topics_per_edge=2.0, seed=14
+        )
+        assert ptr.shape == (101,)
+        assert ptr[-1] == topics.size == probs.size
+
+    def test_every_edge_has_a_topic(self):
+        ptr, _, _ = random_edge_topic_profiles(50, 5, seed=15)
+        assert np.all(np.diff(ptr) >= 1)
+
+    def test_topics_unique_per_edge(self):
+        ptr, topics, _ = random_edge_topic_profiles(
+            60, 4, topics_per_edge=3.0, seed=16
+        )
+        for e in range(60):
+            seg = topics[ptr[e] : ptr[e + 1]]
+            assert len(set(seg.tolist())) == seg.size
+
+    def test_probs_in_unit_interval(self):
+        _, _, probs = random_edge_topic_profiles(80, 6, seed=17)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_mean_controls_level(self):
+        _, _, low = random_edge_topic_profiles(
+            2000, 4, prob_mean=0.05, seed=18
+        )
+        _, _, high = random_edge_topic_profiles(
+            2000, 4, prob_mean=0.4, seed=18
+        )
+        assert high.mean() > low.mean()
+
+    def test_sparsity_parameter_rejected_below_one(self):
+        with pytest.raises(ParameterError):
+            random_edge_topic_profiles(10, 4, topics_per_edge=0.5)
+
+    def test_zero_edges(self):
+        ptr, topics, probs = random_edge_topic_profiles(0, 4, seed=19)
+        assert ptr.tolist() == [0]
+        assert topics.size == probs.size == 0
+
+
+class TestBuildTopicGraph:
+    def test_end_to_end(self):
+        src, dst = preferential_attachment_digraph(30, 2, seed=20)
+        g = build_topic_graph(30, src, dst, 5, seed=21)
+        assert g.n == 30
+        assert g.num_edges == src.size
+        assert g.num_topics == 5

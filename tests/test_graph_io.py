@@ -1,0 +1,126 @@
+"""Round-trip and malformed-input tests for graph serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import TopicGraph
+from repro.graph.generators import build_topic_graph, preferential_attachment_digraph
+from repro.graph.io import load_topic_graph, save_topic_graph
+
+
+@pytest.fixture()
+def sample_graph() -> TopicGraph:
+    return TopicGraph.from_edges(
+        4,
+        3,
+        [
+            (0, 1, {0: 0.5, 2: 0.125}),
+            (1, 2, {1: 0.25}),
+            (3, 0, {0: 1.0}),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_small_graph(self, sample_graph, tmp_path):
+        path = tmp_path / "g.tsv"
+        save_topic_graph(sample_graph, path)
+        loaded = load_topic_graph(path)
+        assert loaded == sample_graph
+
+    def test_random_graph(self, tmp_path):
+        src, dst = preferential_attachment_digraph(40, 3, seed=1)
+        g = build_topic_graph(40, src, dst, 6, seed=2)
+        path = tmp_path / "g.tsv"
+        save_topic_graph(g, path)
+        assert load_topic_graph(path) == g
+
+    def test_empty_graph(self, tmp_path):
+        g = TopicGraph.from_edges(5, 2, [])
+        path = tmp_path / "empty.tsv"
+        save_topic_graph(g, path)
+        loaded = load_topic_graph(path)
+        assert loaded.n == 5 and loaded.num_edges == 0
+
+    def test_probabilities_preserved_precisely(self, tmp_path):
+        g = TopicGraph.from_edges(2, 1, [(0, 1, {0: 0.123456789012})])
+        path = tmp_path / "p.tsv"
+        save_topic_graph(g, path)
+        loaded = load_topic_graph(path)
+        assert abs(loaded.tp_probs[0] - 0.123456789012) < 1e-10
+
+
+class TestMalformedInputs:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "bad.tsv"
+        path.write_text(text)
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._write(tmp_path, "not a graph\n# n=1 m=0 topics=1\n")
+        with pytest.raises(GraphFormatError, match="magic"):
+            load_topic_graph(path)
+
+    def test_missing_metadata_key(self, tmp_path):
+        path = self._write(
+            tmp_path, "# repro-topic-graph v1\n# n=2 m=1\n0\t1\t0:0.5\n"
+        )
+        with pytest.raises(GraphFormatError, match="topics"):
+            load_topic_graph(path)
+
+    def test_non_integer_metadata(self, tmp_path):
+        path = self._write(
+            tmp_path, "# repro-topic-graph v1\n# n=x m=0 topics=1\n"
+        )
+        with pytest.raises(GraphFormatError, match="integer"):
+            load_topic_graph(path)
+
+    def test_wrong_field_count(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro-topic-graph v1\n# n=2 m=1 topics=1\n0 1 0:0.5\n",
+        )
+        with pytest.raises(GraphFormatError, match="fields"):
+            load_topic_graph(path)
+
+    def test_bad_topic_entry(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro-topic-graph v1\n# n=2 m=1 topics=1\n0\t1\tzero:half\n",
+        )
+        with pytest.raises(GraphFormatError, match="topic entry"):
+            load_topic_graph(path)
+
+    def test_too_few_edges(self, tmp_path):
+        path = self._write(
+            tmp_path, "# repro-topic-graph v1\n# n=2 m=2 topics=1\n0\t1\t0:0.5\n"
+        )
+        with pytest.raises(GraphFormatError, match="declared"):
+            load_topic_graph(path)
+
+    def test_too_many_edges(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro-topic-graph v1\n# n=2 m=0 topics=1\n0\t1\t0:0.5\n",
+        )
+        with pytest.raises(GraphFormatError, match="more than"):
+            load_topic_graph(path)
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro-topic-graph v1\n# n=3 m=2 topics=1\n"
+            "0\t1\t0:0.5\n1\t2\tbroken\n",
+        )
+        with pytest.raises(GraphFormatError, match="line 4"):
+            load_topic_graph(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro-topic-graph v1\n# n=2 m=1 topics=1\n\n# comment\n0\t1\t0:0.5\n",
+        )
+        g = load_topic_graph(path)
+        assert g.num_edges == 1

@@ -1,0 +1,74 @@
+"""Tests for graph statistics and the power-law MLE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.digraph import TopicGraph
+from repro.graph.generators import build_topic_graph, preferential_attachment_digraph
+from repro.graph.stats import fit_power_law_mle, summarize_graph
+
+
+class TestPowerLawMLE:
+    def test_recovers_known_exponent(self):
+        # Discrete power-law samples (the estimator's target regime):
+        # P(d) ∝ d^-2.5 on a wide support; the CSN approximation is
+        # accurate for x_min >= 6.
+        from repro.graph.generators import power_law_degree_sequence
+
+        alpha_true = 2.5
+        samples = power_law_degree_sequence(
+            200_000, alpha_true, min_degree=1, max_degree=100_000, seed=0
+        )
+        est = fit_power_law_mle(samples, x_min=6)
+        assert abs(est - alpha_true) < 0.1
+
+    def test_x_min_filters_head(self):
+        values = np.concatenate([np.ones(1000), np.full(10, 50.0)])
+        full = fit_power_law_mle(values, x_min=1)
+        tail = fit_power_law_mle(values, x_min=10)
+        assert tail != full
+
+    def test_empty_tail_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_power_law_mle(np.array([1.0, 2.0]), x_min=10)
+
+    def test_bad_x_min_rejected(self):
+        with pytest.raises(ParameterError):
+            fit_power_law_mle(np.array([1.0]), x_min=0)
+
+    def test_pa_graph_in_power_law_regime(self):
+        src, dst = preferential_attachment_digraph(3000, 3, seed=1)
+        degree = np.bincount(np.concatenate([src, dst]), minlength=3000)
+        alpha = fit_power_law_mle(degree[degree > 0], x_min=6)
+        # Preferential attachment targets alpha ~ 3; accept a wide band.
+        assert 1.5 < alpha < 4.5
+
+
+class TestSummarizeGraph:
+    def test_fields(self):
+        g = TopicGraph.from_edges(
+            3, 2, [(0, 1, {0: 0.5}), (1, 2, {0: 0.5, 1: 0.5})]
+        )
+        s = summarize_graph(g)
+        assert s.num_vertices == 3
+        assert s.num_edges == 2
+        assert s.average_degree == pytest.approx(2 / 3)
+        assert s.num_topics == 2
+        assert s.mean_topics_per_edge == pytest.approx(1.5)
+        assert s.max_out_degree == 1
+        assert s.max_in_degree == 1
+
+    def test_as_row_length(self):
+        g = TopicGraph.from_edges(2, 1, [(0, 1, {0: 0.1})])
+        assert len(summarize_graph(g).as_row()) == 6
+
+    def test_random_graph_summary_ranges(self):
+        src, dst = preferential_attachment_digraph(100, 3, seed=2)
+        g = build_topic_graph(100, src, dst, 4, seed=3)
+        s = summarize_graph(g)
+        assert s.num_edges == src.size
+        assert s.mean_topics_per_edge >= 1.0
+        assert s.average_degree == pytest.approx(src.size / 100)

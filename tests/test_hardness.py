@@ -1,0 +1,140 @@
+"""Tests for the Max-Clique reduction (Sec. IV-B, Lemma 1, Theorem 1)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.hardness import CliqueReduction, maximum_clique
+from repro.core.plan import AssignmentPlan
+from repro.exceptions import SolverError
+
+
+def random_graphs():
+    """Small named test graphs: (n, edges)."""
+    triangle_plus = (5, [(0, 1), (1, 2), (0, 2), (2, 3)])
+    square = (4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    k4 = (4, list(itertools.combinations(range(4), 2)))
+    path = (4, [(0, 1), (1, 2), (2, 3)])
+    return [triangle_plus, square, k4, path]
+
+
+class TestMaximumClique:
+    @pytest.mark.parametrize("n,edges", random_graphs())
+    def test_matches_networkx(self, n, edges):
+        ours = maximum_clique(n, edges)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        best_nx = max(nx.find_cliques(g), key=len)
+        assert len(ours) == len(best_nx)
+
+    def test_clique_is_actually_a_clique(self):
+        n, edges = 6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)]
+        clique = maximum_clique(n, edges)
+        edge_set = {frozenset(e) for e in edges}
+        for u, v in itertools.combinations(clique, 2):
+            assert frozenset((u, v)) in edge_set
+
+    def test_empty_graph(self):
+        assert len(maximum_clique(3, [])) == 1
+
+
+class TestConstruction:
+    def test_sizes(self):
+        red = CliqueReduction(4, [(0, 1), (1, 2)])
+        assert red.graph.n == 12  # 3n vertices
+        problem = red.problem()
+        assert problem.k == 4
+        assert problem.num_pieces == 4
+        assert problem.pool_size == 8  # x's and y's only
+
+    def test_adoption_parameters(self):
+        n = 5
+        red = CliqueReduction(n, [(0, 1)])
+        log2n = math.log(2 * n)
+        assert red.adoption.alpha == pytest.approx(2 * n * log2n)
+        assert red.adoption.beta == pytest.approx(2 * log2n)
+        # Step 5's calibration: all n pieces -> 1/2; below -> <= 1/(1+(2n)^2)
+        assert red.adoption.probability(n) == pytest.approx(0.5)
+        assert red.adoption.probability(n - 1) <= 1 / (1 + (2 * n) ** 2) + 1e-12
+
+    def test_x_edges_follow_neighbourhoods(self):
+        red = CliqueReduction(3, [(0, 1)])
+        # x_0 connects to r_0 and r_1 (v_1 is 0's neighbour), not r_2.
+        assert red.graph.has_edge(red.x(0), red.r(0))
+        assert red.graph.has_edge(red.x(0), red.r(1))
+        assert not red.graph.has_edge(red.x(0), red.r(2))
+
+    def test_y_edges_miss_own_vertex(self):
+        red = CliqueReduction(3, [(0, 1)])
+        assert not red.graph.has_edge(red.y(0), red.r(0))
+        assert red.graph.has_edge(red.y(0), red.r(1))
+        assert red.graph.has_edge(red.y(0), red.r(2))
+
+    def test_pieces_are_single_topic(self):
+        red = CliqueReduction(3, [(0, 1)])
+        for i, piece in enumerate(red.campaign):
+            assert piece.support().tolist() == [i]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(SolverError):
+            CliqueReduction(1, [])
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(SolverError):
+            CliqueReduction(3, [(0, 9)])
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("n,edges", random_graphs())
+    def test_sandwich_inequalities(self, n, edges):
+        """2*OPT(Pi_b) - 1/n <= OPT(Pi_a) <= 2*OPT(Pi_b).
+
+        OPT(Pi_b) is evaluated over all promoter-per-piece plans (the
+        form the paper proves optimal plans take).
+        """
+        red = CliqueReduction(n, edges)
+        opt_a = len(maximum_clique(n, edges))
+        # Enumerate all 2^n plans of the canonical form {x_i or y_i}.
+        best_b = 0.0
+        for mask in range(2**n):
+            clique_vertices = [i for i in range(n) if (mask >> i) & 1]
+            plan = red.plan_from_clique(clique_vertices)
+            best_b = max(best_b, red.utility(plan))
+        assert opt_a <= 2 * best_b + 1e-9
+        assert 2 * best_b - 1.0 / n <= opt_a + 1e-9
+
+    @pytest.mark.parametrize("n,edges", random_graphs())
+    def test_clique_plan_utility_at_least_half_clique(self, n, edges):
+        """Forward direction: the clique-derived plan scores >= |C|/2."""
+        red = CliqueReduction(n, edges)
+        clique = maximum_clique(n, edges)
+        plan = red.plan_from_clique(clique)
+        assert red.utility(plan) >= len(clique) / 2 - 1e-9
+
+    @pytest.mark.parametrize("n,edges", random_graphs())
+    def test_reverse_mapping_gives_clique(self, n, edges):
+        """C(S-bar) always induces a clique in Pi_a."""
+        red = CliqueReduction(n, edges)
+        edge_set = {frozenset(e) for e in edges}
+        # Try a handful of canonical plans.
+        for mask in range(min(2**n, 32)):
+            chosen = [i for i in range(n) if (mask >> i) & 1]
+            plan = red.plan_from_clique(chosen)
+            candidate = red.clique_from_plan(plan)
+            for u, v in itertools.combinations(sorted(candidate), 2):
+                assert frozenset((u, v)) in edge_set
+
+    def test_plan_from_clique_validation(self):
+        red = CliqueReduction(3, [(0, 1)])
+        with pytest.raises(SolverError):
+            red.plan_from_clique([7])
+
+    def test_clique_from_plan_shape_validation(self):
+        red = CliqueReduction(3, [(0, 1)])
+        with pytest.raises(SolverError):
+            red.clique_from_plan(AssignmentPlan([{0}]))

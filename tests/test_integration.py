@@ -1,0 +1,133 @@
+"""Cross-module integration tests.
+
+These exercise the full pipeline — dataset -> campaign -> sampling ->
+solvers -> evaluation — and assert the paper's qualitative claims hold
+end-to-end at test scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bab import solve_bab, solve_bab_progressive
+from repro.core.problem import OIPAProblem
+from repro.diffusion.adoption import AdoptionModel
+from repro.diffusion.projection import project_campaign
+from repro.diffusion.simulate import simulate_adoption_utility
+from repro.graph.generators import (
+    build_topic_graph,
+    preferential_attachment_digraph,
+)
+from repro.im.baselines import im_baseline, tim_baseline
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A hard-regime instance where multifaceted optimisation matters."""
+    src, dst = preferential_attachment_digraph(220, 3, seed=31)
+    graph = build_topic_graph(
+        220, src, dst, 6, topics_per_edge=2.0, prob_mean=0.18, seed=32
+    )
+    campaign = Campaign.sample_unit(4, 6, seed=33)
+    adoption = AdoptionModel.from_ratio(0.3)  # hard: needs several pieces
+    problem = OIPAProblem.with_random_pool(
+        graph, campaign, adoption, k=8, pool_fraction=0.25, seed=34
+    )
+    mrr_opt = MRRCollection.generate(graph, campaign, theta=4000, seed=35)
+    mrr_eval = MRRCollection.generate(graph, campaign, theta=8000, seed=36)
+    return problem, mrr_opt, mrr_eval
+
+
+class TestMethodOrdering:
+    """The paper's core claim: BAB/BAB-P dominate IM/TIM."""
+
+    @pytest.fixture(scope="class")
+    def results(self, world):
+        problem, mrr_opt, mrr_eval = world
+
+        def evaluate(plan):
+            return mrr_eval.estimate(plan.seed_lists(), problem.adoption)
+
+        bab = solve_bab(problem, mrr_opt, max_nodes=60)
+        babp = solve_bab_progressive(problem, mrr_opt, max_nodes=60)
+        im = im_baseline(problem, mrr_opt, seed=37)
+        tim = tim_baseline(problem, mrr_opt)
+        return {
+            "BAB": evaluate(bab.plan),
+            "BAB-P": evaluate(babp.plan),
+            "IM": evaluate(im.plan),
+            "TIM": evaluate(tim.plan),
+        }
+
+    def test_bab_beats_both_baselines(self, results):
+        assert results["BAB"] > results["IM"]
+        assert results["BAB"] > results["TIM"]
+
+    def test_bab_progressive_beats_both_baselines(self, results):
+        assert results["BAB-P"] > results["IM"]
+        assert results["BAB-P"] > results["TIM"]
+
+    def test_bab_progressive_close_to_bab(self, results):
+        assert results["BAB-P"] >= (1 - 1 / math.e - 0.5) * results["BAB"]
+
+
+class TestEstimatorConsistencyEndToEnd:
+    def test_solver_plan_utility_confirmed_by_simulation(self, world):
+        """The optimised plan's estimate survives forward simulation."""
+        problem, mrr_opt, _ = world
+        result = solve_bab(problem, mrr_opt, max_nodes=30)
+        pgs = project_campaign(problem.graph, problem.campaign)
+        simulated, std = simulate_adoption_utility(
+            pgs,
+            result.plan.seed_lists(),
+            problem.adoption,
+            rounds=600,
+            seed=38,
+            return_std=True,
+        )
+        mrr_se = problem.graph.n * 0.5 / np.sqrt(mrr_opt.theta)
+        assert abs(result.utility - simulated) < 4 * (std + mrr_se)
+
+
+class TestBudgetMonotonicity:
+    def test_more_budget_never_hurts(self, world):
+        problem, mrr_opt, mrr_eval = world
+        utilities = []
+        for k in (2, 5, 8):
+            sub_problem = OIPAProblem(
+                problem.graph,
+                problem.campaign,
+                problem.adoption,
+                k,
+                problem.pool,
+            )
+            result = solve_bab(sub_problem, mrr_opt, max_nodes=30)
+            utilities.append(
+                mrr_eval.estimate(result.plan.seed_lists(), problem.adoption)
+            )
+        assert utilities[0] <= utilities[1] + 0.3
+        assert utilities[1] <= utilities[2] + 0.3
+        assert utilities[-1] > utilities[0]  # strictly better overall
+
+
+class TestAdoptionDifficulty:
+    def test_utility_rises_with_beta_over_alpha(self, world):
+        """Fig. 6's trend: easier adoption -> higher utility."""
+        problem, mrr_opt, mrr_eval = world
+        utilities = []
+        for ratio in (0.3, 0.7):
+            adoption = AdoptionModel.from_ratio(ratio)
+            sub_problem = OIPAProblem(
+                problem.graph, problem.campaign, adoption, problem.k,
+                problem.pool,
+            )
+            result = solve_bab(sub_problem, mrr_opt, max_nodes=30)
+            utilities.append(
+                mrr_eval.estimate(result.plan.seed_lists(), adoption)
+            )
+        assert utilities[1] > utilities[0]

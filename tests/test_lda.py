@@ -1,0 +1,109 @@
+"""Tests for the collapsed-Gibbs LDA and document fold-in."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, TopicError
+from repro.topics.lda import fit_lda, infer_document_topics
+
+
+def clustered_corpus(rng, docs_per_topic=30, words_per_doc=12):
+    """Two topics with disjoint vocabularies: 0-9 and 10-19."""
+    documents = []
+    labels = []
+    for topic in (0, 1):
+        base = topic * 10
+        for _ in range(docs_per_topic):
+            documents.append(
+                [int(base + rng.integers(0, 10)) for _ in range(words_per_doc)]
+            )
+            labels.append(topic)
+    return documents, labels
+
+
+class TestFitLda:
+    def test_separates_disjoint_vocabularies(self):
+        rng = np.random.default_rng(0)
+        documents, labels = clustered_corpus(rng)
+        model = fit_lda(documents, 2, 20, sweeps=60, burn_in=30, seed=1)
+        # Documents from the same true cluster should agree on their
+        # dominant inferred topic; opposite clusters should disagree.
+        dominant = model.doc_topic.argmax(axis=1)
+        group0 = dominant[np.array(labels) == 0]
+        group1 = dominant[np.array(labels) == 1]
+        assert np.mean(group0 == np.bincount(group0).argmax()) > 0.9
+        assert np.bincount(group0).argmax() != np.bincount(group1).argmax()
+
+    def test_topic_word_rows_normalised(self):
+        rng = np.random.default_rng(2)
+        documents, _ = clustered_corpus(rng, docs_per_topic=10)
+        model = fit_lda(documents, 2, 20, sweeps=20, burn_in=10, seed=3)
+        np.testing.assert_allclose(model.topic_word.sum(axis=1), 1.0)
+        np.testing.assert_allclose(model.doc_topic.sum(axis=1), 1.0)
+
+    def test_top_words_come_from_cluster_vocabulary(self):
+        rng = np.random.default_rng(4)
+        documents, _ = clustered_corpus(rng)
+        model = fit_lda(documents, 2, 20, sweeps=60, burn_in=30, seed=5)
+        for topic in range(2):
+            top = set(model.top_words(topic, 5).tolist())
+            # Top words should be drawn from one vocabulary half.
+            low = sum(1 for w in top if w < 10)
+            assert low == 0 or low == 5
+
+    def test_log_likelihood_trend_improves(self):
+        rng = np.random.default_rng(6)
+        documents, _ = clustered_corpus(rng, docs_per_topic=15)
+        model = fit_lda(documents, 2, 20, sweeps=30, burn_in=15, seed=7)
+        trace = model.log_likelihood_trace
+        assert np.mean(trace[-5:]) > np.mean(trace[:5])
+
+    def test_empty_documents_allowed(self):
+        model = fit_lda([[], [0, 1]], 2, 5, sweeps=4, burn_in=1, seed=8)
+        assert model.doc_topic.shape == (2, 2)
+
+    def test_word_out_of_vocab_rejected(self):
+        with pytest.raises(TopicError):
+            fit_lda([[99]], 2, 5, sweeps=2, burn_in=1)
+
+    def test_burn_in_bounds(self):
+        with pytest.raises(ParameterError):
+            fit_lda([[0]], 2, 5, sweeps=5, burn_in=5)
+
+    def test_top_words_topic_range(self):
+        model = fit_lda([[0, 1]], 2, 5, sweeps=4, burn_in=1, seed=9)
+        with pytest.raises(TopicError):
+            model.top_words(5)
+
+
+class TestFoldIn:
+    @pytest.fixture()
+    def model(self):
+        rng = np.random.default_rng(10)
+        documents, _ = clustered_corpus(rng)
+        return fit_lda(documents, 2, 20, sweeps=60, burn_in=30, seed=11)
+
+    def test_fold_in_matches_cluster(self, model):
+        theta0 = infer_document_topics(model, [0, 1, 2, 3, 4])
+        theta1 = infer_document_topics(model, [10, 11, 12, 13, 14])
+        assert theta0.argmax() != theta1.argmax()
+        assert theta0.max() > 0.7 and theta1.max() > 0.7
+
+    def test_empty_document_is_uniform(self, model):
+        theta = infer_document_topics(model, [])
+        np.testing.assert_allclose(theta, [0.5, 0.5])
+
+    def test_distribution_normalised(self, model):
+        theta = infer_document_topics(model, [0, 15, 3])
+        assert theta.sum() == pytest.approx(1.0)
+        assert np.all(theta >= 0)
+
+    def test_out_of_vocab_rejected(self, model):
+        with pytest.raises(TopicError):
+            infer_document_topics(model, [200])
+
+    def test_iterations_validated(self, model):
+        with pytest.raises(ParameterError):
+            infer_document_topics(model, [0], iterations=0)

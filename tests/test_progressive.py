@@ -1,0 +1,148 @@
+"""Tests for ComputeBoundPro (Algorithm 3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.compute_bound import CandidateSpace, compute_bound
+from repro.core.plan import AssignmentPlan
+from repro.core.progressive import compute_bound_progressive
+from repro.core.tangent import MajorantTable
+from repro.datasets.running_example import running_example_problem
+from repro.exceptions import ParameterError, SolverError
+from repro.graph.generators import build_topic_graph, preferential_attachment_digraph
+from repro.core.problem import OIPAProblem
+from repro.diffusion.adoption import AdoptionModel
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign
+
+
+@pytest.fixture()
+def small_ctx():
+    problem = running_example_problem(k=2)
+    mrr = MRRCollection.generate(
+        problem.graph, problem.campaign, theta=2000, seed=5
+    )
+    table = MajorantTable(problem.adoption, problem.num_pieces)
+    space = CandidateSpace(problem.pool, problem.num_pieces)
+    return problem, mrr, table, space
+
+
+@pytest.fixture(scope="module")
+def larger_ctx():
+    src, dst = preferential_attachment_digraph(250, 3, seed=6)
+    graph = build_topic_graph(
+        250, src, dst, 5, topics_per_edge=2.0, prob_mean=0.15, seed=7
+    )
+    campaign = Campaign.sample_unit(3, 5, seed=8)
+    adoption = AdoptionModel.from_ratio(0.3)
+    problem = OIPAProblem.with_random_pool(
+        graph, campaign, adoption, k=8, pool_fraction=0.3, seed=9
+    )
+    mrr = MRRCollection.generate(graph, campaign, theta=2500, seed=10)
+    table = MajorantTable(adoption, 3)
+    space = CandidateSpace(problem.pool, 3)
+    return problem, mrr, table, space
+
+
+class TestSmallInstance:
+    def test_matches_optimum_on_running_example(self, small_ctx):
+        problem, mrr, table, space = small_ctx
+        result = compute_bound_progressive(
+            mrr, table, problem.adoption, problem.empty_plan(), space, 2,
+            epsilon=0.1,
+        )
+        assert result.plan == AssignmentPlan([{0}, {4}])
+
+    def test_upper_dominates_lower(self, small_ctx):
+        problem, mrr, table, space = small_ctx
+        result = compute_bound_progressive(
+            mrr, table, problem.adoption, problem.empty_plan(), space, 2
+        )
+        assert result.upper >= result.lower - 1e-9
+
+    def test_epsilon_validated(self, small_ctx):
+        problem, mrr, table, space = small_ctx
+        with pytest.raises(ParameterError):
+            compute_bound_progressive(
+                mrr, table, problem.adoption, problem.empty_plan(), space, 2,
+                epsilon=0.0,
+            )
+
+    def test_oversized_partial_rejected(self, small_ctx):
+        problem, mrr, table, space = small_ctx
+        partial = AssignmentPlan([{0, 1}, {2, 3}])
+        with pytest.raises(SolverError):
+            compute_bound_progressive(
+                mrr, table, problem.adoption, partial, space, 2
+            )
+
+    def test_respects_exclusions(self, small_ctx):
+        problem, mrr, table, space = small_ctx
+        child = space.without(0, 0)
+        result = compute_bound_progressive(
+            mrr, table, problem.adoption, problem.empty_plan(), child, 2,
+            epsilon=0.1,
+        )
+        assert (0, 0) not in result.plan
+
+
+class TestTheorem3Guarantee:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.3, 0.5, 0.9])
+    def test_ratio_vs_greedy_tau(self, larger_ctx, epsilon):
+        """Lemma 3 / Theorem 3: tau(prog) >= (1-1/e-eps) * tau(opt).
+
+        The greedy's tau over-estimates tau(opt) by at most 1/(1-1/e),
+        so the conservative check is
+        tau(prog) >= (1 - 1/e - eps) * tau(greedy).
+        """
+        problem, mrr, table, space = larger_ctx
+        greedy = compute_bound(
+            mrr, table, problem.adoption, problem.empty_plan(), space,
+            problem.k,
+        )
+        prog = compute_bound_progressive(
+            mrr, table, problem.adoption, problem.empty_plan(), space,
+            problem.k, epsilon=epsilon,
+        )
+        ratio = 1.0 - math.exp(-1) - epsilon
+        assert prog.upper >= ratio * greedy.upper - 1e-9
+
+    def test_evaluations_fewer_than_plain_greedy(self, larger_ctx):
+        """Theorem 4's point: far fewer tau evaluations than O(k P l)."""
+        problem, mrr, table, space = larger_ctx
+        plain = compute_bound(
+            mrr, table, problem.adoption, problem.empty_plan(), space,
+            problem.k, lazy=False,
+        )
+        prog = compute_bound_progressive(
+            mrr, table, problem.adoption, problem.empty_plan(), space,
+            problem.k, epsilon=0.5,
+        )
+        assert prog.evaluations < plain.evaluations / 2
+
+    def test_smaller_epsilon_no_worse_quality(self, larger_ctx):
+        """Fig. 3's trend: decreasing eps should not hurt (weakly)."""
+        problem, mrr, table, space = larger_ctx
+        fine = compute_bound_progressive(
+            mrr, table, problem.adoption, problem.empty_plan(), space,
+            problem.k, epsilon=0.1,
+        )
+        coarse = compute_bound_progressive(
+            mrr, table, problem.adoption, problem.empty_plan(), space,
+            problem.k, epsilon=0.9,
+        )
+        assert fine.upper >= coarse.upper - 1e-9
+
+    def test_selection_is_threshold_consistent(self, larger_ctx):
+        """Every selected pair had marginal >= the final threshold once."""
+        problem, mrr, table, space = larger_ctx
+        result = compute_bound_progressive(
+            mrr, table, problem.adoption, problem.empty_plan(), space,
+            problem.k, epsilon=0.5,
+        )
+        assert 0 < result.selected <= problem.k
+        assert result.first_pick in result.plan.assignments()

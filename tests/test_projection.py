@@ -1,0 +1,77 @@
+"""Tests for piece-projected influence graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.projection import PieceGraph, project_campaign
+from repro.graph.digraph import TopicGraph
+from repro.topics.distributions import Campaign, Piece, unit_piece
+
+
+@pytest.fixture()
+def graph() -> TopicGraph:
+    return TopicGraph.from_edges(
+        3,
+        2,
+        [
+            (0, 1, {0: 0.8, 1: 0.2}),
+            (1, 2, {1: 0.6}),
+            (2, 0, {0: 0.4}),
+        ],
+    )
+
+
+class TestProjection:
+    def test_unit_piece_probabilities(self, graph):
+        pg = PieceGraph.project(graph, unit_piece(0, 2))
+        np.testing.assert_allclose(pg.out_prob, [0.8, 0.0, 0.4])
+
+    def test_mixture_piece(self, graph):
+        pg = PieceGraph.project(graph, Piece("mix", np.array([0.5, 0.5])))
+        np.testing.assert_allclose(pg.out_prob, [0.5, 0.3, 0.2])
+
+    def test_raw_vector_accepted(self, graph):
+        pg = PieceGraph.project(graph, np.array([1.0, 0.0]))
+        np.testing.assert_allclose(pg.out_prob, [0.8, 0.0, 0.4])
+
+    def test_in_probs_aligned_with_reverse_adjacency(self, graph):
+        pg = PieceGraph.project(graph, unit_piece(0, 2))
+        # vertex 1's only in-edge is 0 -> 1 with p = 0.8 under topic 0
+        lo, hi = pg.in_ptr[1], pg.in_ptr[2]
+        assert pg.in_src[lo:hi].tolist() == [0]
+        np.testing.assert_allclose(pg.in_prob[lo:hi], [0.8])
+
+    def test_num_edges(self, graph):
+        pg = PieceGraph.project(graph, unit_piece(1, 2))
+        assert pg.num_edges == 3
+        assert pg.n == 3
+
+    def test_shared_arrays_not_copied(self, graph):
+        pg = PieceGraph.project(graph, unit_piece(0, 2))
+        assert pg.out_ptr is graph.out_ptr
+        assert pg.out_dst is graph.out_dst
+
+
+class TestFromEdgeProbabilities:
+    def test_explicit_probabilities(self, graph):
+        probs = np.array([0.1, 0.2, 0.3])
+        pg = PieceGraph.from_edge_probabilities(graph, probs)
+        np.testing.assert_allclose(pg.out_prob, probs)
+        # Reverse view must be the same numbers re-indexed.
+        total_in = sorted(pg.in_prob.tolist())
+        assert total_in == sorted(probs.tolist())
+
+    def test_shape_validation(self, graph):
+        with pytest.raises(ValueError):
+            PieceGraph.from_edge_probabilities(graph, np.array([0.1]))
+
+
+class TestProjectCampaign:
+    def test_one_graph_per_piece(self, graph):
+        campaign = Campaign([unit_piece(0, 2), unit_piece(1, 2)])
+        pgs = project_campaign(graph, campaign)
+        assert len(pgs) == 2
+        np.testing.assert_allclose(pgs[0].out_prob, [0.8, 0.0, 0.4])
+        np.testing.assert_allclose(pgs[1].out_prob, [0.2, 0.6, 0.0])

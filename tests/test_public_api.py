@@ -1,0 +1,57 @@
+"""The public API surface: everything advertised in __all__ imports and works."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_snippet():
+    """The README / module docstring quickstart, condensed."""
+    bundle = repro.load_dataset("lastfm", scale=0.08, seed=99)
+    campaign = repro.Campaign.sample_unit(2, bundle.graph.num_topics, seed=1)
+    problem = repro.OIPAProblem.with_random_pool(
+        bundle.graph,
+        campaign,
+        repro.AdoptionModel(alpha=2.0, beta=1.0),
+        k=3,
+        seed=1,
+    )
+    mrr = repro.MRRCollection.generate(bundle.graph, campaign, theta=500, seed=1)
+    result = repro.solve_bab_progressive(problem, mrr, max_nodes=20)
+    assert result.plan.size <= 3
+    assert result.utility >= 0.0
+
+
+def test_plan_and_problem_types_exported():
+    plan = repro.AssignmentPlan.empty(2)
+    assert plan.num_pieces == 2
+    assert isinstance(repro.unit_piece(0, 3), repro.Piece)
+
+
+def test_exceptions_exported_and_hierarchy():
+    assert issubclass(repro.SolverError, repro.ReproError)
+    assert issubclass(repro.GraphFormatError, repro.GraphError)
+
+
+def test_graph_io_roundtrip_via_public_api(tmp_path):
+    g = repro.TopicGraph.from_edges(3, 2, [(0, 1, {0: 0.5}), (1, 2, {1: 0.25})])
+    path = tmp_path / "g.tsv"
+    repro.save_topic_graph(g, path)
+    assert repro.load_topic_graph(path) == g
+
+
+def test_clique_reduction_exported():
+    red = repro.CliqueReduction(3, [(0, 1)])
+    assert red.problem().k == 3

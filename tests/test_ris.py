@@ -1,0 +1,96 @@
+"""Tests for RIS-style influence maximisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.projection import PieceGraph
+from repro.exceptions import SolverError
+from repro.graph.digraph import TopicGraph
+from repro.im.ris import max_coverage_seeds, ris_influence_maximization
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import unit_piece
+
+
+def handcrafted_collection() -> MRRCollection:
+    """5 samples over 4 vertices; vertex 0 covers 3, vertex 1 covers 2.
+
+    RR sets: {0}, {0,1}, {0}, {1}, {2}.
+    """
+    ptr = np.array([0, 1, 3, 4, 5, 6])
+    nodes = np.array([0, 0, 1, 0, 1, 2])
+    roots = np.zeros(5, dtype=np.int64)
+    return MRRCollection(4, roots, [ptr], [nodes])
+
+
+class TestMaxCoverage:
+    def test_greedy_order(self):
+        mrr = handcrafted_collection()
+        seeds, spread = max_coverage_seeds(
+            mrr, 0, np.arange(4), k=2
+        )
+        # Vertex 0 covers samples {0,1,2}; then vertex 1 adds {3}.
+        assert seeds == [0, 1]
+        assert spread == pytest.approx(4 / 5 * 4)
+
+    def test_k_larger_than_useful_candidates(self):
+        mrr = handcrafted_collection()
+        seeds, spread = max_coverage_seeds(mrr, 0, np.arange(4), k=10)
+        # Vertex 3 never appears in any RR set: it is never selected.
+        assert 3 not in seeds
+        assert spread == pytest.approx(4 / 5 * 5)
+
+    def test_pool_restriction(self):
+        mrr = handcrafted_collection()
+        seeds, _ = max_coverage_seeds(mrr, 0, np.array([1, 2]), k=2)
+        assert seeds == [1, 2]
+
+    def test_lazy_matches_plain(self):
+        mrr = handcrafted_collection()
+        lazy, s1 = max_coverage_seeds(mrr, 0, np.arange(4), k=3, lazy=True)
+        plain, s2 = max_coverage_seeds(mrr, 0, np.arange(4), k=3, lazy=False)
+        assert set(lazy) == set(plain)
+        assert s1 == pytest.approx(s2)
+
+    def test_empty_pool_rejected(self):
+        mrr = handcrafted_collection()
+        with pytest.raises(SolverError):
+            max_coverage_seeds(mrr, 0, np.array([], dtype=np.int64), k=1)
+
+
+class TestEndToEnd:
+    def test_hub_selected_on_star(self):
+        """On a certain star graph the hub is the unique best seed."""
+        edges = [(0, i, {0: 1.0}) for i in range(1, 6)]
+        g = TopicGraph.from_edges(6, 1, edges)
+        pg = PieceGraph.project(g, unit_piece(0, 1))
+        seeds, spread = ris_influence_maximization(pg, 1, theta=500, seed=1)
+        assert seeds == [0]
+        assert spread == pytest.approx(6.0, abs=0.5)
+
+    def test_two_components_need_two_seeds(self):
+        edges = [
+            (0, 1, {0: 1.0}),
+            (0, 2, {0: 1.0}),
+            (3, 4, {0: 1.0}),
+            (3, 5, {0: 1.0}),
+        ]
+        g = TopicGraph.from_edges(6, 1, edges)
+        pg = PieceGraph.project(g, unit_piece(0, 1))
+        seeds, _ = ris_influence_maximization(pg, 2, theta=800, seed=2)
+        assert set(seeds) == {0, 3}
+
+    def test_spread_estimate_tracks_simulation(self):
+        from repro.diffusion.simulate import simulate_piece_spread
+        from repro.graph.generators import (
+            build_topic_graph,
+            preferential_attachment_digraph,
+        )
+
+        src, dst = preferential_attachment_digraph(100, 3, seed=3)
+        g = build_topic_graph(100, src, dst, 1, prob_mean=0.2, seed=4)
+        pg = PieceGraph.project(g, unit_piece(0, 1))
+        seeds, est = ris_influence_maximization(pg, 3, theta=8000, seed=5)
+        simulated = simulate_piece_spread(pg, seeds, rounds=600, seed=6)
+        assert est == pytest.approx(simulated, rel=0.15)

@@ -1,0 +1,145 @@
+"""Exact reproduction of the paper's worked examples (Fig. 1, Ex. 1-3).
+
+These tests pin the implementation to hand-computable numbers from the
+paper itself:
+
+* Example 1: ``sigma({{a}, {e}}) = 0.12 + 3*0.27 + 0.12 = 1.05``;
+* Example 2: non-submodularity, ``0.57 > 0.48``;
+* Example 3 / Table II: the MRR estimate of the same plan from four
+  specific samples is ``5/4 * (0.27 + 0.12 + 0.27 + 0.27) = 1.16``;
+* Figure 1's optimal plan ``t1 -> a, t2 -> e``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bab import solve_bab
+from repro.core.brute_force import (
+    brute_force_oipa,
+    deterministic_adoption_utility,
+    deterministic_reach,
+)
+from repro.core.plan import AssignmentPlan
+from repro.datasets.running_example import (
+    A,
+    B,
+    C,
+    D,
+    E,
+    running_example_adoption,
+    running_example_campaign,
+    running_example_graph,
+    running_example_problem,
+)
+from repro.diffusion.projection import project_campaign
+from repro.sampling.mrr import MRRCollection
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph = running_example_graph()
+    campaign = running_example_campaign()
+    adoption = running_example_adoption()
+    return graph, campaign, adoption
+
+
+class TestFigure1Structure:
+    def test_piece_reachability(self, world):
+        """t1 from a reaches {a,b,c,d}; t2 from e reaches {b,c,d,e}."""
+        graph, campaign, _ = world
+        pg1, pg2 = project_campaign(graph, campaign)
+        reach1 = deterministic_reach(pg1, [A])
+        assert reach1.tolist() == [True, True, True, True, False]
+        reach2 = deterministic_reach(pg2, [E])
+        assert reach2.tolist() == [False, True, True, True, True]
+
+    def test_six_edges_two_topics(self, world):
+        graph, _, _ = world
+        assert graph.num_edges == 6
+        assert graph.num_topics == 2
+
+
+class TestExample1:
+    def test_per_user_probabilities(self, world):
+        _, _, adoption = world
+        assert adoption.probability(1) == pytest.approx(0.1192, abs=1e-3)
+        assert adoption.probability(2) == pytest.approx(0.2689, abs=1e-3)
+
+    def test_total_utility(self, world):
+        graph, campaign, adoption = world
+        utility = deterministic_adoption_utility(
+            graph, campaign, AssignmentPlan([{A}, {E}]), adoption
+        )
+        # 0.12 + 0.27 * 3 + 0.12 = 1.05 (paper rounds to two decimals)
+        assert utility == pytest.approx(1.05, abs=0.01)
+
+
+class TestExample2NonSubmodularity:
+    def test_marginal_gains_violate_submodularity(self, world):
+        graph, campaign, adoption = world
+
+        def sigma(plan):
+            return deterministic_adoption_utility(
+                graph, campaign, plan, adoption
+            )
+
+        s_x = AssignmentPlan([set(), set()])
+        s_y = AssignmentPlan([{A}, set()])
+        s = AssignmentPlan([set(), {E}])
+        delta_y = sigma(s_y.union(s)) - sigma(s_y)
+        delta_x = sigma(s_x.union(s)) - sigma(s_x)
+        assert sigma(s_x) == 0.0
+        assert sigma(s_y) == pytest.approx(0.48, abs=0.01)
+        assert delta_y == pytest.approx(0.57, abs=0.01)
+        assert delta_x == pytest.approx(0.48, abs=0.01)
+        assert delta_y > delta_x  # sigma is NOT submodular
+
+
+class TestExample3TableII:
+    def test_mrr_estimate_from_the_papers_samples(self, world):
+        """Table II: four MRR samples rooted at c, a, b, c give 1.16."""
+        _, _, adoption = world
+        roots = np.array([C, A, B, C])
+        # RR sets exactly as printed in Table II.
+        rr_t1 = [[C, A], [A], [B, A], [C, A]]
+        rr_t2 = [[C, D, E], [A], [B, E], [C, D, E]]
+
+        def flatten(sets):
+            ptr = np.zeros(5, dtype=np.int64)
+            nodes = []
+            for i, s in enumerate(sets):
+                nodes.extend(s)
+                ptr[i + 1] = len(nodes)
+            return ptr, np.array(nodes, dtype=np.int64)
+
+        ptr1, nodes1 = flatten(rr_t1)
+        ptr2, nodes2 = flatten(rr_t2)
+        mrr = MRRCollection(5, roots, [ptr1, ptr2], [nodes1, nodes2])
+        estimate = mrr.estimate([[A], [E]], adoption)
+        # 5/4 * (0.27 + 0.12 + 0.27 + 0.27) = 1.16
+        assert estimate == pytest.approx(1.16, abs=0.01)
+
+    def test_per_sample_probabilities(self, world):
+        _, _, adoption = world
+        assert adoption.probability(2) == pytest.approx(0.27, abs=0.005)
+        assert adoption.probability(1) == pytest.approx(0.12, abs=0.005)
+
+
+class TestOptimalAssignment:
+    def test_brute_force_confirms_figure1_plan(self):
+        problem = running_example_problem(k=2)
+        mrr = MRRCollection.generate(
+            problem.graph, problem.campaign, theta=3000, seed=19
+        )
+        plan, _ = brute_force_oipa(problem, mrr)
+        assert plan == AssignmentPlan([{A}, {E}])
+
+    def test_bab_recovers_it(self):
+        problem = running_example_problem(k=2)
+        mrr = MRRCollection.generate(
+            problem.graph, problem.campaign, theta=3000, seed=20
+        )
+        result = solve_bab(problem, mrr, gap_tolerance=0.0)
+        assert result.plan == AssignmentPlan([{A}, {E}])

@@ -1,0 +1,127 @@
+"""Tests for forward cascade simulation and MC adoption utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.plan import AssignmentPlan
+from repro.diffusion.adoption import AdoptionModel
+from repro.diffusion.projection import PieceGraph, project_campaign
+from repro.diffusion.simulate import (
+    simulate_adoption_utility,
+    simulate_cascade,
+    simulate_piece_spread,
+)
+from repro.exceptions import ParameterError
+from repro.graph.digraph import TopicGraph
+from repro.topics.distributions import Campaign, unit_piece
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture()
+def certain_chain() -> PieceGraph:
+    g = TopicGraph.from_edges(
+        4, 1, [(0, 1, {0: 1.0}), (1, 2, {0: 1.0}), (2, 3, {0: 1.0})]
+    )
+    return PieceGraph.project(g, unit_piece(0, 1))
+
+
+@pytest.fixture()
+def dead_chain() -> PieceGraph:
+    g = TopicGraph.from_edges(3, 1, [(0, 1, {0: 0.0}), (1, 2, {0: 0.0})])
+    return PieceGraph.project(g, unit_piece(0, 1))
+
+
+class TestSimulateCascade:
+    def test_certain_edges_activate_everything_downstream(self, certain_chain):
+        active = simulate_cascade(certain_chain, [0], as_generator(0))
+        assert active.tolist() == [True, True, True, True]
+
+    def test_dead_edges_activate_only_seeds(self, dead_chain):
+        active = simulate_cascade(dead_chain, [0], as_generator(0))
+        assert active.tolist() == [True, False, False]
+
+    def test_multiple_seeds(self, dead_chain):
+        active = simulate_cascade(dead_chain, [0, 2], as_generator(0))
+        assert active.tolist() == [True, False, True]
+
+    def test_no_seeds(self, certain_chain):
+        active = simulate_cascade(certain_chain, [], as_generator(0))
+        assert not active.any()
+
+    def test_bad_seed_rejected(self, certain_chain):
+        with pytest.raises(ParameterError):
+            simulate_cascade(certain_chain, [99], as_generator(0))
+
+    def test_probability_half_edge_statistics(self):
+        g = TopicGraph.from_edges(2, 1, [(0, 1, {0: 0.5})])
+        pg = PieceGraph.project(g, unit_piece(0, 1))
+        rng = as_generator(1)
+        hits = sum(
+            simulate_cascade(pg, [0], rng)[1] for _ in range(4000)
+        )
+        assert hits / 4000 == pytest.approx(0.5, abs=0.03)
+
+
+class TestPieceSpread:
+    def test_deterministic_spread(self, certain_chain):
+        spread = simulate_piece_spread(certain_chain, [0], rounds=5, seed=0)
+        assert spread == pytest.approx(4.0)
+
+    def test_spread_monotone_in_seeds(self, dead_chain):
+        one = simulate_piece_spread(dead_chain, [0], rounds=5, seed=0)
+        two = simulate_piece_spread(dead_chain, [0, 1], rounds=5, seed=0)
+        assert two > one
+
+    def test_rounds_validated(self, certain_chain):
+        with pytest.raises(ParameterError):
+            simulate_piece_spread(certain_chain, [0], rounds=0)
+
+
+class TestAdoptionUtility:
+    def _running_example(self):
+        from repro.datasets.running_example import (
+            running_example_adoption,
+            running_example_campaign,
+            running_example_graph,
+        )
+
+        graph = running_example_graph()
+        campaign = running_example_campaign()
+        return (
+            project_campaign(graph, campaign),
+            running_example_adoption(),
+        )
+
+    def test_matches_paper_example1(self):
+        """sigma({{a},{e}}) = 1.05 — deterministic, so MC is exact."""
+        pgs, adoption = self._running_example()
+        utility = simulate_adoption_utility(
+            pgs, [[0], [4]], adoption, rounds=3, seed=0
+        )
+        assert utility == pytest.approx(1.05, abs=0.01)
+
+    def test_empty_plan_scores_zero(self):
+        pgs, adoption = self._running_example()
+        assert simulate_adoption_utility(pgs, [[], []], adoption, rounds=2) == 0.0
+
+    def test_std_error_returned(self):
+        pgs, adoption = self._running_example()
+        utility, std = simulate_adoption_utility(
+            pgs, [[0], [4]], adoption, rounds=10, seed=1, return_std=True
+        )
+        assert std == pytest.approx(0.0)  # deterministic instance
+
+    def test_plan_piece_count_validated(self):
+        pgs, adoption = self._running_example()
+        with pytest.raises(ParameterError):
+            simulate_adoption_utility(pgs, [[0]], adoption, rounds=2)
+
+    def test_monotone_in_assignments(self):
+        pgs, adoption = self._running_example()
+        small = simulate_adoption_utility(pgs, [[0], []], adoption, rounds=4, seed=2)
+        large = simulate_adoption_utility(
+            pgs, [[0], [4]], adoption, rounds=4, seed=2
+        )
+        assert large >= small

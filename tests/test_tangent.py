@@ -1,0 +1,175 @@
+"""Tests for the concave majorant construction (Def. 6, Fig. 2, Alg. 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import brentq
+
+from repro.core.tangent import MajorantTable, refine_tangent_slope
+from repro.diffusion.adoption import AdoptionModel
+from repro.exceptions import ParameterError
+
+
+def sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class TestRefine:
+    def test_tangency_conditions(self):
+        """The returned line touches the sigmoid with matching slope."""
+        for x0 in (-0.5, -1.0, -3.0, -8.0):
+            w, t = refine_tangent_slope(x0)
+            # Slope matches the sigmoid derivative at t.
+            ft = sigmoid(t)
+            assert w == pytest.approx(ft * (1 - ft), abs=1e-6)
+            # The line through (x0, f(x0)) hits f(t) at t.
+            line_at_t = sigmoid(x0) + w * (t - x0)
+            assert line_at_t == pytest.approx(ft, abs=1e-6)
+
+    def test_agrees_with_scipy_root(self):
+        """Cross-check Algorithm 4 against brentq on the tangency equation."""
+        for x0 in (-0.7, -2.0, -5.0):
+            w_alg4, _ = refine_tangent_slope(x0)
+
+            def tangency(t, x0=x0):
+                ft = sigmoid(t)
+                return sigmoid(x0) + ft * (1 - ft) * (t - x0) - ft
+
+            t_ref = brentq(tangency, 1e-9, 60.0)
+            ft = sigmoid(t_ref)
+            assert w_alg4 == pytest.approx(ft * (1 - ft), abs=1e-6)
+
+    def test_line_dominates_sigmoid_on_segment(self):
+        x0 = -4.0
+        w, t = refine_tangent_slope(x0)
+        xs = np.linspace(x0, t, 200)
+        line = sigmoid(x0) + w * (xs - x0)
+        assert np.all(line >= sigmoid(xs) - 1e-9)
+
+    def test_anchor_past_inflection_rejected(self):
+        with pytest.raises(ParameterError):
+            refine_tangent_slope(0.0)
+        with pytest.raises(ParameterError):
+            refine_tangent_slope(1.0)
+
+    def test_bad_tol_rejected(self):
+        with pytest.raises(ParameterError):
+            refine_tangent_slope(-1.0, tol=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x0=st.floats(-25.0, -1e-3))
+    def test_slope_in_valid_range(self, x0):
+        w, t = refine_tangent_slope(x0)
+        assert 0.0 < w <= 0.25
+        assert t >= 0.0
+
+
+def tables(adoption, l):
+    return (
+        MajorantTable(adoption, l, method="tangent"),
+        MajorantTable(adoption, l, method="chord"),
+    )
+
+
+class TestMajorantTable:
+    @pytest.mark.parametrize("method", ["tangent", "chord"])
+    @pytest.mark.parametrize("alpha,beta,l", [
+        (2.0, 1.0, 3),
+        (10 / 3, 1.0, 5),
+        (3.0, 1.0, 2),
+        (1.4, 1.0, 4),
+        (5.0, 0.5, 6),
+    ])
+    def test_majorant_dominates_adoption(self, method, alpha, beta, l):
+        adoption = AdoptionModel(alpha=alpha, beta=beta)
+        table = MajorantTable(adoption, l, method=method)
+        for base in range(l + 1):
+            for c in range(base, l + 1):
+                phi = table.values[base, c]
+                g = adoption.probability(c)
+                assert phi >= g - 1e-9, (base, c)
+
+    @pytest.mark.parametrize("method", ["tangent", "chord"])
+    def test_gains_nonincreasing_concavity(self, method):
+        adoption = AdoptionModel(alpha=10 / 3, beta=1.0)
+        table = MajorantTable(adoption, 5, method=method)
+        for base in range(5):
+            row = table.gains[base, base:5]
+            assert np.all(np.diff(row) <= 1e-9), base
+
+    @pytest.mark.parametrize("method", ["tangent", "chord"])
+    def test_gains_nonnegative_monotone(self, method):
+        adoption = AdoptionModel(alpha=2.0, beta=1.0)
+        table = MajorantTable(adoption, 4, method=method)
+        assert np.all(table.gains >= -1e-12)
+
+    def test_zero_branch_anchor_is_zero(self):
+        """tau(empty|empty) must equal sigma(empty) = 0 (see tangent.py)."""
+        adoption = AdoptionModel(alpha=2.0, beta=1.0)
+        for method in ("tangent", "chord"):
+            table = MajorantTable(adoption, 3, method=method)
+            assert table.anchor(0) == pytest.approx(0.0)
+
+    def test_nonzero_base_anchor_is_logistic(self):
+        adoption = AdoptionModel(alpha=2.0, beta=1.0)
+        tangent, chord = tables(adoption, 3)
+        for base in range(1, 4):
+            assert tangent.anchor(base) == pytest.approx(
+                adoption.logistic(base)
+            )
+            assert chord.anchor(base) == pytest.approx(
+                adoption.probability(base)
+            )
+
+    def test_literal_eq6_mode_keeps_logistic_anchor(self):
+        adoption = AdoptionModel(alpha=2.0, beta=1.0, zero_if_unreached=False)
+        table = MajorantTable(adoption, 3, method="tangent")
+        assert table.anchor(0) == pytest.approx(adoption.logistic(0))
+
+    def test_chord_no_looser_than_tangent_above_base_zero(self):
+        """The discrete envelope is tighter than the tangent construction."""
+        adoption = AdoptionModel(alpha=10 / 3, beta=1.0)
+        tangent, chord = tables(adoption, 5)
+        for base in range(1, 6):
+            assert np.all(
+                chord.values[base, base:] <= tangent.values[base, base:] + 1e-9
+            )
+
+    def test_full_base_row_is_point(self):
+        adoption = AdoptionModel(alpha=2.0, beta=1.0)
+        table = MajorantTable(adoption, 3)
+        assert table.values[3, 3] == pytest.approx(adoption.probability(3))
+        assert table.gain(3, 3) == 0.0
+
+    def test_method_validated(self):
+        with pytest.raises(ParameterError):
+            MajorantTable(AdoptionModel(2.0, 1.0), 3, method="secant")
+
+    def test_pieces_validated(self):
+        with pytest.raises(ParameterError):
+            MajorantTable(AdoptionModel(2.0, 1.0), 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    alpha=st.floats(0.5, 12.0),
+    beta=st.floats(0.2, 3.0),
+    l=st.integers(1, 8),
+    method=st.sampled_from(["tangent", "chord"]),
+)
+def test_majorant_properties_hold_generally(alpha, beta, l, method):
+    """Dominance + monotonicity + concavity over random parameters."""
+    adoption = AdoptionModel(alpha=alpha, beta=beta)
+    table = MajorantTable(adoption, l, method=method)
+    for base in range(l + 1):
+        row = table.values[base, base:]
+        g = adoption.probability(np.arange(base, l + 1))
+        assert np.all(row >= g - 1e-9)
+        assert np.all(np.diff(row) >= -1e-9)  # monotone
+        if row.size >= 3:
+            assert np.all(np.diff(row, 2) <= 1e-9)  # concave

@@ -1,0 +1,66 @@
+"""Tests for sample-size bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sampling.theta import (
+    estimation_error,
+    hoeffding_theta,
+    relative_error_theta,
+)
+
+
+class TestHoeffding:
+    def test_known_value(self):
+        # ln(2/0.05) / (2 * 0.01^2) = 18444.xx -> ceil
+        expected = math.ceil(math.log(2 / 0.05) / (2 * 0.01**2))
+        assert hoeffding_theta(0.01, 0.05) == expected
+
+    def test_tighter_epsilon_needs_more_samples(self):
+        assert hoeffding_theta(0.005, 0.05) > hoeffding_theta(0.01, 0.05)
+
+    def test_tighter_delta_needs_more_samples(self):
+        assert hoeffding_theta(0.01, 0.001) > hoeffding_theta(0.01, 0.1)
+
+    def test_round_trip_with_estimation_error(self):
+        theta = hoeffding_theta(0.02, 0.05)
+        eps = estimation_error(theta, 0.05)
+        assert eps <= 0.02 + 1e-9
+
+    def test_validation(self):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ParameterError):
+                hoeffding_theta(bad, 0.05)
+            with pytest.raises(ParameterError):
+                hoeffding_theta(0.01, bad)
+
+
+class TestEstimationError:
+    def test_decreases_with_theta(self):
+        assert estimation_error(10_000, 0.05) < estimation_error(1_000, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            estimation_error(0, 0.05)
+        with pytest.raises(ParameterError):
+            estimation_error(100, 1.5)
+
+
+class TestRelativeError:
+    def test_thin_means_need_more_samples(self):
+        thin = relative_error_theta(0.1, 0.05, 0.001)
+        thick = relative_error_theta(0.1, 0.05, 0.1)
+        assert thin > thick
+
+    def test_scales_inverse_mu(self):
+        a = relative_error_theta(0.1, 0.05, 0.01)
+        b = relative_error_theta(0.1, 0.05, 0.001)
+        assert b == pytest.approx(10 * a, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            relative_error_theta(0.1, 0.05, 0.0)

@@ -1,0 +1,203 @@
+"""Tests for TIC influence-probability learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.topics.action_log import ActionLog, generate_action_log
+from repro.topics.tic import extract_propagation_events, learn_tic_probabilities
+from repro.graph.digraph import TopicGraph
+
+
+def simple_log() -> ActionLog:
+    """Item 0: u0 then u1 (propagation). Item 1: u1 only (failed trial)."""
+    return ActionLog(
+        users=np.array([0, 1, 0]),
+        items=np.array([0, 0, 1]),
+        times=np.array([0.0, 1.0, 0.0]),
+        num_users=3,
+        num_items=2,
+    )
+
+
+class TestEventExtraction:
+    def test_success_and_trial_buckets(self):
+        succ, trials = extract_propagation_events({(0, 1)}, simple_log())
+        assert trials[(0, 1)] == [0, 1]
+        assert succ[(0, 1)] == [0]
+
+    def test_window_excludes_late_actions(self):
+        log = ActionLog(
+            users=np.array([0, 1]),
+            items=np.array([0, 0]),
+            times=np.array([0.0, 100.0]),
+            num_users=2,
+            num_items=1,
+        )
+        succ, trials = extract_propagation_events({(0, 1)}, log, window=5.0)
+        assert (0, 1) in trials
+        assert (0, 1) not in succ
+
+    def test_direction_matters(self):
+        # v acted before u: no propagation credit for (u, v).
+        log = ActionLog(
+            users=np.array([1, 0]),
+            items=np.array([0, 0]),
+            times=np.array([0.0, 1.0]),
+            num_users=2,
+            num_items=1,
+        )
+        succ, _ = extract_propagation_events({(0, 1)}, log)
+        assert (0, 1) not in succ
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ParameterError):
+            extract_propagation_events(set(), simple_log(), window=0)
+
+
+class TestSupervisedLearning:
+    def test_strong_edge_recovers_high_probability(self):
+        # Edge (0,1) fires on topic-0 items in 3 of 3 trials.
+        log = ActionLog(
+            users=np.array([0, 1, 0, 1, 0, 1]),
+            items=np.array([0, 0, 1, 1, 2, 2]),
+            times=np.array([0.0, 1.0, 0.0, 1.0, 0.0, 1.0]),
+            num_users=2,
+            num_items=3,
+        )
+        item_topics = np.array([[1.0, 0.0]] * 3)
+        g = learn_tic_probabilities(
+            2, [(0, 1)], log, 2, item_topics=item_topics, smoothing=0.5
+        )
+        p = g.edge_topic_vector(0)
+        assert p[0] > 0.7
+        assert p[1] < 0.05
+
+    def test_never_fires_edge_gets_floor(self):
+        log = ActionLog(
+            users=np.array([0, 0, 0]),
+            items=np.array([0, 1, 2]),
+            times=np.array([0.0, 0.0, 0.0]),
+            num_users=2,
+            num_items=3,
+        )
+        item_topics = np.eye(3)
+        g = learn_tic_probabilities(
+            2, [(0, 1)], log, 3, item_topics=item_topics, min_probability=1e-3
+        )
+        p = g.edge_topic_vector(0)
+        assert p.max() == pytest.approx(1e-3)
+        assert np.count_nonzero(p) == 1  # sparse fallback, not dense
+
+    def test_topic_attribution_follows_items(self):
+        # Propagations happen only on topic-1 items.
+        log = ActionLog(
+            users=np.array([0, 1, 0]),
+            items=np.array([0, 0, 1]),
+            times=np.array([0.0, 1.0, 0.0]),
+            num_users=2,
+            num_items=2,
+        )
+        item_topics = np.array([[0.0, 1.0], [1.0, 0.0]])
+        g = learn_tic_probabilities(
+            2, [(0, 1)], log, 2, item_topics=item_topics
+        )
+        p = g.edge_topic_vector(0)
+        assert p[1] > p[0]
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(ParameterError):
+            learn_tic_probabilities(
+                2, [(0, 1), (0, 1)], simple_log(), 2,
+                item_topics=np.ones((2, 2)),
+            )
+
+    def test_bad_item_topics_shape(self):
+        from repro.exceptions import TopicError
+
+        with pytest.raises(TopicError):
+            learn_tic_probabilities(
+                2, [(0, 1)], simple_log(), 2, item_topics=np.ones((5, 2))
+            )
+
+
+class TestEMLearning:
+    def test_em_runs_and_returns_graph(self):
+        log = simple_log()
+        g = learn_tic_probabilities(
+            3, [(0, 1), (1, 2)], log, 2, em_iterations=3, seed=1
+        )
+        assert g.n == 3
+        assert g.num_edges == 2
+
+    def test_em_separates_topic_specific_edges(self):
+        """Contrastive cascades force the two item groups onto
+        different topics.
+
+        Users 0 and 2 act on *every* item; propagation over (0, 1)
+        succeeds only on group-A items (0-2) and over (2, 3) only on
+        group-B items (3-5).  A single-topic explanation must compromise
+        (p = 1/2 with half the trials failed); the two-topic solution
+        explains everything, so EM should separate the groups.
+        """
+        users, items, times = [], [], []
+        for i in range(6):
+            users += [0, 2]
+            items += [i, i]
+            times += [0.0, 0.0]
+            if i < 3:
+                users.append(1)
+            else:
+                users.append(3)
+            items.append(i)
+            times.append(1.0)
+        log = ActionLog(
+            users=np.array(users),
+            items=np.array(items),
+            times=np.array(times),
+            num_users=4,
+            num_items=6,
+        )
+        g = learn_tic_probabilities(
+            4, [(0, 1), (2, 3)], log, 2, em_iterations=40, seed=3
+        )
+        p01 = g.edge_topic_vector(g.edge_id(0, 1))
+        p23 = g.edge_topic_vector(g.edge_id(2, 3))
+        # Each edge should be confident on *some* topic, and the two
+        # edges should specialise on different topics.
+        assert p01.max() > 0.5 and p23.max() > 0.5
+        assert int(np.argmax(p01)) != int(np.argmax(p23))
+
+
+class TestEndToEndRecovery:
+    def test_pipeline_recovers_strong_edges(self):
+        """Simulate from a known TIC model, re-learn, compare ranking."""
+        truth = TopicGraph.from_edges(
+            6,
+            2,
+            [
+                (0, 1, {0: 0.95}),
+                (0, 2, {0: 0.05}),
+                (3, 4, {1: 0.95}),
+                (3, 5, {1: 0.05}),
+            ],
+        )
+        item_topics = np.tile(np.array([[1.0, 0.0], [0.0, 1.0]]), (40, 1))
+        log = generate_action_log(
+            truth, item_topics, seeds_per_item=2, seed=5
+        )
+        learned = learn_tic_probabilities(
+            6,
+            [(0, 1), (0, 2), (3, 4), (3, 5)],
+            log,
+            2,
+            item_topics=item_topics,
+        )
+        strong_01 = learned.edge_topic_vector(learned.edge_id(0, 1))[0]
+        weak_02 = learned.edge_topic_vector(learned.edge_id(0, 2))[0]
+        strong_34 = learned.edge_topic_vector(learned.edge_id(3, 4))[1]
+        weak_35 = learned.edge_topic_vector(learned.edge_id(3, 5))[1]
+        assert strong_01 > weak_02
+        assert strong_34 > weak_35

@@ -1,0 +1,137 @@
+"""Tests for pieces and campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopicError
+from repro.topics.distributions import Campaign, Piece, uniform_piece, unit_piece
+
+
+class TestPiece:
+    def test_normalisation(self):
+        p = Piece("t", np.array([2.0, 2.0]))
+        np.testing.assert_allclose(p.vector, [0.5, 0.5])
+
+    def test_vector_read_only(self):
+        p = Piece("t", np.array([1.0]))
+        with pytest.raises(ValueError):
+            p.vector[0] = 0.5
+
+    def test_support(self):
+        p = Piece("t", np.array([0.0, 3.0, 0.0, 1.0]))
+        assert p.support().tolist() == [1, 3]
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopicError):
+            Piece("t", np.array([0.5, -0.5]))
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(TopicError):
+            Piece("t", np.array([0.0, 0.0]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(TopicError):
+            Piece("t", np.array([np.nan]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(TopicError):
+            Piece("t", np.ones((2, 2)))
+
+    def test_equality_and_hash(self):
+        a = Piece("t", np.array([1.0, 1.0]))
+        b = Piece("t", np.array([0.5, 0.5]))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unit_piece(self):
+        p = unit_piece(2, 4)
+        np.testing.assert_allclose(p.vector, [0, 0, 1, 0])
+        with pytest.raises(TopicError):
+            unit_piece(4, 4)
+
+    def test_uniform_piece(self):
+        p = uniform_piece(4)
+        np.testing.assert_allclose(p.vector, [0.25] * 4)
+        with pytest.raises(TopicError):
+            uniform_piece(0)
+
+
+class TestCampaign:
+    def test_basic(self):
+        c = Campaign([unit_piece(0, 3), unit_piece(1, 3)])
+        assert c.num_pieces == len(c) == 2
+        assert c.num_topics == 3
+        assert c[0].support().tolist() == [0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopicError):
+            Campaign([])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(TopicError, match="dimensionality"):
+            Campaign([unit_piece(0, 2), unit_piece(0, 3)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TopicError, match="duplicate"):
+            Campaign([unit_piece(0, 2, name="t"), unit_piece(1, 2, name="t")])
+
+    def test_from_vectors(self):
+        c = Campaign.from_vectors([np.array([1.0, 0]), np.array([0, 1.0])])
+        assert c.num_pieces == 2
+        assert c[1].name == "t1"
+
+    def test_from_vectors_name_mismatch(self):
+        with pytest.raises(TopicError):
+            Campaign.from_vectors([np.array([1.0])], names=["a", "b"])
+
+    def test_vectors_view(self):
+        c = Campaign([unit_piece(0, 2), unit_piece(1, 2)])
+        vecs = c.vectors()
+        assert len(vecs) == 2
+        np.testing.assert_allclose(vecs[1], [0, 1])
+
+    def test_iteration(self):
+        c = Campaign([unit_piece(z, 3) for z in range(3)])
+        assert [p.support()[0] for p in c] == [0, 1, 2]
+
+
+class TestSampleUnit:
+    def test_each_piece_is_unit(self):
+        c = Campaign.sample_unit(3, 10, seed=1)
+        for p in c:
+            assert p.support().size == 1
+            assert p.vector.sum() == pytest.approx(1.0)
+
+    def test_distinct_topics_without_replacement(self):
+        c = Campaign.sample_unit(5, 5, seed=2)
+        topics = {int(p.support()[0]) for p in c}
+        assert len(topics) == 5
+
+    def test_replacement_when_pieces_exceed_topics(self):
+        c = Campaign.sample_unit(6, 3, seed=3)
+        assert c.num_pieces == 6
+
+    def test_deterministic(self):
+        a = Campaign.sample_unit(3, 8, seed=4)
+        b = Campaign.sample_unit(3, 8, seed=4)
+        assert [p.support()[0] for p in a] == [p.support()[0] for p in b]
+
+    def test_zero_pieces_rejected(self):
+        with pytest.raises(TopicError):
+            Campaign.sample_unit(0, 4, seed=5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=8).filter(
+        lambda w: sum(w) > 0
+    )
+)
+def test_piece_always_normalised(weights):
+    p = Piece("t", np.array(weights))
+    assert p.vector.sum() == pytest.approx(1.0)
+    assert np.all(p.vector >= 0)

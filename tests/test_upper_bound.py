@@ -1,0 +1,131 @@
+"""Tests for the tau upper-bound state (Def. 6)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageState
+from repro.core.plan import AssignmentPlan
+from repro.core.tangent import MajorantTable
+from repro.core.upper_bound import TauState
+from repro.datasets.running_example import (
+    running_example_adoption,
+    running_example_campaign,
+    running_example_graph,
+)
+from repro.exceptions import SolverError
+from repro.sampling.mrr import MRRCollection
+
+
+@pytest.fixture()
+def setup():
+    mrr = MRRCollection.generate(
+        running_example_graph(), running_example_campaign(), theta=1000, seed=3
+    )
+    adoption = running_example_adoption()
+    table = MajorantTable(adoption, 2)
+    return mrr, adoption, table
+
+
+def fresh_tau(mrr, table, adoption, base_plan=None):
+    base = CoverageState.from_plan(
+        mrr, base_plan or AssignmentPlan.empty(mrr.num_pieces)
+    )
+    return TauState(mrr, table, base, adoption)
+
+
+class TestTauState:
+    def test_empty_base_value_is_zero(self, setup):
+        mrr, adoption, table = setup
+        tau = fresh_tau(mrr, table, adoption)
+        assert tau.value == pytest.approx(0.0)
+
+    def test_marginal_matches_add(self, setup):
+        mrr, adoption, table = setup
+        tau = fresh_tau(mrr, table, adoption)
+        predicted = tau.marginal_gain(0, 0)
+        realised = tau.add(0, 0)
+        assert predicted == pytest.approx(realised)
+        assert tau.value == pytest.approx(realised)
+
+    def test_evaluation_counter(self, setup):
+        mrr, adoption, table = setup
+        tau = fresh_tau(mrr, table, adoption)
+        tau.marginal_gain(0, 0)
+        tau.marginal_gain(1, 1)
+        assert tau.evaluations == 2
+
+    def test_tau_dominates_sigma(self, setup):
+        """tau(S-bar | empty) >= sigma(S-bar) for every small plan."""
+        mrr, adoption, table = setup
+        vertices = range(5)
+        for v1, v2 in itertools.product(vertices, vertices):
+            tau = fresh_tau(mrr, table, adoption)
+            tau.add(v1, 0)
+            tau.add(v2, 1)
+            sigma = mrr.estimate([[v1], [v2]], adoption)
+            assert tau.value >= sigma - 1e-9, (v1, v2)
+
+    def test_tau_tight_at_base(self, setup):
+        """After refinement the anchor equals the logistic at the base."""
+        mrr, adoption, table = setup
+        base_plan = AssignmentPlan([{0}, {4}])
+        tau = fresh_tau(mrr, table, adoption, base_plan)
+        base_cov = CoverageState.from_plan(mrr, base_plan)
+        anchors = table.values[base_cov.counts, base_cov.counts]
+        assert tau.value == pytest.approx(
+            mrr.n / mrr.theta * anchors.sum()
+        )
+
+    def test_submodularity_of_marginals(self, setup):
+        """delta(v | small context) >= delta(v | larger context)."""
+        mrr, adoption, table = setup
+        small = fresh_tau(mrr, table, adoption)
+        gain_small = small.marginal_gain(4, 1)
+        large = fresh_tau(mrr, table, adoption)
+        large.add(0, 0)
+        large.add(3, 1)
+        gain_large = large.marginal_gain(4, 1)
+        assert gain_small >= gain_large - 1e-9
+
+    def test_monotonicity_adds_never_negative(self, setup):
+        mrr, adoption, table = setup
+        tau = fresh_tau(mrr, table, adoption)
+        for v in range(5):
+            for j in range(2):
+                assert tau.add(v, j) >= -1e-12
+
+    def test_utility_view_matches_mrr(self, setup):
+        mrr, adoption, table = setup
+        tau = fresh_tau(mrr, table, adoption)
+        tau.add(0, 0)
+        tau.add(4, 1)
+        assert tau.utility() == pytest.approx(
+            mrr.estimate([[0], [4]], adoption)
+        )
+
+    def test_piece_count_mismatch_rejected(self, setup):
+        mrr, adoption, _ = setup
+        wrong_table = MajorantTable(adoption, 5)
+        base = CoverageState(mrr)
+        with pytest.raises(SolverError):
+            TauState(mrr, wrong_table, base, adoption)
+
+    def test_base_refinement_shrinks_headroom(self, setup):
+        """Fig. 2: refining on a covered piece steepens the local bound.
+
+        The gain credited for the *second* piece from a refined base
+        (count 1) must be at most the chord gain from the unrefined
+        envelope continued at count 1 — refinement never loosens tau.
+        """
+        mrr, adoption, table = setup
+        unrefined_gain = table.gains[0, 1]
+        refined_gain = table.gains[1, 1]
+        true_gain = adoption.probability(2) - adoption.probability(1)
+        assert refined_gain >= true_gain - 1e-12
+        # And the refined anchor is exact while the unrefined value at
+        # count 1 was an over-estimate (or equal):
+        assert table.values[1, 1] <= table.values[0, 1] + 1e-12

@@ -1,0 +1,171 @@
+"""Unit tests for repro.utils (rng, timer, tables, validation)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.tables import format_series, format_table
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 4)
+        assert len(gens) == 4
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_generators(3, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_given_seed(self):
+        a1, b1 = spawn_generators(5, 2)
+        a2, b2 = spawn_generators(5, 2)
+        np.testing.assert_array_equal(a1.random(5), a2.random(5))
+        np.testing.assert_array_equal(b1.random(5), b2.random(5))
+
+    def test_generator_seed_accepted(self):
+        gens = spawn_generators(np.random.default_rng(1), 2)
+        assert len(gens) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count_ok(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_split_monotone(self):
+        t = Timer().start()
+        first = t.split()
+        second = t.split()
+        assert second >= first >= 0.0
+
+    def test_split_after_stop_frozen(self):
+        t = Timer().start()
+        t.stop()
+        assert t.split() == t.elapsed
+
+    def test_repr_mentions_state(self):
+        t = Timer().start()
+        assert "running" in repr(t)
+        t.stop()
+        assert "stopped" in repr(t)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [33, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "33" in lines[3]
+
+    def test_title_rendered(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789]], floatfmt=".2f")
+        assert "1.23" in out
+
+    def test_bool_cells(self):
+        out = format_table(["ok"], [[True]])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        out = format_series("k", [1, 2], {"IM": [0.5, 0.6], "BAB": [1.0, 1.5]})
+        header = out.splitlines()[0]
+        assert "IM" in header and "BAB" in header and header.startswith("k")
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("k", [1, 2], {"IM": [0.5]})
+
+
+class TestValidation:
+    @pytest.mark.parametrize("value", [1, 0.5, 1e-9])
+    def test_check_positive_accepts(self, value):
+        assert check_positive("x", value) == float(value)
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ParameterError, match="x"):
+            check_positive("x", value)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_non_negative("x", -0.1)
+
+    @pytest.mark.parametrize("value", [1, 5, 10**9])
+    def test_check_positive_int_accepts(self, value):
+        assert check_positive_int("n", value) == value
+
+    @pytest.mark.parametrize("value", [0, -3, 1.5, True])
+    def test_check_positive_int_rejects(self, value):
+        with pytest.raises(ParameterError):
+            check_positive_int("n", value)
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ParameterError):
+            check_probability("p", 1.01)
+
+    def test_check_fraction_open_interval(self):
+        assert check_fraction("f", 0.5) == 0.5
+        for bad in (0.0, 1.0, -0.1):
+            with pytest.raises(ParameterError):
+                check_fraction("f", bad)
