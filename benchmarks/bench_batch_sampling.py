@@ -1,0 +1,113 @@
+"""Benchmarks of the batched sampling engine vs the reference backend.
+
+Times ``sample_many`` under both backends across graph sizes, and full
+MRR-collection construction across piece counts, so the batch engine's
+speedup is recorded in the perf trajectory.  The headline check: on the
+largest micro-kernel graph size (n=2000, the :mod:`bench_micro_kernels`
+world) the batch backend must be at least 5x faster than the Python
+reference loop.
+
+Run:
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_sampling.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import write_artifact
+from repro.diffusion.projection import project_campaign
+from repro.graph.generators import (
+    build_topic_graph,
+    preferential_attachment_digraph,
+)
+from repro.sampling.mrr import MRRCollection
+from repro.sampling.rr import ReverseReachableSampler
+from repro.topics.distributions import Campaign
+from repro.utils.rng import as_generator
+from repro.utils.tables import format_table
+
+SIZES = [500, 2000]
+LARGEST = max(SIZES)
+PIECE_COUNTS = [1, 3]
+THETA = 2000
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    """One micro-kernel-shaped world per graph size (n=2000 matches
+    :mod:`bench_micro_kernels` exactly)."""
+    built = {}
+    for n in SIZES:
+        src, dst = preferential_attachment_digraph(n, 5, seed=41)
+        graph = build_topic_graph(
+            n, src, dst, 8, topics_per_edge=2.0, prob_mean=0.1, seed=42
+        )
+        campaign = Campaign.sample_unit(max(PIECE_COUNTS), 8, seed=43)
+        piece_graphs = project_campaign(graph, campaign)
+        roots = as_generator(45).integers(0, n, size=THETA)
+        built[n] = (graph, campaign, piece_graphs, roots)
+    return built
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("backend", ["python", "batch"])
+def test_sample_many_backend(benchmark, worlds, n, backend):
+    _, _, piece_graphs, roots = worlds[n]
+    sampler = ReverseReachableSampler(piece_graphs[0], backend=backend)
+    rng = as_generator(7)
+    ptr, _ = benchmark(sampler.sample_many, roots, rng)
+    assert ptr[-1] >= roots.size  # every RR set holds at least its root
+
+
+@pytest.mark.parametrize("pieces", PIECE_COUNTS)
+@pytest.mark.parametrize("backend", ["python", "batch"])
+def test_mrr_generate_backend(benchmark, worlds, pieces, backend):
+    graph, campaign, piece_graphs, _ = worlds[LARGEST]
+    sub_campaign = Campaign(list(campaign)[:pieces])
+    mrr = benchmark(
+        MRRCollection.generate,
+        graph,
+        sub_campaign,
+        THETA,
+        seed=9,
+        piece_graphs=piece_graphs[:pieces],
+        backend=backend,
+    )
+    assert mrr.theta == THETA
+
+
+def _best_time(sampler, roots, repeats=5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        rng = as_generator(7)
+        start = time.perf_counter()
+        sampler.sample_many(roots, rng)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_speedup_target(worlds, artifact_dir):
+    """The acceptance bar: >= 5x over the reference loop at n=2000."""
+    rows = []
+    speedups = {}
+    for n in SIZES:
+        _, _, piece_graphs, roots = worlds[n]
+        pg = piece_graphs[0]
+        python_s = _best_time(ReverseReachableSampler(pg, backend="python"), roots)
+        batch_s = _best_time(ReverseReachableSampler(pg, backend="batch"), roots)
+        speedups[n] = python_s / batch_s
+        rows.append(
+            [n, pg.num_edges, python_s * 1e3, batch_s * 1e3, speedups[n]]
+        )
+    text = format_table(
+        ["n", "edges", "python (ms)", "batch (ms)", "speedup"],
+        rows,
+        title=f"sample_many backends, theta={THETA} roots",
+    )
+    write_artifact(artifact_dir, "batch_sampling_speedup", text)
+    assert speedups[LARGEST] >= 5.0, (
+        f"batch backend only {speedups[LARGEST]:.1f}x faster at n={LARGEST}"
+    )

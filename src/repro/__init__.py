@@ -48,7 +48,11 @@ from repro.diffusion import (
     project_campaign,
     simulate_adoption_utility,
 )
-from repro.sampling import MRRCollection, ReverseReachableSampler
+from repro.sampling import (
+    BatchRRSampler,
+    MRRCollection,
+    ReverseReachableSampler,
+)
 from repro.core import (
     AssignmentPlan,
     BranchAndBoundSolver,
@@ -92,6 +96,7 @@ __all__ = [
     "project_campaign",
     "simulate_adoption_utility",
     # sampling
+    "BatchRRSampler",
     "MRRCollection",
     "ReverseReachableSampler",
     # core

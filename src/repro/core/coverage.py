@@ -55,10 +55,7 @@ class CoverageState:
         ``piece`` is unaffected, matching the indicator semantics
         ``I[R_i^j ∩ S_j ≠ ∅]``.
         """
-        if not (0 <= piece < self.mrr.num_pieces):
-            raise SolverError(
-                f"piece {piece} outside [0, {self.mrr.num_pieces})"
-            )
+        self._check_cell(vertex, piece)
         samples = self.mrr.samples_containing(piece, vertex)
         if samples.size == 0:
             return samples
@@ -70,10 +67,20 @@ class CoverageState:
 
     def newly_covered(self, vertex: int, piece: int) -> np.ndarray:
         """Samples that *would* be newly covered, without mutating."""
+        self._check_cell(vertex, piece)
         samples = self.mrr.samples_containing(piece, vertex)
         if samples.size == 0:
             return samples
         return samples[~self.covered[samples, piece]]
+
+    def _check_cell(self, vertex: int, piece: int) -> None:
+        """Both coordinates range-checked up front, failing loudly."""
+        if not (0 <= piece < self.mrr.num_pieces):
+            raise SolverError(
+                f"piece {piece} outside [0, {self.mrr.num_pieces})"
+            )
+        if not (0 <= vertex < self.mrr.n):
+            raise SolverError(f"vertex {vertex} outside [0, {self.mrr.n})")
 
     # ------------------------------------------------------------------
 

@@ -20,10 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.coverage import CoverageState
 from repro.core.plan import AssignmentPlan
 from repro.core.problem import OIPAProblem
-from repro.exceptions import SolverError
 from repro.sampling.mrr import MRRCollection
 from repro.utils.timer import Timer
 

@@ -19,8 +19,6 @@ Theorem 4 bounds, and the currency of the BAB-vs-BAB-P ablation).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.coverage import CoverageState
 from repro.core.tangent import MajorantTable
 from repro.diffusion.adoption import AdoptionModel

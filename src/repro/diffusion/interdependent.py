@@ -32,7 +32,10 @@ from repro.diffusion.projection import PieceGraph
 from repro.diffusion.simulate import simulate_cascade
 from repro.exceptions import ParameterError
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import (
+    check_piece_graphs_aligned,
+    check_positive_int,
+)
 
 __all__ = ["InteractionMatrix", "simulate_interdependent_utility"]
 
@@ -106,6 +109,7 @@ def simulate_interdependent_utility(
     check_positive_int("rounds", rounds)
     rng = as_generator(seed)
     n = piece_graphs[0].n
+    check_piece_graphs_aligned(piece_graphs, n)
     l = len(piece_graphs)
     seed_lists = [list(s) for s in plan_seed_sets]
     rho = interactions.values

@@ -10,8 +10,6 @@ the ``t · p(e)`` dot products are computed exactly once.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 import numpy as np
 
 from repro.graph.digraph import TopicGraph

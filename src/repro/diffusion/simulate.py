@@ -17,7 +17,10 @@ from repro.diffusion.adoption import AdoptionModel
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import ParameterError
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import (
+    check_piece_graphs_aligned,
+    check_positive_int,
+)
 
 __all__ = [
     "simulate_cascade",
@@ -30,13 +33,27 @@ def simulate_cascade(
     piece_graph: PieceGraph,
     seeds: Iterable[int],
     rng,
+    *,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Run one independent-cascade trial; return the activation mask.
 
     Seeds start active; every newly activated user gets exactly one chance
     to activate each out-neighbour, succeeding with the edge's projected
     probability (Sec. III-A).  Returns a boolean array of length ``n``.
+
+    ``backend="batch"`` (the default) routes through the vectorized
+    frontier-at-a-time kernel of :mod:`repro.sampling.batch`;
+    ``backend="python"`` runs the per-vertex reference loop below.  The
+    two consume the rng stream identically, so for the same seeded
+    ``rng`` the activation masks are bit-for-bit equal.
     """
+    # Imported lazily: repro.sampling pulls in this module through the
+    # diffusion package, so a module-level import would be circular.
+    from repro.sampling.batch import check_backend, simulate_cascade_batch
+
+    if check_backend(backend) == "batch":
+        return simulate_cascade_batch(piece_graph, seeds, rng)
     n = piece_graph.n
     active = np.zeros(n, dtype=bool)
     frontier: list[int] = []
@@ -75,6 +92,7 @@ def simulate_piece_spread(
     *,
     rounds: int = 100,
     seed=None,
+    backend: str | None = None,
 ) -> float:
     """Monte-Carlo estimate of the classical influence spread sigma_im(S).
 
@@ -86,7 +104,9 @@ def simulate_piece_spread(
     seeds = list(seeds)
     total = 0
     for _ in range(rounds):
-        total += int(simulate_cascade(piece_graph, seeds, rng).sum())
+        total += int(
+            simulate_cascade(piece_graph, seeds, rng, backend=backend).sum()
+        )
     return total / rounds
 
 
@@ -98,6 +118,7 @@ def simulate_adoption_utility(
     rounds: int = 100,
     seed=None,
     return_std: bool = False,
+    backend: str | None = None,
 ):
     """Monte-Carlo estimate of the adoption utility sigma(S-bar) (Eq. 2).
 
@@ -120,6 +141,9 @@ def simulate_adoption_utility(
         Independent simulation rounds.
     return_std:
         Also return the standard error of the estimate.
+    backend:
+        Cascade kernel selection (``"batch"``/``"python"``, default
+        batch); forwarded to :func:`simulate_cascade`.
     """
     if len(piece_graphs) != len(plan_seed_sets):
         raise ParameterError(
@@ -130,6 +154,7 @@ def simulate_adoption_utility(
     rounds = check_positive_int("rounds", rounds)
     rng = as_generator(seed)
     n = piece_graphs[0].n
+    check_piece_graphs_aligned(piece_graphs, n)
     seed_lists = [list(s) for s in plan_seed_sets]
     per_round = np.empty(rounds, dtype=np.float64)
     counts = np.zeros(n, dtype=np.int64)
@@ -138,7 +163,7 @@ def simulate_adoption_utility(
         for pg, seeds in zip(piece_graphs, seed_lists):
             if not seeds:
                 continue
-            counts += simulate_cascade(pg, seeds, rng)
+            counts += simulate_cascade(pg, seeds, rng, backend=backend)
         per_round[r] = float(adoption.probability(counts).sum())
     mean = float(per_round.mean())
     if return_std:

@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import ParameterError, SamplingError
-from repro.utils.rng import as_generator
 
 __all__ = [
     "normalize_lt_weights",

@@ -27,8 +27,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.plan import AssignmentPlan
 from repro.core.problem import OIPAProblem
 from repro.diffusion.projection import PieceGraph
@@ -82,11 +80,13 @@ def im_baseline(
     *,
     theta: int | None = None,
     seed=None,
+    backend: str | None = None,
 ) -> BaselineResult:
     """The ``IM`` baseline: topic-blind seed set, best single piece.
 
     ``theta`` controls the flattened-graph RR sample count for seed
-    selection (defaults to the evaluation collection's theta).
+    selection (defaults to the evaluation collection's theta);
+    ``backend`` selects the RR sampling engine.
     """
     theta = mrr.theta if theta is None else theta
     # Flat-graph RR sampling is timed separately (the paper excludes
@@ -99,7 +99,7 @@ def im_baseline(
             problem.graph, flat_probs
         )
         rng = as_generator(seed)
-        sampler = ReverseReachableSampler(flat_graph)
+        sampler = ReverseReachableSampler(flat_graph, backend=backend)
         roots = rng.integers(0, flat_graph.n, size=theta)
         ptr, nodes = sampler.sample_many(roots, rng)
         flat_mrr = MRRCollection(flat_graph.n, roots, [ptr], [nodes])

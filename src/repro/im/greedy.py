@@ -30,12 +30,15 @@ def celf_greedy_im(
     pool: np.ndarray | None = None,
     rounds: int = 200,
     seed=None,
+    backend: str | None = None,
 ) -> tuple[list[int], float]:
     """Select ``k`` seeds by CELF lazy greedy over simulated spread.
 
     ``rounds`` cascades are averaged per marginal-spread evaluation; the
     same common-random-numbers generator is reused across evaluations to
-    reduce comparison noise.
+    reduce comparison noise.  ``backend`` selects the cascade kernel
+    (``"batch"``/``"python"``, default batch — identical streams, so the
+    choice never changes the selected seeds).
 
     Returns ``(seeds, spread_estimate)``.
 
@@ -59,7 +62,11 @@ def celf_greedy_im(
         total = 0
         eval_rng = as_generator(int(rng.integers(0, 2**63 - 1)))
         for _ in range(rounds):
-            total += int(simulate_cascade(piece_graph, seeds, eval_rng).sum())
+            total += int(
+                simulate_cascade(
+                    piece_graph, seeds, eval_rng, backend=backend
+                ).sum()
+            )
         return total / rounds
 
     seeds: list[int] = []

@@ -99,13 +99,15 @@ def ris_influence_maximization(
     *,
     pool: np.ndarray | None = None,
     seed=None,
+    backend: str | None = None,
 ) -> tuple[list[int], float]:
     """End-to-end RIS IM on a homogeneous influence graph.
 
     Draws ``theta`` RR sets with uniform roots, then selects ``k`` seeds
     by greedy max coverage.  This is the engine behind the paper's ``IM``
     baseline (run on the flattened graph) and a reference implementation
-    for the classical problem.
+    for the classical problem.  ``backend`` selects the RR sampling
+    engine (``"batch"``/``"python"``, default batch).
 
     Returns ``(seeds, spread_estimate)``.
     """
@@ -114,7 +116,7 @@ def ris_influence_maximization(
     rng = as_generator(seed)
     if pool is None:
         pool = np.arange(piece_graph.n, dtype=np.int64)
-    sampler = ReverseReachableSampler(piece_graph)
+    sampler = ReverseReachableSampler(piece_graph, backend=backend)
     roots = rng.integers(0, piece_graph.n, size=theta)
     ptr, nodes = sampler.sample_many(roots, rng)
     collection = MRRCollection(piece_graph.n, roots, [ptr], [nodes])

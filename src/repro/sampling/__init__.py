@@ -1,6 +1,13 @@
 """Reverse-reachable sampling: RR sets, MRR collections, theta bounds."""
 
 from repro.sampling.rr import ReverseReachableSampler
+from repro.sampling.batch import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    BatchRRSampler,
+    check_backend,
+    simulate_cascade_batch,
+)
 from repro.sampling.mrr import MRRCollection
 from repro.sampling.adaptive import generate_adaptive, theta_for_error_target
 from repro.sampling.theta import (
@@ -10,8 +17,13 @@ from repro.sampling.theta import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "BatchRRSampler",
     "ReverseReachableSampler",
     "MRRCollection",
+    "check_backend",
+    "simulate_cascade_batch",
     "hoeffding_theta",
     "estimation_error",
     "relative_error_theta",

@@ -16,8 +16,6 @@ fixed:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.diffusion.adoption import AdoptionModel
 from repro.exceptions import SamplingError
 from repro.graph.digraph import TopicGraph
@@ -48,6 +46,7 @@ def generate_adaptive(
     initial_theta: int = 1_000,
     max_theta: int | None = None,
     seed=None,
+    backend: str | None = None,
 ) -> tuple[MRRCollection, dict]:
     """Grow an MRR collection until the probe estimate stabilises.
 
@@ -55,6 +54,8 @@ def generate_adaptive(
     either (a) two independent halves of the current samples estimate the
     ``probe_plan``'s utility within ``epsilon * n`` of each other, or
     (b) the Hoeffding worst-case count (or ``max_theta``) is reached.
+    ``backend`` selects the RR sampling engine for every generated
+    collection (``"batch"``/``"python"``, default batch).
 
     Returns the final collection and a diagnostics dict with the
     doubling trace — the empirical analogue of the paper's fixed-theta
@@ -77,8 +78,12 @@ def generate_adaptive(
     while True:
         rng_a, rng_b = spawn_generators((seed, attempt), 2)
         half = max(theta // 2, 1)
-        first = MRRCollection.generate(graph, campaign, half, seed=rng_a)
-        second = MRRCollection.generate(graph, campaign, half, seed=rng_b)
+        first = MRRCollection.generate(
+            graph, campaign, half, seed=rng_a, backend=backend
+        )
+        second = MRRCollection.generate(
+            graph, campaign, half, seed=rng_b, backend=backend
+        )
         est_a = first.estimate(probe_plan, adoption)
         est_b = second.estimate(probe_plan, adoption)
         gap = abs(est_a - est_b)
@@ -96,7 +101,7 @@ def generate_adaptive(
             # Merge the two halves into the returned collection.
             rng_final = spawn_generators((seed, attempt, 1), 1)[0]
             final = MRRCollection.generate(
-                graph, campaign, theta, seed=rng_final
+                graph, campaign, theta, seed=rng_final, backend=backend
             )
             info = {
                 "trace": trace,

@@ -30,7 +30,10 @@ from repro.graph.digraph import TopicGraph
 from repro.sampling.rr import ReverseReachableSampler
 from repro.topics.distributions import Campaign
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import (
+    check_piece_graphs_aligned,
+    check_positive_int,
+)
 
 __all__ = ["MRRCollection"]
 
@@ -86,6 +89,7 @@ class MRRCollection:
         *,
         seed=None,
         piece_graphs: Sequence[PieceGraph] | None = None,
+        backend: str | None = None,
     ) -> "MRRCollection":
         """Generate ``theta`` MRR samples for ``campaign`` on ``graph``.
 
@@ -93,7 +97,9 @@ class MRRCollection:
         RR set per piece under the piece's projection.  Pass pre-computed
         ``piece_graphs`` to skip re-projection (the experiment harness
         reuses projections between the optimisation and evaluation
-        collections).
+        collections).  ``backend`` selects the RR sampling engine
+        (``"batch"``/``"python"``, default batch — see
+        :mod:`repro.sampling.batch`).
         """
         theta = check_positive_int("theta", theta)
         if graph.n == 0:
@@ -106,11 +112,17 @@ class MRRCollection:
                 f"{len(piece_graphs)} piece graphs for "
                 f"{campaign.num_pieces} pieces"
             )
+        check_piece_graphs_aligned(
+            piece_graphs,
+            graph.n,
+            reference="the campaign graph",
+            exc=SamplingError,
+        )
         roots = rng.integers(0, graph.n, size=theta)
         rr_ptr: list[np.ndarray] = []
         rr_nodes: list[np.ndarray] = []
         for pg in piece_graphs:
-            sampler = ReverseReachableSampler(pg)
+            sampler = ReverseReachableSampler(pg, backend=backend)
             ptr, nodes = sampler.sample_many(roots, rng)
             rr_ptr.append(ptr)
             rr_nodes.append(nodes)

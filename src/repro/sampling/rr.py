@@ -8,14 +8,25 @@ vertex ``u`` lands in the RR set of ``x`` with exactly the probability
 that a cascade seeded at ``u`` activates ``x`` — which is what makes
 ``n/theta * sum_i I[R_i ∩ S ≠ ∅]`` an unbiased spread estimator.
 
-The sampler performs a lazy reverse BFS: edges are coin-flipped only when
-the traversal first considers them, which is distributionally identical
-to sampling the whole graph up front (each edge is examined at most once
-per trial because the BFS visits each vertex at most once).
+Two backends implement the sampling (sampling is the hot loop of the
+whole reproduction):
 
-Performance notes: a stamp array replaces per-trial ``visited``
-re-allocation, and the BFS queue is a preallocated vertex buffer —
-sampling is the hot loop of the whole reproduction.
+``"batch"`` (default)
+    The frontier-at-a-time NumPy engine of
+    :class:`repro.sampling.batch.BatchRRSampler` — whole blocks of
+    roots expanded per kernel pass.
+``"python"``
+    The reference lazy reverse BFS: edges are coin-flipped only when
+    the traversal first considers them, which is distributionally
+    identical to sampling the whole graph up front (each edge is
+    examined at most once per trial because the BFS visits each vertex
+    at most once).  A stamp array replaces per-trial ``visited``
+    re-allocation, and the BFS queue is a preallocated vertex buffer.
+
+Both backends flip the same coins and agree in distribution; the batch
+backend interleaves the draws of the roots sharing a block, so
+realisations for a fixed seed differ (except at ``block_size=1``, where
+they are bit-for-bit identical — see :mod:`repro.sampling.batch`).
 """
 
 from __future__ import annotations
@@ -24,6 +35,8 @@ import numpy as np
 
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import SamplingError
+from repro.sampling.batch import BatchRRSampler, check_backend
+from repro.utils.frontier import Int64Buffer
 
 __all__ = ["ReverseReachableSampler"]
 
@@ -31,28 +44,51 @@ __all__ = ["ReverseReachableSampler"]
 class ReverseReachableSampler:
     """Reusable RR-set sampler bound to one projected piece graph."""
 
-    __slots__ = ("_graph", "_mark", "_stamp", "_queue")
+    __slots__ = ("_graph", "_mark", "_stamp", "_queue", "_backend", "_batch")
 
-    def __init__(self, piece_graph: PieceGraph) -> None:
+    def __init__(
+        self, piece_graph: PieceGraph, *, backend: str | None = None
+    ) -> None:
         self._graph = piece_graph
-        self._mark = np.zeros(piece_graph.n, dtype=np.int64)
+        self._backend = check_backend(backend)
+        self._batch: BatchRRSampler | None = None
+        # Scalar-path scratch is allocated on first use: a batch-backend
+        # sampler that only ever calls sample_many never pays the
+        # 16n-byte mark/queue arrays on top of the engine's own stamps.
+        self._mark: np.ndarray | None = None
         self._stamp = 0
-        self._queue = np.empty(max(piece_graph.n, 1), dtype=np.int64)
+        self._queue: np.ndarray | None = None
 
     @property
     def graph(self) -> PieceGraph:
         """The projected influence graph this sampler draws from."""
         return self._graph
 
+    @property
+    def backend(self) -> str:
+        """Which sampling engine ``sample_many`` routes through."""
+        return self._backend
+
+    def _batch_engine(self) -> BatchRRSampler:
+        if self._batch is None:
+            self._batch = BatchRRSampler(self._graph)
+        return self._batch
+
     def sample(self, root: int, rng) -> np.ndarray:
         """Draw one random RR set for ``root``.
 
         Returns the member vertices as an array; the root is always
         included (a seed containing the root trivially activates it).
+        Single roots always use the reference BFS — a one-root block
+        consumes the rng stream identically, so the two backends cannot
+        diverge here, and the scalar loop is faster for one root.
         """
         n = self._graph.n
         if not (0 <= root < n):
             raise SamplingError(f"root {root} outside [0, {n})")
+        if self._mark is None:
+            self._mark = np.zeros(n, dtype=np.int64)
+            self._queue = np.empty(max(n, 1), dtype=np.int64)
         self._stamp += 1
         stamp = self._stamp
         mark, queue = self._mark, self._queue
@@ -78,19 +114,23 @@ class ReverseReachableSampler:
                     tail += 1
         return queue[:tail].copy()
 
-    def sample_many(self, roots: np.ndarray, rng) -> tuple[np.ndarray, np.ndarray]:
+    def sample_many(
+        self, roots: np.ndarray, rng, *, backend: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Draw RR sets for every root; return them CSR-flattened.
 
         Returns ``(ptr, nodes)`` with ``ptr`` of length ``len(roots)+1``;
-        the ``i``-th RR set is ``nodes[ptr[i]:ptr[i+1]]``.
+        the ``i``-th RR set is ``nodes[ptr[i]:ptr[i+1]]``.  ``backend``
+        overrides the sampler's configured engine for this call.
         """
+        backend = self._backend if backend is None else check_backend(backend)
+        roots = np.asarray(roots, dtype=np.int64)
+        if backend == "batch":
+            return self._batch_engine().sample_many(roots, rng)
         ptr = np.zeros(len(roots) + 1, dtype=np.int64)
-        chunks: list[np.ndarray] = []
+        nodes = Int64Buffer(2 * len(roots) + 16)
         for i, root in enumerate(roots):
             rr = self.sample(int(root), rng)
-            chunks.append(rr)
+            nodes.extend(rr)
             ptr[i + 1] = ptr[i] + rr.size
-        nodes = (
-            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
-        )
-        return ptr, nodes
+        return ptr, nodes.to_array()

@@ -1,0 +1,97 @@
+"""Shared primitives for frontier-at-a-time graph kernels.
+
+Both the batched RR sampler and the vectorized forward-cascade kernel
+expand a whole frontier of vertices per step: gather every adjacency
+slab of the frontier into one flat edge-slot array, coin-flip the slab
+with a single ``rng.random`` call, then deduplicate the surviving
+endpoints.  The helpers here implement those pieces once, in a form
+careful about two contracts:
+
+* slab order is *frontier order* (entry ``i``'s edges occupy one
+  contiguous run, runs concatenated in frontier order), so a frontier
+  held in discovery order consumes the rng stream in exactly the same
+  order as the per-vertex reference loops;
+* deduplication preserves first-occurrence order, so discovery order —
+  and with it rng-stream equality against the reference kernels — is
+  maintained across levels.
+
+:class:`Int64Buffer` is the amortized-doubling append buffer used to
+accumulate CSR node arrays without materialising a Python list of
+per-root chunks: one backing array (at most 2x the result) replaces
+len(roots) small ndarray objects plus the final ``np.concatenate``
+copy — ``to_array`` right-sizes the backing array in place instead of
+copying, so the backing array *is* the peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Int64Buffer", "frontier_edge_slots", "stable_unique"]
+
+
+class Int64Buffer:
+    """Append-only int64 array with amortized-doubling growth."""
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, capacity: int = 16) -> None:
+        self._data = np.empty(max(int(capacity), 1), dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append ``values``, growing the backing array geometrically."""
+        needed = self._size + values.size
+        if needed > self._data.size:
+            capacity = self._data.size
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size : needed] = values
+        self._size = needed
+
+    def to_array(self) -> np.ndarray:
+        """The accumulated values, right-sized in place (no copy).
+
+        Ownership of the backing array transfers to the caller: the
+        shrink is a C-level ``realloc``, so peak memory stays at the
+        backing array itself.  The buffer resets to empty and may be
+        reused afterwards.
+        """
+        data = self._data
+        data.resize(self._size, refcheck=False)
+        self._data = np.empty(1, dtype=np.int64)
+        self._size = 0
+        return data
+
+
+def frontier_edge_slots(
+    ptr: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edge-slot indices of every frontier adjacency slab, concatenated.
+
+    Returns ``(edge_idx, deg)`` where ``deg[i]`` is frontier entry
+    ``i``'s degree and ``edge_idx`` lists the CSR slots of all slabs in
+    frontier order — equivalent to concatenating
+    ``arange(ptr[v], ptr[v + 1])`` for each ``v`` without a Python loop.
+    """
+    deg = ptr[frontier + 1] - ptr[frontier]
+    total = int(deg.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), deg
+    cum = np.cumsum(deg)
+    edge_idx = np.repeat(ptr[frontier] + deg - cum, deg) + np.arange(
+        total, dtype=np.int64
+    )
+    return edge_idx, deg
+
+
+def stable_unique(values: np.ndarray) -> np.ndarray:
+    """Unique values in first-occurrence order (not sorted order)."""
+    uniq, first = np.unique(values, return_index=True)
+    return uniq[np.argsort(first, kind="stable")]

@@ -18,6 +18,7 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "check_fraction",
+    "check_piece_graphs_aligned",
 ]
 
 
@@ -61,3 +62,25 @@ def check_fraction(name: str, value: float) -> float:
     if not (0.0 < value < 1.0):
         raise ParameterError(f"{name} must lie in (0, 1), got {value!r}")
     return value
+
+
+def check_piece_graphs_aligned(
+    piece_graphs,
+    n: int,
+    *,
+    reference: str = "piece graph 0",
+    exc: type[Exception] = ParameterError,
+) -> None:
+    """Require every piece graph to have exactly ``n`` vertices.
+
+    A mismatched graph would otherwise surface as a raw NumPy broadcast
+    error — or, worse, silently corrupt per-vertex counts when its ``n``
+    is larger than the reference.  ``exc`` lets the sampling layer keep
+    its own exception subclass.
+    """
+    for j, pg in enumerate(piece_graphs):
+        if pg.n != n:
+            raise exc(
+                f"piece graph {j} has {pg.n} vertices but {reference} has "
+                f"{n}; all pieces must share one vertex set"
+            )

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.brute_force import (
@@ -11,7 +10,6 @@ from repro.core.brute_force import (
     deterministic_reach,
 )
 from repro.core.plan import AssignmentPlan
-from repro.core.problem import OIPAProblem
 from repro.datasets.running_example import (
     running_example_adoption,
     running_example_campaign,

@@ -16,7 +16,6 @@ configuration — the end-to-end analogues of the per-module properties:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core.plan import AssignmentPlan
-from repro.diffusion.adoption import AdoptionModel
 from repro.diffusion.projection import PieceGraph, project_campaign
 from repro.diffusion.simulate import (
     simulate_adoption_utility,
@@ -15,7 +12,7 @@ from repro.diffusion.simulate import (
 )
 from repro.exceptions import ParameterError
 from repro.graph.digraph import TopicGraph
-from repro.topics.distributions import Campaign, unit_piece
+from repro.topics.distributions import unit_piece
 from repro.utils.rng import as_generator
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import itertools
 
-import numpy as np
 import pytest
 
 from repro.core.coverage import CoverageState
