@@ -1,11 +1,18 @@
 """Benchmarks of the batched sampling engine vs the reference backend.
 
-Times ``sample_many`` under both backends across graph sizes, and full
-MRR-collection construction across piece counts, so the batch engine's
-speedup is recorded in the perf trajectory.  The headline check: on the
-largest micro-kernel graph size (n=2000, the :mod:`bench_micro_kernels`
-world) the batch backend must be at least 5x faster than the Python
-reference loop.
+Times ``sample_many`` under both backends (IC *and* LT) across graph
+sizes, full MRR-collection construction across piece counts, and the
+vectorized coverage marginal-gain kernel against its per-candidate loop
+reference, so every batch-engine speedup is recorded in the perf
+trajectory.  The headline checks, all on the largest micro-kernel graph
+size (n=2000, the :mod:`bench_micro_kernels` world):
+
+* batched IC RR sampling >= 5x over the Python reference loop;
+* batched LT RR sampling >= 5x over the reference weighted walk;
+* vectorized coverage marginal-gain >= 5x over the per-candidate loop;
+* greedy max-coverage seed sets identical across selection paths on
+  every collection, and across sampling backends in the
+  stream-preserving (single-root-block) configuration.
 
 Run:
     PYTHONPATH=src python -m pytest benchmarks/bench_batch_sampling.py -q
@@ -15,14 +22,21 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
 import pytest
 
 from conftest import write_artifact
+from repro.core.coverage import coverage_gains
 from repro.diffusion.projection import project_campaign
+from repro.diffusion.threshold import (
+    LinearThresholdSampler,
+    normalize_lt_weights,
+)
 from repro.graph.generators import (
     build_topic_graph,
     preferential_attachment_digraph,
 )
+from repro.im.ris import max_coverage_seeds
 from repro.sampling.mrr import MRRCollection
 from repro.sampling.rr import ReverseReachableSampler
 from repro.topics.distributions import Campaign
@@ -111,3 +125,154 @@ def test_batch_speedup_target(worlds, artifact_dir):
     assert speedups[LARGEST] >= 5.0, (
         f"batch backend only {speedups[LARGEST]:.1f}x faster at n={LARGEST}"
     )
+
+
+@pytest.fixture(scope="module")
+def lt_worlds(worlds):
+    """The same micro-kernel worlds with LT-normalised weights."""
+    return {
+        n: normalize_lt_weights(piece_graphs[0])
+        for n, (_, _, piece_graphs, _) in worlds.items()
+    }
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("backend", ["python", "batch"])
+def test_lt_sample_many_backend(benchmark, worlds, lt_worlds, n, backend):
+    _, _, _, roots = worlds[n]
+    sampler = LinearThresholdSampler(lt_worlds[n], backend=backend)
+    rng = as_generator(7)
+    ptr, _ = benchmark(sampler.sample_many, roots, rng)
+    assert ptr[-1] >= roots.size  # every walk holds at least its root
+
+
+def test_lt_batch_speedup_target(worlds, lt_worlds, artifact_dir):
+    """The LT acceptance bar: >= 5x over the reference walk at n=2000."""
+    rows = []
+    speedups = {}
+    for n in SIZES:
+        _, _, _, roots = worlds[n]
+        pg = lt_worlds[n]
+        python_s = _best_time(
+            LinearThresholdSampler(pg, backend="python"), roots
+        )
+        batch_s = _best_time(
+            LinearThresholdSampler(pg, backend="batch"), roots
+        )
+        speedups[n] = python_s / batch_s
+        rows.append(
+            [n, pg.num_edges, python_s * 1e3, batch_s * 1e3, speedups[n]]
+        )
+    text = format_table(
+        ["n", "edges", "python (ms)", "batch (ms)", "speedup"],
+        rows,
+        title=f"LT sample_many backends, theta={THETA} walks",
+    )
+    write_artifact(artifact_dir, "lt_batch_sampling_speedup", text)
+    assert speedups[LARGEST] >= 5.0, (
+        f"LT batch backend only {speedups[LARGEST]:.1f}x faster at n={LARGEST}"
+    )
+
+
+def _loop_gains(mrr, piece, pool, covered):
+    """The per-candidate marginal-gain loop the kernel replaced."""
+    return np.array(
+        [
+            int((~covered[mrr.samples_containing(piece, int(v))]).sum())
+            for v in pool
+        ],
+        dtype=np.int64,
+    )
+
+
+def test_coverage_gain_speedup_target(worlds, artifact_dir):
+    """The coverage bar: the vectorized marginal-gain kernel is >= 5x
+    faster than the per-candidate loop at n=2000, with equal output."""
+    graph, campaign, piece_graphs, roots = worlds[LARGEST]
+    sub_campaign = Campaign(list(campaign)[:1])
+    mrr = MRRCollection.generate(
+        graph,
+        sub_campaign,
+        THETA,
+        seed=9,
+        piece_graphs=piece_graphs[:1],
+    )
+    pool = np.arange(graph.n, dtype=np.int64)
+    covered = np.zeros(mrr.theta, dtype=bool)
+    covered[mrr.samples_containing(0, int(pool[7]))] = True
+    loop_s, vec_s = float("inf"), float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        loop = _loop_gains(mrr, 0, pool, covered)
+        loop_s = min(loop_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        vec = coverage_gains(mrr, 0, pool, covered)
+        vec_s = min(vec_s, time.perf_counter() - start)
+    assert np.array_equal(loop, vec)
+    speedup = loop_s / vec_s
+    text = format_table(
+        ["n", "theta", "loop (ms)", "kernel (ms)", "speedup"],
+        [[graph.n, mrr.theta, loop_s * 1e3, vec_s * 1e3, speedup]],
+        title="coverage marginal-gain kernel vs per-candidate loop",
+    )
+    write_artifact(artifact_dir, "coverage_gain_speedup", text)
+    assert speedup >= 5.0, (
+        f"coverage kernel only {speedup:.1f}x faster at n={graph.n}"
+    )
+
+
+def test_greedy_seed_sets_identical_across_backends(worlds, lt_worlds):
+    """Pinned instances: identical greedy seed sets across sampling
+    backends in the stream-preserving configuration, and across
+    selection paths on every collection.
+
+    Multi-root batch blocks interleave the roots' rng draws, so their
+    sample *realisations* legitimately differ from the python loop's
+    (they agree in distribution only).  Cross-backend seed identity is
+    therefore asserted where the engines are bit-for-bit equal — a
+    ``block_size=1`` batch engine against the python reference — for
+    both IC and LT; lazy-vs-dense selection identity is asserted on
+    the default multi-root collections as well.
+    """
+    from repro.diffusion.threshold import LinearThresholdSampler
+    from repro.sampling.batch import BatchLTSampler, BatchRRSampler
+    from repro.sampling.rr import ReverseReachableSampler
+
+    graph, campaign, piece_graphs, _ = worlds[LARGEST]
+    pool = np.arange(0, graph.n, 4, dtype=np.int64)
+    roots = as_generator(31).integers(0, graph.n, size=500)
+    single_block = {
+        "ic": (
+            lambda pg: ReverseReachableSampler(pg, backend="python"),
+            lambda pg: BatchRRSampler(pg, block_size=1),
+        ),
+        "lt": (
+            lambda pg: LinearThresholdSampler(pg, backend="python"),
+            lambda pg: BatchLTSampler(pg, block_size=1),
+        ),
+    }
+    for model, pg in (("ic", piece_graphs[0]), ("lt", lt_worlds[LARGEST])):
+        make_python, make_batch = single_block[model]
+        seeds_by_backend = {}
+        for name, make in (("python", make_python), ("batch", make_batch)):
+            ptr, nodes = make(pg).sample_many(roots, as_generator(13))
+            mrr = MRRCollection(graph.n, roots, [ptr], [nodes])
+            lazy, s_lazy = max_coverage_seeds(mrr, 0, pool, 8, lazy=True)
+            dense, s_dense = max_coverage_seeds(mrr, 0, pool, 8, lazy=False)
+            assert lazy == dense, (model, name)
+            assert s_lazy == pytest.approx(s_dense)
+            seeds_by_backend[name] = lazy
+        assert seeds_by_backend["python"] == seeds_by_backend["batch"], model
+    for model, pgs in (("ic", piece_graphs[:1]), ("lt", [lt_worlds[LARGEST]])):
+        mrr = MRRCollection.generate(
+            graph,
+            Campaign(list(campaign)[:1]),
+            500,
+            seed=11,
+            piece_graphs=pgs,
+            backend="batch",
+            model=model,
+        )
+        lazy, _ = max_coverage_seeds(mrr, 0, pool, 8, lazy=True)
+        dense, _ = max_coverage_seeds(mrr, 0, pool, 8, lazy=False)
+        assert lazy == dense, model

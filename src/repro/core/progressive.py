@@ -26,7 +26,13 @@ from __future__ import annotations
 
 import math
 
-from repro.core.compute_bound import BoundResult, CandidateSpace
+import numpy as np
+
+from repro.core.compute_bound import (
+    BoundResult,
+    CandidateSpace,
+    evaluate_pair_gains,
+)
 from repro.core.coverage import CoverageState
 from repro.core.plan import AssignmentPlan
 from repro.core.tangent import MajorantTable
@@ -66,13 +72,15 @@ def compute_bound_progressive(
     tau = TauState(mrr, table, base, adoption)
     budget = k - partial_plan.size
 
-    # Line 2: order candidates by individual gain delta_∅(v).
+    # Line 2: order candidates by individual gain delta_∅(v) — one
+    # batched kernel scan instead of a per-candidate loop.
     pairs = candidates.pairs(partial_plan)
-    individual: list[tuple[float, tuple[int, int]]] = []
-    for pair in pairs:
-        gain = tau.marginal_gain(pair[0], pair[1])
-        if gain > 0.0:
-            individual.append((gain, pair))
+    initial = evaluate_pair_gains(tau, pairs)
+    individual: list[tuple[float, tuple[int, int]]] = [
+        (float(gain), pair)
+        for gain, pair in zip(initial, pairs)
+        if gain > 0.0
+    ]
     individual.sort(key=lambda item: -item[0])
 
     picks: list[tuple[int, int]] = []
@@ -91,7 +99,13 @@ def compute_bound_progressive(
                     break
                 if pair in chosen:
                     continue
-                gain = tau.marginal_gain(pair[0], pair[1])
+                # Same kernel as the initial scan, so cached individual
+                # gains and fresh re-evaluations round identically.
+                gain = float(
+                    tau.marginal_gains(
+                        np.asarray([pair[0]], dtype=np.int64), pair[1]
+                    )[0]
+                )
                 if gain >= h:
                     tau.add(pair[0], pair[1])
                     chosen.add(pair)

@@ -14,6 +14,7 @@ from repro.diffusion.threshold import (
 from repro.diffusion.simulate import (
     simulate_adoption_utility,
     simulate_cascade,
+    simulate_model_cascade,
     simulate_piece_spread,
 )
 
@@ -22,6 +23,7 @@ __all__ = [
     "PieceGraph",
     "project_campaign",
     "simulate_cascade",
+    "simulate_model_cascade",
     "simulate_piece_spread",
     "simulate_adoption_utility",
     "InteractionMatrix",

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.diffusion.adoption import AdoptionModel
 from repro.diffusion.projection import PieceGraph
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, SamplingError
 from repro.utils.rng import as_generator
 from repro.utils.validation import (
     check_piece_graphs_aligned,
@@ -24,6 +24,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "simulate_cascade",
+    "simulate_model_cascade",
     "simulate_piece_spread",
     "simulate_adoption_utility",
 ]
@@ -86,6 +87,40 @@ def simulate_cascade(
     return active
 
 
+def simulate_model_cascade(
+    piece_graph: PieceGraph,
+    seeds,
+    rng,
+    *,
+    model: str | None = None,
+    backend: str | None = None,
+    check_weights: bool = True,
+) -> np.ndarray:
+    """One forward trial under the named diffusion model.
+
+    Dispatches to :func:`simulate_cascade` (``model="ic"``, the default)
+    or :func:`repro.diffusion.threshold.simulate_lt_cascade`
+    (``model="lt"``); ``backend`` is forwarded to the chosen kernel.
+    ``check_weights=False`` skips the per-trial LT feasibility check —
+    the Monte-Carlo loops below validate each immutable graph once
+    instead of once per trial.
+    """
+    from repro.sampling.batch import check_model
+
+    if check_model(model) == "lt":
+        # Lazy import — threshold pulls in repro.sampling at call time.
+        from repro.diffusion.threshold import simulate_lt_cascade
+
+        return simulate_lt_cascade(
+            piece_graph,
+            seeds,
+            rng,
+            backend=backend,
+            check_weights=check_weights,
+        )
+    return simulate_cascade(piece_graph, seeds, rng, backend=backend)
+
+
 def simulate_piece_spread(
     piece_graph: PieceGraph,
     seeds: Iterable[int],
@@ -93,19 +128,34 @@ def simulate_piece_spread(
     rounds: int = 100,
     seed=None,
     backend: str | None = None,
+    model: str | None = None,
 ) -> float:
     """Monte-Carlo estimate of the classical influence spread sigma_im(S).
 
     Averages the number of activated users over ``rounds`` independent
-    cascade trials.
+    cascade trials.  ``model`` selects the diffusion model
+    (``"ic"``/``"lt"``, default IC); LT graphs should be
+    weight-normalised first.
     """
+    from repro.sampling.batch import check_lt_feasible, check_model
+
     rounds = check_positive_int("rounds", rounds)
+    model = check_model(model)
+    if model == "lt":
+        check_lt_feasible(piece_graph)  # once, not once per trial
     rng = as_generator(seed)
     seeds = list(seeds)
     total = 0
     for _ in range(rounds):
         total += int(
-            simulate_cascade(piece_graph, seeds, rng, backend=backend).sum()
+            simulate_model_cascade(
+                piece_graph,
+                seeds,
+                rng,
+                model=model,
+                backend=backend,
+                check_weights=False,
+            ).sum()
         )
     return total / rounds
 
@@ -119,6 +169,7 @@ def simulate_adoption_utility(
     seed=None,
     return_std: bool = False,
     backend: str | None = None,
+    model=None,
 ):
     """Monte-Carlo estimate of the adoption utility sigma(S-bar) (Eq. 2).
 
@@ -144,7 +195,14 @@ def simulate_adoption_utility(
     backend:
         Cascade kernel selection (``"batch"``/``"python"``, default
         batch); forwarded to :func:`simulate_cascade`.
+    model:
+        Diffusion model per piece — ``"ic"``/``"lt"``, either one name
+        for every piece or a per-piece sequence (heterogeneous multiplex
+        campaigns, e.g. ``["ic", "lt"]``).  Default IC.
     """
+    from repro.sampling.batch import check_lt_feasible
+    from repro.sampling.mrr import resolve_models
+
     if len(piece_graphs) != len(plan_seed_sets):
         raise ParameterError(
             f"{len(plan_seed_sets)} seed sets for {len(piece_graphs)} pieces"
@@ -152,18 +210,32 @@ def simulate_adoption_utility(
     if not piece_graphs:
         raise ParameterError("need at least one piece")
     rounds = check_positive_int("rounds", rounds)
+    try:
+        models = resolve_models(model, len(piece_graphs))
+    except SamplingError as exc:
+        raise ParameterError(str(exc)) from None
     rng = as_generator(seed)
     n = piece_graphs[0].n
     check_piece_graphs_aligned(piece_graphs, n)
+    for pg, piece_model in zip(piece_graphs, models):
+        if piece_model == "lt":
+            check_lt_feasible(pg)  # once per piece, not once per round
     seed_lists = [list(s) for s in plan_seed_sets]
     per_round = np.empty(rounds, dtype=np.float64)
     counts = np.zeros(n, dtype=np.int64)
     for r in range(rounds):
         counts[:] = 0
-        for pg, seeds in zip(piece_graphs, seed_lists):
+        for pg, seeds, piece_model in zip(piece_graphs, seed_lists, models):
             if not seeds:
                 continue
-            counts += simulate_cascade(pg, seeds, rng, backend=backend)
+            counts += simulate_model_cascade(
+                pg,
+                seeds,
+                rng,
+                model=piece_model,
+                backend=backend,
+                check_weights=False,
+            )
         per_round[r] = float(adoption.probability(counts).sum())
     mean = float(per_round.mean())
     if return_std:

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import ParameterError, SamplingError
+from repro.utils.frontier import Int64Buffer, segment_sums
 
 __all__ = [
     "normalize_lt_weights",
@@ -41,34 +42,27 @@ def normalize_lt_weights(piece_graph: PieceGraph) -> PieceGraph:
     Vertices whose incoming probability mass exceeds 1 have all their
     incoming weights divided by that mass; others are untouched.  The
     result is a new :class:`PieceGraph` sharing the adjacency arrays.
+    Negative weights are rejected (:class:`ParameterError`): silently
+    rescaling them would flip the LT semantics, and every downstream
+    kernel assumes nonnegative mass.
+
+    The per-vertex scale factor depends only on the *destination*
+    vertex, so the forward view is rebuilt in one vectorized division
+    (``out_prob / scale[out_dst]``) instead of an edge-by-edge slot scan.
     """
-    n = piece_graph.n
     in_ptr, in_prob = piece_graph.in_ptr, piece_graph.in_prob
-    new_in = in_prob.copy()
-    new_out = piece_graph.out_prob.copy()
-    # Map reverse slots back to forward slots via shared ordering: the
-    # reverse view was built as out_prob[in_edge]; we rebuild the
-    # forward view from scratch afterwards instead of tracking indexes.
-    for v in range(n):
-        lo, hi = in_ptr[v], in_ptr[v + 1]
-        total = float(in_prob[lo:hi].sum())
-        if total > 1.0:
-            new_in[lo:hi] = in_prob[lo:hi] / total
-    # Rebuild forward probabilities consistently: for each reverse slot
-    # we know (src, dst) and can look up the forward slot by scanning
-    # the source's out-range once.
-    slot_of_edge = {}
-    for v in range(n):
-        lo, hi = piece_graph.out_ptr[v], piece_graph.out_ptr[v + 1]
-        for s in range(lo, hi):
-            slot_of_edge[(v, int(piece_graph.out_dst[s]))] = s
-    for v in range(n):
-        lo, hi = in_ptr[v], in_ptr[v + 1]
-        for s in range(lo, hi):
-            u = int(piece_graph.in_src[s])
-            new_out[slot_of_edge[(u, v)]] = new_in[s]
+    if in_prob.size and float(in_prob.min()) < 0.0:
+        bad = int(np.argmin(in_prob))
+        raise ParameterError(
+            f"negative LT edge weight {in_prob[bad]!r} at reverse slot "
+            f"{bad}; weights must be nonnegative"
+        )
+    totals = segment_sums(in_prob, np.diff(in_ptr))
+    scale = np.where(totals > 1.0, totals, 1.0)
+    new_in = in_prob / np.repeat(scale, np.diff(in_ptr))
+    new_out = piece_graph.out_prob / scale[piece_graph.out_dst]
     return PieceGraph(
-        n,
+        piece_graph.n,
         piece_graph.out_ptr,
         piece_graph.out_dst,
         new_out,
@@ -78,24 +72,49 @@ def normalize_lt_weights(piece_graph: PieceGraph) -> PieceGraph:
     )
 
 
-def simulate_lt_cascade(piece_graph: PieceGraph, seeds, rng) -> np.ndarray:
+def simulate_lt_cascade(
+    piece_graph: PieceGraph,
+    seeds,
+    rng,
+    *,
+    backend: str | None = None,
+    check_weights: bool = True,
+) -> np.ndarray:
     """One LT trial: uniform thresholds, weighted in-neighbour sums.
 
     A vertex activates when the weight of its active in-neighbours
     reaches its threshold.  Requires per-vertex incoming weight sums of
     at most 1 (use :func:`normalize_lt_weights` first); raises otherwise.
+    ``check_weights=False`` skips that O(E) validation — Monte-Carlo
+    callers validate the immutable graph once and hoist the check out
+    of their trial loops.
+
+    ``backend="batch"`` (the default) routes through the vectorized
+    frontier-at-a-time kernel of :mod:`repro.sampling.batch`;
+    ``backend="python"`` runs the per-vertex reference loop below.  Both
+    consume the rng stream identically (one ``rng.random(n)`` threshold
+    draw), but internal pressure bookkeeping differs in two harmless
+    ways (frontier ordering, and accumulation past activation), so the
+    activation masks agree up to last-ulp float rounding rather than by
+    construction — see
+    :func:`repro.sampling.batch.simulate_lt_cascade_batch` for the
+    precise contract.
     """
-    n = piece_graph.n
-    in_ptr, in_src, in_prob = (
-        piece_graph.in_ptr,
-        piece_graph.in_src,
-        piece_graph.in_prob,
+    # Imported lazily: repro.sampling pulls in this module through the
+    # diffusion package, so a module-level import would be circular.
+    from repro.sampling.batch import (
+        check_backend,
+        check_lt_feasible,
+        simulate_lt_cascade_batch,
     )
-    for v in range(n):
-        if float(in_prob[in_ptr[v] : in_ptr[v + 1]].sum()) > 1.0 + 1e-9:
-            raise ParameterError(
-                f"vertex {v} has incoming LT weight > 1; normalise first"
-            )
+
+    if check_backend(backend) == "batch":
+        return simulate_lt_cascade_batch(
+            piece_graph, seeds, rng, check_weights=check_weights
+        )
+    n = piece_graph.n
+    if check_weights:
+        check_lt_feasible(piece_graph)
     thresholds = rng.random(n)
     active = np.zeros(n, dtype=bool)
     pressure = np.zeros(n, dtype=np.float64)
@@ -136,13 +155,27 @@ class LinearThresholdSampler:
     remaining mass), so a reverse-reachable set is the path followed by
     repeatedly sampling one predecessor until the walk stops or cycles.
     Drop-in compatible with :class:`repro.sampling.rr.
-    ReverseReachableSampler` (same ``sample`` / ``sample_many`` API).
+    ReverseReachableSampler` (same ``sample`` / ``sample_many`` API,
+    including the ``backend`` knob: ``"batch"`` routes ``sample_many``
+    through :class:`repro.sampling.batch.BatchLTSampler`, ``"python"``
+    keeps the per-walk reference loop below).
     """
 
-    __slots__ = ("_graph", "_mark", "_stamp")
+    __slots__ = ("_graph", "_mark", "_stamp", "_backend", "_batch")
 
-    def __init__(self, piece_graph: PieceGraph) -> None:
+    def __init__(
+        self, piece_graph: PieceGraph, *, backend: str | None = None
+    ) -> None:
+        # Lazy import — see simulate_lt_cascade for the cycle note.
+        from repro.sampling.batch import check_backend, check_lt_feasible
+
+        # Fail loudly on un-normalised weights: with excess incoming
+        # mass the walk always finds a predecessor and every RR-based
+        # estimate silently inflates.
+        check_lt_feasible(piece_graph)
         self._graph = piece_graph
+        self._backend = check_backend(backend)
+        self._batch = None
         self._mark = np.zeros(piece_graph.n, dtype=np.int64)
         self._stamp = 0
 
@@ -150,6 +183,18 @@ class LinearThresholdSampler:
     def graph(self) -> PieceGraph:
         """The underlying (weight-normalised) piece graph."""
         return self._graph
+
+    @property
+    def backend(self) -> str:
+        """Which sampling engine ``sample_many`` routes through."""
+        return self._backend
+
+    def _batch_engine(self):
+        from repro.sampling.batch import BatchLTSampler
+
+        if self._batch is None:
+            self._batch = BatchLTSampler(self._graph)
+        return self._batch
 
     def sample(self, root: int, rng) -> np.ndarray:
         n = self._graph.n
@@ -189,15 +234,24 @@ class LinearThresholdSampler:
             current = nxt
         return np.asarray(path, dtype=np.int64)
 
-    def sample_many(self, roots, rng) -> tuple[np.ndarray, np.ndarray]:
-        """CSR-flattened batch form, mirroring the IC sampler."""
+    def sample_many(
+        self, roots, rng, *, backend: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-flattened batch form, mirroring the IC sampler.
+
+        ``backend`` overrides the sampler's configured engine for this
+        call (``"batch"``/``"python"``).
+        """
+        from repro.sampling.batch import check_backend
+
+        backend = self._backend if backend is None else check_backend(backend)
+        roots = np.asarray(roots, dtype=np.int64)
+        if backend == "batch":
+            return self._batch_engine().sample_many(roots, rng)
         ptr = np.zeros(len(roots) + 1, dtype=np.int64)
-        chunks = []
+        nodes = Int64Buffer(2 * len(roots) + 16)
         for i, root in enumerate(roots):
             rr = self.sample(int(root), rng)
-            chunks.append(rr)
+            nodes.extend(rr)
             ptr[i + 1] = ptr[i] + rr.size
-        nodes = (
-            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
-        )
-        return ptr, nodes
+        return ptr, nodes.to_array()

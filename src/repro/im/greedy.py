@@ -15,7 +15,7 @@ import heapq
 import numpy as np
 
 from repro.diffusion.projection import PieceGraph
-from repro.diffusion.simulate import simulate_cascade
+from repro.diffusion.simulate import simulate_model_cascade
 from repro.exceptions import SolverError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
@@ -31,14 +31,19 @@ def celf_greedy_im(
     rounds: int = 200,
     seed=None,
     backend: str | None = None,
+    model: str | None = None,
 ) -> tuple[list[int], float]:
     """Select ``k`` seeds by CELF lazy greedy over simulated spread.
 
     ``rounds`` cascades are averaged per marginal-spread evaluation; the
     same common-random-numbers generator is reused across evaluations to
     reduce comparison noise.  ``backend`` selects the cascade kernel
-    (``"batch"``/``"python"``, default batch — identical streams, so the
-    choice never changes the selected seeds).
+    (``"batch"``/``"python"``, default batch — identical rng streams, so
+    under IC the choice never changes the selected seeds; under LT the
+    masks can differ at last-ulp rounding, see
+    :func:`repro.diffusion.threshold.simulate_lt_cascade`); ``model``
+    selects the diffusion model (``"ic"``/``"lt"``, default IC — LT
+    graphs must be weight-normalised first).
 
     Returns ``(seeds, spread_estimate)``.
 
@@ -47,8 +52,12 @@ def celf_greedy_im(
     the original CELF paper) results can differ from plain greedy by a
     noise-sized margin.
     """
+    from repro.sampling.batch import check_lt_feasible, check_model
+
     check_positive_int("k", k)
     check_positive_int("rounds", rounds)
+    if check_model(model) == "lt":
+        check_lt_feasible(piece_graph)  # once, not once per trial
     rng = as_generator(seed)
     if pool is None:
         pool = np.arange(piece_graph.n, dtype=np.int64)
@@ -63,8 +72,13 @@ def celf_greedy_im(
         eval_rng = as_generator(int(rng.integers(0, 2**63 - 1)))
         for _ in range(rounds):
             total += int(
-                simulate_cascade(
-                    piece_graph, seeds, eval_rng, backend=backend
+                simulate_model_cascade(
+                    piece_graph,
+                    seeds,
+                    eval_rng,
+                    model=model,
+                    backend=backend,
+                    check_weights=False,
                 ).sum()
             )
         return total / rounds

@@ -16,6 +16,7 @@ import heapq
 
 import numpy as np
 
+from repro.core.coverage import coverage_gains
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import SolverError
 from repro.sampling.mrr import MRRCollection
@@ -36,6 +37,15 @@ def max_coverage_seeds(
 ) -> tuple[list[int], float]:
     """Greedy max coverage of one piece's RR sets, seeds from ``pool``.
 
+    Both variants drive their marginal gains through the batched
+    inverted-index kernel (:func:`repro.core.coverage.coverage_gains`):
+    the lazy (CELF) path batches the initial full scan — its dominant
+    cost — and re-evaluates stale entries on demand; ``lazy=False``
+    rescans the whole pool per iteration with one kernel call each.
+    Gains are integer counts, so both variants (and the historical
+    per-candidate loop) break ties identically — on the first pool
+    position — and select the same seed set.
+
     Returns ``(seeds, spread_estimate)`` where the spread estimate is the
     standard ``n/theta * |covered sets|``.
     """
@@ -45,23 +55,17 @@ def max_coverage_seeds(
         raise SolverError("empty candidate pool")
     covered = np.zeros(mrr.theta, dtype=bool)
 
-    def marginal(v: int) -> int:
-        samples = mrr.samples_containing(piece, int(v))
-        if samples.size == 0:
-            return 0
-        return int((~covered[samples]).sum())
-
     def commit(v: int) -> None:
-        samples = mrr.samples_containing(piece, int(v))
-        covered[samples] = True
+        covered[mrr.samples_containing(piece, int(v))] = True
 
     seeds: list[int] = []
     if lazy:
-        heap: list[tuple[int, int, int, int]] = []
-        for idx, v in enumerate(pool):
-            gain = marginal(int(v))
-            if gain > 0:
-                heap.append((-gain, idx, int(v), 0))
+        initial = coverage_gains(mrr, piece, pool, covered)
+        heap: list[tuple[int, int, int, int]] = [
+            (-int(gain), idx, int(v), 0)
+            for idx, (v, gain) in enumerate(zip(pool, initial))
+            if gain > 0
+        ]
         heapq.heapify(heap)
         while heap and len(seeds) < k:
             neg_gain, idx, v, evaluated_at = heapq.heappop(heap)
@@ -69,25 +73,21 @@ def max_coverage_seeds(
                 commit(v)
                 seeds.append(v)
                 continue
-            gain = marginal(v)
+            samples = mrr.samples_containing(piece, v)
+            gain = int((~covered[samples]).sum()) if samples.size else 0
             if gain > 0:
                 heapq.heappush(heap, (-gain, idx, v, len(seeds)))
     else:
-        chosen: set[int] = set()
+        chosen = np.zeros(pool.size, dtype=bool)
         for _ in range(k):
-            best_gain, best_v = 0, None
-            for v in pool:
-                v = int(v)
-                if v in chosen:
-                    continue
-                gain = marginal(v)
-                if gain > best_gain:
-                    best_gain, best_v = gain, v
-            if best_v is None:
+            gains = coverage_gains(mrr, piece, pool, covered)
+            gains[chosen] = 0
+            best = int(np.argmax(gains))  # ties: first pool position
+            if gains[best] <= 0:
                 break
-            commit(best_v)
-            chosen.add(best_v)
-            seeds.append(best_v)
+            commit(int(pool[best]))
+            chosen[best] = True
+            seeds.append(int(pool[best]))
     spread = mrr.n / mrr.theta * float(covered.sum())
     return seeds, spread
 
@@ -100,6 +100,7 @@ def ris_influence_maximization(
     pool: np.ndarray | None = None,
     seed=None,
     backend: str | None = None,
+    model: str | None = None,
 ) -> tuple[list[int], float]:
     """End-to-end RIS IM on a homogeneous influence graph.
 
@@ -107,16 +108,26 @@ def ris_influence_maximization(
     by greedy max coverage.  This is the engine behind the paper's ``IM``
     baseline (run on the flattened graph) and a reference implementation
     for the classical problem.  ``backend`` selects the RR sampling
-    engine (``"batch"``/``"python"``, default batch).
+    engine (``"batch"``/``"python"``, default batch); ``model`` selects
+    the diffusion model (``"ic"``/``"lt"``, default IC — the same RIS
+    machinery applies to both, Sec. II).  Under LT the graph should be
+    weight-normalised first (:func:`repro.diffusion.threshold.
+    normalize_lt_weights`).
 
     Returns ``(seeds, spread_estimate)``.
     """
+    from repro.diffusion.threshold import LinearThresholdSampler
+    from repro.sampling.batch import check_model
+
     check_positive_int("k", k)
     check_positive_int("theta", theta)
     rng = as_generator(seed)
     if pool is None:
         pool = np.arange(piece_graph.n, dtype=np.int64)
-    sampler = ReverseReachableSampler(piece_graph, backend=backend)
+    if check_model(model) == "lt":
+        sampler = LinearThresholdSampler(piece_graph, backend=backend)
+    else:
+        sampler = ReverseReachableSampler(piece_graph, backend=backend)
     roots = rng.integers(0, piece_graph.n, size=theta)
     ptr, nodes = sampler.sample_many(roots, rng)
     collection = MRRCollection(piece_graph.n, roots, [ptr], [nodes])

@@ -4,11 +4,16 @@ from repro.sampling.rr import ReverseReachableSampler
 from repro.sampling.batch import (
     BACKENDS,
     DEFAULT_BACKEND,
+    DEFAULT_MODEL,
+    MODELS,
+    BatchLTSampler,
     BatchRRSampler,
     check_backend,
+    check_model,
     simulate_cascade_batch,
+    simulate_lt_cascade_batch,
 )
-from repro.sampling.mrr import MRRCollection
+from repro.sampling.mrr import MRRCollection, resolve_models
 from repro.sampling.adaptive import generate_adaptive, theta_for_error_target
 from repro.sampling.theta import (
     estimation_error,
@@ -19,11 +24,17 @@ from repro.sampling.theta import (
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "MODELS",
+    "DEFAULT_MODEL",
+    "BatchLTSampler",
     "BatchRRSampler",
     "ReverseReachableSampler",
     "MRRCollection",
     "check_backend",
+    "check_model",
+    "resolve_models",
     "simulate_cascade_batch",
+    "simulate_lt_cascade_batch",
     "hoeffding_theta",
     "estimation_error",
     "relative_error_theta",

@@ -31,22 +31,48 @@ roots' draws, which is where the speed comes from).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import ParameterError, SamplingError
-from repro.utils.frontier import Int64Buffer, frontier_edge_slots, stable_unique
+from repro.utils.frontier import (
+    Int64Buffer,
+    frontier_edge_slots,
+    segment_sums,
+    stable_unique,
+)
+from repro.utils.validation import check_index_array
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "MODELS",
+    "DEFAULT_MODEL",
+    "BatchLTSampler",
     "BatchRRSampler",
     "check_backend",
+    "check_lt_feasible",
+    "check_model",
     "simulate_cascade_batch",
+    "simulate_lt_cascade_batch",
 ]
 
 BACKENDS = ("python", "batch")
-DEFAULT_BACKEND = "batch"
+
+# The default backend honours the REPRO_BACKEND environment variable so
+# CI can run the whole suite under either engine (the env matrix keeps
+# the reference path from rotting).  Unset or empty means "batch".
+_ENV_BACKEND = os.environ.get("REPRO_BACKEND")
+if _ENV_BACKEND and _ENV_BACKEND not in BACKENDS:
+    raise ParameterError(
+        f"REPRO_BACKEND must be one of {BACKENDS}, got {_ENV_BACKEND!r}"
+    )
+DEFAULT_BACKEND = _ENV_BACKEND or "batch"
+
+MODELS = ("ic", "lt")
+DEFAULT_MODEL = "ic"
 
 # Scratch budget for the per-sampler (block x n) stamp array: 2^21 int64
 # cells = 16 MB.  The block size is clamped so huge graphs fall back to
@@ -64,6 +90,36 @@ def check_backend(backend: str | None) -> str:
             f"backend must be one of {BACKENDS}, got {backend!r}"
         )
     return backend
+
+
+def check_model(model: str | None) -> str:
+    """Normalise a diffusion-model choice; ``None`` means the default."""
+    if model is None:
+        return DEFAULT_MODEL
+    if model not in MODELS:
+        raise ParameterError(
+            f"model must be one of {MODELS}, got {model!r}"
+        )
+    return model
+
+
+def check_lt_feasible(piece_graph: PieceGraph) -> None:
+    """Require every vertex's incoming LT weight sum to be at most 1.
+
+    The LT live-edge equivalence (and with it every RR-based estimate)
+    only holds under this feasibility condition — with excess mass the
+    single-predecessor walk always finds a live edge and RR sets are
+    systematically too large.  Samplers and forward kernels share this
+    one vectorized check so an un-normalised graph fails loudly instead
+    of silently inflating estimates;
+    :func:`repro.diffusion.threshold.normalize_lt_weights` repairs it.
+    """
+    in_sums = segment_sums(piece_graph.in_prob, np.diff(piece_graph.in_ptr))
+    if in_sums.size and (in_sums > 1.0 + 1e-9).any():
+        bad = int(np.argmax(in_sums > 1.0 + 1e-9))
+        raise ParameterError(
+            f"vertex {bad} has incoming LT weight > 1; normalise first"
+        )
 
 
 class BatchRRSampler:
@@ -124,9 +180,7 @@ class BatchRRSampler:
             raise SamplingError(
                 f"roots must be one-dimensional, got shape {roots.shape}"
             )
-        if roots.size and ((roots < 0) | (roots >= n)).any():
-            bad = roots[(roots < 0) | (roots >= n)][0]
-            raise SamplingError(f"root {bad} outside [0, {n})")
+        check_index_array("root", roots, n, exc=SamplingError)
         in_ptr = self._graph.in_ptr
         in_src = self._graph.in_src
         in_prob = self._graph.in_prob
@@ -210,6 +264,207 @@ def simulate_cascade_batch(
         hit = draws < out_prob[edge_idx]
         targets = out_dst[edge_idx[hit]]
         fresh = stable_unique(targets[~active[targets]])
+        active[fresh] = True
+        frontier = fresh
+    return active
+
+
+class BatchLTSampler:
+    """Batched LT RR-set sampler: weighted walks, a block per kernel pass.
+
+    Under LT's live-edge view each vertex keeps at most one incoming
+    edge, so an RR set is the path of a weighted single-predecessor walk
+    (see :class:`repro.diffusion.threshold.LinearThresholdSampler`, the
+    per-vertex reference).  This engine advances a whole block of walks
+    per step: every live walk's reverse slab is gathered into one flat
+    array, the inverse-CDF predecessor choice is resolved with one
+    segment-local cumulative sum, and cycles are cut with the same
+    ``(root slot, vertex)`` stamp array as :class:`BatchRRSampler`.
+
+    Stream contract, mirroring the IC engine: each walk step consumes
+    exactly one uniform draw per live walk — a walk at a vertex with no
+    incoming edges terminates *without* drawing, matching the reference
+    loop.  A ``block_size=1`` sampler therefore consumes the rng stream
+    bit-for-bit like the reference (``np.cumsum`` accumulates
+    sequentially, so even the inverse-CDF comparisons round
+    identically); multi-root blocks interleave the walks' draws and
+    agree in distribution.
+    """
+
+    __slots__ = ("_graph", "_block", "_mark", "_stamp")
+
+    def __init__(
+        self, piece_graph: PieceGraph, *, block_size: int | None = None
+    ) -> None:
+        n = piece_graph.n
+        if block_size is None:
+            block_size = min(_MAX_BLOCK, max(1, _SCRATCH_CELLS // max(n, 1)))
+        block_size = int(block_size)
+        if block_size < 1:
+            raise ParameterError(
+                f"block_size must be >= 1, got {block_size}"
+            )
+        check_lt_feasible(piece_graph)
+        self._graph = piece_graph
+        self._block = block_size
+        self._mark = np.zeros(block_size * max(n, 1), dtype=np.int64)
+        self._stamp = 0
+
+    @property
+    def graph(self) -> PieceGraph:
+        """The underlying (weight-normalised) piece graph."""
+        return self._graph
+
+    @property
+    def block_size(self) -> int:
+        """How many walks share each kernel pass."""
+        return self._block
+
+    def sample(self, root: int, rng) -> np.ndarray:
+        """Draw one LT RR set for ``root`` (a single-walk block)."""
+        _, nodes = self.sample_many(
+            np.asarray([root], dtype=np.int64), rng
+        )
+        return nodes
+
+    def sample_many(self, roots, rng) -> tuple[np.ndarray, np.ndarray]:
+        """Draw LT RR sets for every root; return them CSR-flattened.
+
+        Returns ``(ptr, nodes)`` with ``ptr`` of length ``len(roots)+1``;
+        the ``i``-th RR set is ``nodes[ptr[i]:ptr[i+1]]``, root first,
+        then predecessors in walk order.
+        """
+        n = self._graph.n
+        roots = np.ascontiguousarray(np.asarray(roots, dtype=np.int64))
+        if roots.ndim != 1:
+            raise SamplingError(
+                f"roots must be one-dimensional, got shape {roots.shape}"
+            )
+        check_index_array("root", roots, n, exc=SamplingError)
+        in_ptr = self._graph.in_ptr
+        in_src = self._graph.in_src
+        in_prob = self._graph.in_prob
+        mark = self._mark
+        sizes = np.zeros(roots.size, dtype=np.int64)
+        out = Int64Buffer(2 * roots.size + 16)
+        for start in range(0, roots.size, self._block):
+            block_roots = roots[start : start + self._block]
+            b = block_roots.size
+            self._stamp += 1
+            stamp = self._stamp
+            slots = np.arange(b, dtype=np.int64)
+            mark[slots * n + block_roots] = stamp
+            cur_v, cur_r = block_roots, slots
+            found_v = [block_roots]
+            found_r = [slots]
+            while cur_v.size:
+                deg = in_ptr[cur_v + 1] - in_ptr[cur_v]
+                alive = deg > 0
+                if not alive.all():
+                    # Walks at in-degree-0 vertices stop without a draw,
+                    # exactly like the reference loop's early break.
+                    cur_v, cur_r, deg = cur_v[alive], cur_r[alive], deg[alive]
+                if cur_v.size == 0:
+                    break
+                draws = rng.random(cur_v.size)
+                edge_idx, _ = frontier_edge_slots(in_ptr, cur_v)
+                cum = np.cumsum(in_prob[edge_idx])
+                starts = np.cumsum(deg) - deg
+                base = np.where(starts > 0, cum[starts - 1], 0.0)
+                local = cum - np.repeat(base, deg)
+                # local is nondecreasing per segment, so {local > draw}
+                # is a suffix: its size gives the chosen slot directly.
+                above = (local > np.repeat(draws, deg)).astype(np.int64)
+                counts = np.add.reduceat(above, starts)
+                live = counts > 0  # else the "no live incoming edge" mass
+                if not live.any():
+                    break
+                chosen = starts[live] + (deg[live] - counts[live])
+                nxt = in_src[edge_idx[chosen]]
+                nxt_r = cur_r[live]
+                key = nxt_r * n + nxt
+                fresh = mark[key] != stamp  # walked into a cycle: stop
+                if not fresh.all():
+                    nxt, nxt_r, key = nxt[fresh], nxt_r[fresh], key[fresh]
+                if nxt.size == 0:
+                    break
+                mark[key] = stamp
+                found_v.append(nxt)
+                found_r.append(nxt_r)
+                cur_v, cur_r = nxt, nxt_r
+            if len(found_v) > 1:
+                block_v = np.concatenate(found_v)
+                block_r = np.concatenate(found_r)
+                order = np.argsort(block_r, kind="stable")
+                block_v, block_r = block_v[order], block_r[order]
+            else:
+                block_v, block_r = found_v[0], found_r[0]
+            sizes[start : start + b] = np.bincount(block_r, minlength=b)
+            out.extend(block_v)
+        ptr = np.zeros(roots.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=ptr[1:])
+        return ptr, out.to_array()
+
+
+def simulate_lt_cascade_batch(
+    piece_graph: PieceGraph, seeds, rng, *, check_weights: bool = True
+) -> np.ndarray:
+    """One Linear Threshold trial, frontier-at-a-time.
+
+    Vectorized counterpart of
+    :func:`repro.diffusion.threshold.simulate_lt_cascade`: thresholds
+    are drawn with the same single ``rng.random(n)`` call (identical
+    stream consumption), and each level accumulates the whole frontier's
+    out-slab weights onto inactive targets with one unbuffered
+    ``np.add.at`` (sequential, like the reference's scalar ``+=``).
+
+    Equivalence caveats: (1) within a level this kernel orders the next
+    frontier by *first contribution* while the reference loop orders it
+    by *threshold crossing*, so the edge streams of later levels can be
+    permutations of each other and a still-inactive target's pressure
+    sum may differ from the reference's in its last ulp; (2) a target
+    that activates mid-level stops accumulating pressure in the
+    reference (its ``active`` flag is re-checked per edge) but receives
+    the whole level's contributions here.  Neither affects the mask:
+    an active vertex's pressure is never consulted again, and for
+    inactive vertices the *set* of additions is identical, so masks are
+    equal up to last-ulp rounding of the pressure sums — exactly equal
+    whenever the sums are order-independent (e.g. dyadic weights), and
+    in practice indistinguishable: a mask flip needs a threshold to
+    land inside a ~1e-16 rounding gap.
+
+    ``check_weights=False`` skips the O(E) feasibility validation —
+    Monte-Carlo callers validate the immutable graph once and hoist the
+    check out of their trial loops (~30% of per-trial time at n=2000).
+    """
+    n = piece_graph.n
+    if check_weights:
+        check_lt_feasible(piece_graph)
+    thresholds = rng.random(n)
+    active = np.zeros(n, dtype=bool)
+    pressure = np.zeros(n, dtype=np.float64)
+    frontier_seeds: list[int] = []
+    for s in seeds:
+        s = int(s)
+        if not (0 <= s < n):
+            raise ParameterError(f"seed {s} outside [0, {n})")
+        if not active[s]:
+            active[s] = True
+            frontier_seeds.append(s)
+    frontier = np.asarray(frontier_seeds, dtype=np.int64)
+    out_ptr = piece_graph.out_ptr
+    out_dst = piece_graph.out_dst
+    out_prob = piece_graph.out_prob
+    while frontier.size:
+        edge_idx, _ = frontier_edge_slots(out_ptr, frontier)
+        if edge_idx.size == 0:
+            break
+        targets = out_dst[edge_idx]
+        inactive = ~active[targets]
+        hit = targets[inactive]
+        np.add.at(pressure, hit, out_prob[edge_idx[inactive]])
+        candidates = stable_unique(hit)
+        fresh = candidates[pressure[candidates] >= thresholds[candidates]]
         active[fresh] = True
         frontier = fresh
     return active

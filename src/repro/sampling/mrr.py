@@ -25,17 +25,38 @@ import numpy as np
 
 from repro.diffusion.adoption import AdoptionModel
 from repro.diffusion.projection import PieceGraph, project_campaign
+from repro.diffusion.threshold import LinearThresholdSampler
 from repro.exceptions import SamplingError
 from repro.graph.digraph import TopicGraph
+from repro.sampling.batch import check_model
 from repro.sampling.rr import ReverseReachableSampler
 from repro.topics.distributions import Campaign
+from repro.utils.frontier import frontier_edge_slots
 from repro.utils.rng import as_generator
 from repro.utils.validation import (
+    check_index_array,
     check_piece_graphs_aligned,
     check_positive_int,
 )
 
-__all__ = ["MRRCollection"]
+__all__ = ["MRRCollection", "resolve_models"]
+
+
+def resolve_models(model, num_pieces: int) -> tuple[str, ...]:
+    """Normalise a diffusion-model choice into one name per piece.
+
+    ``model`` may be ``None`` (the default model for every piece), a
+    single name applied to every piece, or a sequence of per-piece
+    names — the heterogeneous mixed-model workload of multiplex IM.
+    """
+    if model is None or isinstance(model, str):
+        return (check_model(model),) * num_pieces
+    models = tuple(check_model(m) for m in model)
+    if len(models) != num_pieces:
+        raise SamplingError(
+            f"{len(models)} diffusion models for {num_pieces} pieces"
+        )
+    return models
 
 
 class MRRCollection:
@@ -90,6 +111,7 @@ class MRRCollection:
         seed=None,
         piece_graphs: Sequence[PieceGraph] | None = None,
         backend: str | None = None,
+        model=None,
     ) -> "MRRCollection":
         """Generate ``theta`` MRR samples for ``campaign`` on ``graph``.
 
@@ -99,7 +121,11 @@ class MRRCollection:
         reuses projections between the optimisation and evaluation
         collections).  ``backend`` selects the RR sampling engine
         (``"batch"``/``"python"``, default batch — see
-        :mod:`repro.sampling.batch`).
+        :mod:`repro.sampling.batch`).  ``model`` selects the diffusion
+        model (``"ic"``/``"lt"``, default IC) — either one name for every
+        piece or a per-piece sequence (heterogeneous multiplex
+        campaigns).  LT pieces should be weight-normalised first
+        (:func:`repro.diffusion.threshold.normalize_lt_weights`).
         """
         theta = check_positive_int("theta", theta)
         if graph.n == 0:
@@ -118,11 +144,15 @@ class MRRCollection:
             reference="the campaign graph",
             exc=SamplingError,
         )
+        models = resolve_models(model, campaign.num_pieces)
         roots = rng.integers(0, graph.n, size=theta)
         rr_ptr: list[np.ndarray] = []
         rr_nodes: list[np.ndarray] = []
-        for pg in piece_graphs:
-            sampler = ReverseReachableSampler(pg, backend=backend)
+        for pg, piece_model in zip(piece_graphs, models):
+            if piece_model == "lt":
+                sampler = LinearThresholdSampler(pg, backend=backend)
+            else:
+                sampler = ReverseReachableSampler(pg, backend=backend)
             ptr, nodes = sampler.sample_many(roots, rng)
             rr_ptr.append(ptr)
             rr_nodes.append(nodes)
@@ -169,6 +199,43 @@ class MRRCollection:
         ptr = self._idx_ptr[piece]
         return self._idx_samples[piece][ptr[vertex] : ptr[vertex + 1]]
 
+    def index_arrays(self, piece: int) -> tuple[np.ndarray, np.ndarray]:
+        """One piece's raw CSR inverted index ``(idx_ptr, idx_samples)``.
+
+        ``idx_samples[idx_ptr[v]:idx_ptr[v+1]]`` are the sample ids whose
+        RR set contains ``v`` — the flat arrays the vectorized coverage
+        kernels (:mod:`repro.core.coverage`) gather over.  Callers must
+        treat both arrays as read-only.
+        """
+        self._check_piece(piece)
+        return self._idx_ptr[piece], self._idx_samples[piece]
+
+    def gather_index_slabs(
+        self,
+        piece: int,
+        vertices,
+        *,
+        exc: type[Exception] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate and gather many vertices' inverted-index slabs.
+
+        The shared prologue of every batch coverage kernel: range-checks
+        ``piece`` and ``vertices`` (raising ``exc``, default
+        :class:`SamplingError`, so each layer keeps its own exception
+        class), then returns ``(samples, deg)`` — the concatenation of
+        each vertex's sample-id slab in vertex order, plus the per-vertex
+        slab lengths for the caller's segmented reduction.
+        """
+        exc = SamplingError if exc is None else exc
+        if not (0 <= piece < self.num_pieces):
+            raise exc(f"piece {piece} outside [0, {self.num_pieces})")
+        vertices = np.asarray(vertices, dtype=np.int64)
+        check_index_array("vertex", vertices, self.n, exc=exc)
+        slot_idx, deg = frontier_edge_slots(self._idx_ptr[piece], vertices)
+        if slot_idx.size == 0:
+            return np.zeros(0, dtype=np.int64), deg
+        return self._idx_samples[piece][slot_idx], deg
+
     def rr_set_sizes(self, piece: int) -> np.ndarray:
         """Sizes of every RR set for ``piece``."""
         self._check_piece(piece)
@@ -207,9 +274,13 @@ class MRRCollection:
         counts = np.zeros(self.theta, dtype=np.int64)
         covered = np.zeros(self.theta, dtype=bool)
         for j, seeds in enumerate(plan_seed_sets):
+            seeds = np.asarray(list(seeds), dtype=np.int64)
+            if seeds.size == 0:
+                continue
+            check_index_array("vertex", seeds, self.n, exc=SamplingError)
             covered[:] = False
-            for v in seeds:
-                covered[self.samples_containing(j, int(v))] = True
+            slot_idx, _ = frontier_edge_slots(self._idx_ptr[j], seeds)
+            covered[self._idx_samples[j][slot_idx]] = True
             counts += covered
         return counts
 

@@ -27,7 +27,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Int64Buffer", "frontier_edge_slots", "stable_unique"]
+__all__ = [
+    "Int64Buffer",
+    "frontier_edge_slots",
+    "segment_sums",
+    "stable_unique",
+]
 
 
 class Int64Buffer:
@@ -89,6 +94,28 @@ def frontier_edge_slots(
         total, dtype=np.int64
     )
     return edge_idx, deg
+
+
+def segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``values`` split into runs of ``lengths``.
+
+    ``values`` holds the segments back to back (the layout
+    :func:`frontier_edge_slots` produces); segment ``i`` spans
+    ``values[sum(lengths[:i]) : sum(lengths[:i+1])]``.  Zero-length
+    segments sum to zero.  Summation within a segment is sequential
+    (``np.add.reduceat``), matching left-to-right scalar accumulation.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    values = np.asarray(values)
+    if values.dtype == bool:
+        values = values.astype(np.int64)
+    out = np.zeros(lengths.size, dtype=values.dtype)
+    nonempty = lengths > 0
+    if values.size == 0 or not nonempty.any():
+        return out
+    starts = np.cumsum(lengths) - lengths
+    out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    return out
 
 
 def stable_unique(values: np.ndarray) -> np.ndarray:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.exceptions import ParameterError
 
 __all__ = [
@@ -18,8 +20,30 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "check_fraction",
+    "check_index_array",
     "check_piece_graphs_aligned",
 ]
+
+
+def check_index_array(
+    name: str,
+    values: np.ndarray,
+    n: int,
+    *,
+    exc: type[Exception] = ParameterError,
+) -> None:
+    """Require every value to lie in ``[0, n)``, failing on the first.
+
+    The shared bounds check of the batch kernels: one vectorized mask
+    pass over roots / candidate vertices / seed arrays, raising ``exc``
+    (each layer keeps its own exception subclass) naming the first
+    offender.
+    """
+    if values.size == 0:
+        return
+    bad = (values < 0) | (values >= n)
+    if bad.any():
+        raise exc(f"{name} {values[bad][0]} outside [0, {n})")
 
 
 def check_positive(name: str, value: float) -> float:

@@ -247,10 +247,14 @@ class TestBackendSelection:
         with pytest.raises(ParameterError):
             simulate_cascade(pg, [0], as_generator(0), backend="numba")
 
-    def test_default_backend_is_batch(self):
-        assert check_backend(None) == DEFAULT_BACKEND == "batch"
+    def test_default_backend_follows_env(self):
+        """Default is batch, unless the REPRO_BACKEND CI matrix overrides."""
+        import os
+
+        expected = os.environ.get("REPRO_BACKEND") or "batch"
+        assert check_backend(None) == DEFAULT_BACKEND == expected
         pg = project([], 2)
-        assert ReverseReachableSampler(pg).backend == "batch"
+        assert ReverseReachableSampler(pg).backend == expected
 
     def test_per_call_backend_override(self):
         pg = project([(0, 1, {0: 1.0})], 2)

@@ -45,6 +45,13 @@ class TestNormalizeWeights:
         normalize_lt_weights(pg)
         np.testing.assert_array_equal(pg.in_prob, before)
 
+    def test_negative_weight_rejected_not_normalized(self):
+        """Negative mass fails loudly instead of being silently rescaled."""
+        pg = project([(0, 2, {0: 0.9}), (1, 2, {0: 0.9})], 3)
+        pg.in_prob[1] = -0.5
+        with pytest.raises(ParameterError, match="negative"):
+            normalize_lt_weights(pg)
+
 
 class TestSimulateLT:
     def test_certain_chain_activates(self):
