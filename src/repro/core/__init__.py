@@ -2,6 +2,7 @@
 
 from repro.core.plan import AssignmentPlan
 from repro.core.problem import OIPAProblem
+from repro.core.bitset import PieceBitMatrix, SampleBitset
 from repro.core.coverage import CoverageState
 from repro.core.tangent import MajorantTable, refine_tangent_slope
 from repro.core.upper_bound import TauState
@@ -24,6 +25,8 @@ from repro.core.local_search import LocalSearchResult, local_search
 __all__ = [
     "AssignmentPlan",
     "OIPAProblem",
+    "PieceBitMatrix",
+    "SampleBitset",
     "CoverageState",
     "MajorantTable",
     "refine_tangent_slope",

@@ -30,6 +30,7 @@ from repro.core.compute_bound import (
     CandidateSpace,
     compute_bound,
 )
+from repro.core.coverage import CoverageState
 from repro.core.plan import AssignmentPlan
 from repro.core.problem import OIPAProblem
 from repro.core.progressive import compute_bound_progressive
@@ -170,7 +171,10 @@ class BranchAndBoundSolver:
     # ------------------------------------------------------------------
 
     def _compute_bound(
-        self, plan: AssignmentPlan, candidates: CandidateSpace
+        self,
+        plan: AssignmentPlan,
+        candidates: CandidateSpace,
+        base: CoverageState | None = None,
     ) -> BoundResult:
         if self.bound_kind == "greedy":
             return compute_bound(
@@ -181,6 +185,7 @@ class BranchAndBoundSolver:
                 candidates,
                 self.problem.k,
                 lazy=self.lazy,
+                base=base,
             )
         return compute_bound_progressive(
             self.mrr,
@@ -190,6 +195,7 @@ class BranchAndBoundSolver:
             candidates,
             self.problem.k,
             epsilon=self.epsilon,
+            base=base,
         )
 
     def solve(self) -> SolverResult:
@@ -242,11 +248,24 @@ class BranchAndBoundSolver:
                 continue
             v_star, j_star = node.bound.first_pick
 
-            # Lines 9-12: include / exclude v* for piece j*.
+            # Lines 9-12: include / exclude v* for piece j*.  The node's
+            # coverage is rebuilt once; the include child branches off it
+            # with an O(dirty words) copy-on-write clone plus one `add`,
+            # and the exclude child (same plan as the node) consumes the
+            # base directly.  Covered cells and counts are set-identical
+            # to per-child `from_plan` rebuilds, so bounds match exactly.
             child_space = node.candidates.without(v_star, j_star)
             include_plan = node.plan.with_assignment(v_star, j_star)
-            for child_plan in (include_plan, node.plan):
-                child_bound = self._compute_bound(child_plan, child_space)
+            node_cov = CoverageState.from_plan(self.mrr, node.plan)
+            include_cov = node_cov.copy()
+            include_cov.add(v_star, j_star)
+            for child_plan, child_cov in (
+                (include_plan, include_cov),
+                (node.plan, node_cov),
+            ):
+                child_bound = self._compute_bound(
+                    child_plan, child_space, base=child_cov
+                )
                 diag.bounds_computed += 1
                 diag.tau_evaluations += child_bound.evaluations
                 # Lines 14-15: incumbent update.

@@ -121,6 +121,7 @@ def compute_bound(
     k: int,
     *,
     lazy: bool = True,
+    base: CoverageState | None = None,
 ) -> BoundResult:
     """Run Algorithm 2 for one search node.
 
@@ -137,12 +138,21 @@ def compute_bound(
     lazy:
         Use CELF-style lazy evaluation (identical output, fewer
         evaluations).  ``False`` reproduces the literal rescanning loop.
+    base:
+        Optional pre-built coverage of ``partial_plan``.  The BAB driver
+        derives each child's base from the parent node's via a
+        copy-on-write clone plus one :meth:`CoverageState.add` — the
+        final covered cells and counts are set-identical to a fresh
+        ``from_plan`` rebuild, so bounds are unchanged; only the
+        reconstruction cost disappears.  The state is consumed (anchored
+        by the tau evaluation) and must not be reused by the caller.
     """
     if partial_plan.size > k:
         raise SolverError(
             f"partial plan already uses {partial_plan.size} > k = {k}"
         )
-    base = CoverageState.from_plan(mrr, partial_plan)
+    if base is None:
+        base = CoverageState.from_plan(mrr, partial_plan)
     tau = TauState(mrr, table, base, adoption)
     budget = k - partial_plan.size
     pairs = candidates.pairs(partial_plan)

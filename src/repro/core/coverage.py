@@ -3,9 +3,12 @@
 Every solver needs the same two quantities, updated as assignments are
 added: which (sample, piece) cells are already covered, and how many
 distinct pieces cover each sample (``counts``).  :class:`CoverageState`
-maintains both with O(index lookup) updates and O(theta * l) copies, and
-is shared by the AU estimator, the tau upper-bound state, and the
-baselines' coverage greedy.
+maintains both with O(index lookup) updates; the cell set lives in a
+word-packed :class:`~repro.core.bitset.PieceBitMatrix` with per-piece
+copy-on-write rows, so :meth:`CoverageState.copy` — the
+branch-and-bound branching operation — is O(piece rows) instead of the
+historical O(theta * l) dense bool copy, and a branch only ever pays
+for the rows it actually dirties.
 
 The module also hosts the *batch* coverage kernels: instead of looping
 candidate vertices in Python and slicing the inverted index once per
@@ -14,13 +17,15 @@ into one flat array (:func:`~repro.utils.frontier.frontier_edge_slots`
 over the CSR ``idx_ptr``) and reduces the uncovered flags with a single
 segmented sum — one NumPy dispatch for the whole candidate pool.  The
 RIS greedy, the baselines, and the tau bound all drive their
-marginal-gain scans through these kernels.
+marginal-gain scans through these kernels; ``covered`` may be either a
+dense bool vector or a packed :class:`~repro.core.bitset.SampleBitset`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.bitset import COUNT_DTYPE, PieceBitMatrix, SampleBitset
 from repro.core.plan import AssignmentPlan
 from repro.diffusion.adoption import AdoptionModel
 from repro.exceptions import SolverError
@@ -34,36 +39,45 @@ def coverage_gains(
     mrr: MRRCollection,
     piece: int,
     vertices: np.ndarray,
-    covered: np.ndarray,
+    covered,
 ) -> np.ndarray:
     """Newly-covered sample counts for every candidate vertex at once.
 
     ``gains[i]`` is the number of ``piece`` RR sets containing
-    ``vertices[i]`` that ``covered`` (a boolean array over the ``theta``
-    samples) does not cover yet — exactly
+    ``vertices[i]`` that ``covered`` does not cover yet — exactly
     ``(~covered[mrr.samples_containing(piece, v)]).sum()`` for each
     candidate, computed with one index gather and one segmented sum
-    instead of a Python loop over candidates.
+    instead of a Python loop over candidates.  ``covered`` is either a
+    boolean array over the ``theta`` samples or a packed
+    :class:`~repro.core.bitset.SampleBitset` (the RIS greedy's working
+    set) — membership tests cost the same single dispatch either way.
     """
-    if covered.shape != (mrr.theta,):
+    packed = isinstance(covered, SampleBitset)
+    if packed:
+        if covered.size != mrr.theta:
+            raise SolverError(
+                f"covered bitset sized {covered.size}, expected {mrr.theta}"
+            )
+    elif covered.shape != (mrr.theta,):
         raise SolverError(
             f"covered must have shape ({mrr.theta},), got {covered.shape}"
         )
     samples, deg = mrr.gather_index_slabs(piece, vertices, exc=SolverError)
     if samples.size == 0:
         return np.zeros(deg.size, dtype=np.int64)
-    return segment_sums(~covered[samples], deg)
+    hit = covered.test(samples) if packed else covered[samples]
+    return segment_sums(~hit, deg)
 
 
 class CoverageState:
     """Mutable (sample x piece) coverage induced by a growing plan."""
 
-    __slots__ = ("mrr", "covered", "counts")
+    __slots__ = ("mrr", "bits", "counts")
 
     def __init__(self, mrr: MRRCollection) -> None:
         self.mrr = mrr
-        self.covered = np.zeros((mrr.theta, mrr.num_pieces), dtype=bool)
-        self.counts = np.zeros(mrr.theta, dtype=np.int64)
+        self.bits = PieceBitMatrix(mrr.num_pieces, mrr.theta)
+        self.counts = np.zeros(mrr.theta, dtype=COUNT_DTYPE)
 
     @classmethod
     def from_plan(cls, mrr: MRRCollection, plan: AssignmentPlan) -> "CoverageState":
@@ -79,11 +93,28 @@ class CoverageState:
                 state.add_many(np.asarray(seeds, dtype=np.int64), j)
         return state
 
+    @property
+    def covered(self) -> np.ndarray:
+        """Dense ``(theta, l)`` bool view of the packed cell set.
+
+        Materialised on demand for inspection and the historical API;
+        mutating the returned array does not affect the state — use
+        :meth:`add` / :meth:`add_many`.
+        """
+        return self.bits.to_bool()
+
     def copy(self) -> "CoverageState":
-        """Independent copy (used when branching)."""
+        """Independent copy (used when branching).
+
+        The packed rows are shared copy-on-write — O(l) now, one
+        ``theta/8``-byte row duplication per piece a side later
+        dirties — and ``counts`` is duplicated eagerly, so no
+        mutation of either state can ever reach the other through a
+        shared slab.
+        """
         clone = CoverageState.__new__(CoverageState)
         clone.mrr = self.mrr
-        clone.covered = self.covered.copy()
+        clone.bits = self.bits.copy()
         clone.counts = self.counts.copy()
         return clone
 
@@ -100,9 +131,9 @@ class CoverageState:
         samples = self.mrr.samples_containing(piece, vertex)
         if samples.size == 0:
             return samples
-        fresh = samples[~self.covered[samples, piece]]
+        fresh = samples[~self.bits.test(piece, samples)]
         if fresh.size:
-            self.covered[fresh, piece] = True
+            self.bits.set_many(piece, fresh)
             self.counts[fresh] += 1
         return fresh
 
@@ -112,7 +143,7 @@ class CoverageState:
         samples = self.mrr.samples_containing(piece, vertex)
         if samples.size == 0:
             return samples
-        return samples[~self.covered[samples, piece]]
+        return samples[~self.bits.test(piece, samples)]
 
     def add_many(self, vertices, piece: int) -> np.ndarray:
         """Cover ``(v, piece)`` for every ``v``; return fresh sample ids.
@@ -128,9 +159,9 @@ class CoverageState:
         if samples.size == 0:
             return samples
         samples = np.unique(samples)
-        fresh = samples[~self.covered[samples, piece]]
+        fresh = samples[~self.bits.test(piece, samples)]
         if fresh.size:
-            self.covered[fresh, piece] = True
+            self.bits.set_many(piece, fresh)
             self.counts[fresh] += 1
         return fresh
 
@@ -151,6 +182,6 @@ class CoverageState:
 
     def __repr__(self) -> str:
         return (
-            f"CoverageState(covered={int(self.covered.sum())} cells, "
+            f"CoverageState(covered={self.bits.count_cells()} cells, "
             f"theta={self.mrr.theta}, pieces={self.mrr.num_pieces})"
         )

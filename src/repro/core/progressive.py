@@ -56,19 +56,24 @@ def compute_bound_progressive(
     k: int,
     *,
     epsilon: float = 0.5,
+    base: CoverageState | None = None,
 ) -> BoundResult:
     """Run Algorithm 3 for one search node.
 
     ``epsilon`` is the threshold-decay knob the experiments sweep in
     Fig. 3: larger values take bigger threshold steps (faster, coarser),
-    degrading the guarantee to (1 − 1/e − eps).
+    degrading the guarantee to (1 − 1/e − eps).  ``base`` optionally
+    supplies a pre-built coverage of ``partial_plan`` (see
+    :func:`repro.core.compute_bound.compute_bound`); bounds are
+    identical either way.
     """
     check_positive("epsilon", epsilon)
     if partial_plan.size > k:
         raise SolverError(
             f"partial plan already uses {partial_plan.size} > k = {k}"
         )
-    base = CoverageState.from_plan(mrr, partial_plan)
+    if base is None:
+        base = CoverageState.from_plan(mrr, partial_plan)
     tau = TauState(mrr, table, base, adoption)
     budget = k - partial_plan.size
 

@@ -46,7 +46,7 @@ class TauState:
         "table",
         "adoption",
         "base_counts",
-        "covered",
+        "bits",
         "counts",
         "scale",
         "evaluations",
@@ -69,7 +69,10 @@ class TauState:
         self.table = table
         self.adoption = adoption
         self.base_counts = base_coverage.counts.copy()
-        self.covered = base_coverage.covered.copy()
+        # Copy-on-write clone of the base's packed cell set: O(l) here,
+        # and greedy growth only duplicates the piece rows it touches —
+        # the base coverage is never written through the share.
+        self.bits = base_coverage.bits.copy()
         self.counts = base_coverage.counts.copy()
         self.scale = mrr.n / mrr.theta
         self.evaluations = 0
@@ -82,6 +85,15 @@ class TauState:
     def value(self) -> float:
         """Current ``tau`` value (absolute, same scale as sigma)."""
         return self._value
+
+    @property
+    def covered(self) -> np.ndarray:
+        """Dense ``(theta, l)`` bool view of the packed cell set.
+
+        Materialised on demand (inspection / historical API); mutating
+        the returned array does not affect the state.
+        """
+        return self.bits.to_bool()
 
     def utility(self) -> float:
         """The *actual* AU estimate of the tracked coverage (Eq. 6)."""
@@ -96,7 +108,7 @@ class TauState:
         samples = self.mrr.samples_containing(piece, vertex)
         if samples.size == 0:
             return 0.0
-        fresh = samples[~self.covered[samples, piece]]
+        fresh = samples[~self.bits.test(piece, samples)]
         if fresh.size == 0:
             return 0.0
         gains = self.table.gains[self.base_counts[fresh], self.counts[fresh]]
@@ -118,7 +130,7 @@ class TauState:
         self.evaluations += int(deg.size)
         if samples.size == 0:
             return np.zeros(deg.size, dtype=np.float64)
-        fresh = ~self.covered[samples, piece]
+        fresh = ~self.bits.test(piece, samples)
         vals = np.where(
             fresh,
             self.table.gains[self.base_counts[samples], self.counts[samples]],
@@ -131,12 +143,12 @@ class TauState:
         samples = self.mrr.samples_containing(piece, vertex)
         if samples.size == 0:
             return 0.0
-        fresh = samples[~self.covered[samples, piece]]
+        fresh = samples[~self.bits.test(piece, samples)]
         if fresh.size == 0:
             return 0.0
         gains = self.table.gains[self.base_counts[fresh], self.counts[fresh]]
         gain = float(self.scale * gains.sum())
-        self.covered[fresh, piece] = True
+        self.bits.set_many(piece, fresh)
         self.counts[fresh] += 1
         self._value += gain
         return gain

@@ -121,6 +121,25 @@ def simulate_model_cascade(
     return simulate_cascade(piece_graph, seeds, rng, backend=backend)
 
 
+def _spread_chunk_task(args):
+    """One rounds-chunk of :func:`simulate_piece_spread` (picklable)."""
+    piece_graph, seeds, model, backend, count, seed = args
+    rng = as_generator(seed)
+    total = 0
+    for _ in range(count):
+        total += int(
+            simulate_model_cascade(
+                piece_graph,
+                seeds,
+                rng,
+                model=model,
+                backend=backend,
+                check_weights=False,
+            ).sum()
+        )
+    return total
+
+
 def simulate_piece_spread(
     piece_graph: PieceGraph,
     seeds: Iterable[int],
@@ -129,15 +148,30 @@ def simulate_piece_spread(
     seed=None,
     backend: str | None = None,
     model: str | None = None,
+    workers=None,
+    executor: str | None = None,
+    pool=None,
 ) -> float:
     """Monte-Carlo estimate of the classical influence spread sigma_im(S).
 
     Averages the number of activated users over ``rounds`` independent
     cascade trials.  ``model`` selects the diffusion model
     (``"ic"``/``"lt"``, default IC); LT graphs should be
-    weight-normalised first.
+    weight-normalised first.  ``workers`` fans fixed-size chunks of
+    rounds out on a pool with spawned child streams
+    (:mod:`repro.sampling.parallel`) — estimates are identical for
+    every worker count; ``None`` keeps the historical serial stream.
+    Callers evaluating many spreads may pass a pre-built ``pool``
+    (:func:`repro.sampling.parallel.make_pool`) to reuse across calls;
+    they keep ownership of its shutdown.
     """
     from repro.sampling.batch import check_lt_feasible, check_model
+    from repro.sampling.parallel import (
+        parallel_map,
+        resolve_workers,
+        round_chunks,
+        spawn_task_seeds,
+    )
 
     rounds = check_positive_int("rounds", rounds)
     model = check_model(model)
@@ -145,6 +179,21 @@ def simulate_piece_spread(
         check_lt_feasible(piece_graph)  # once, not once per trial
     rng = as_generator(seed)
     seeds = list(seeds)
+    pool_width = resolve_workers(workers)
+    if pool_width is not None:
+        chunks = round_chunks(rounds)
+        task_seeds = spawn_task_seeds(rng, len(chunks))
+        totals = parallel_map(
+            _spread_chunk_task,
+            [
+                (piece_graph, seeds, model, backend, stop - start, s)
+                for (start, stop), s in zip(chunks, task_seeds)
+            ],
+            pool_width,
+            executor=executor,
+            pool=pool,
+        )
+        return sum(totals) / rounds
     total = 0
     for _ in range(rounds):
         total += int(
@@ -160,6 +209,30 @@ def simulate_piece_spread(
     return total / rounds
 
 
+def _utility_chunk_task(args):
+    """One rounds-chunk of :func:`simulate_adoption_utility` (picklable)."""
+    piece_graphs, seed_lists, models, adoption, backend, count, seed = args
+    rng = as_generator(seed)
+    n = piece_graphs[0].n
+    per_round = np.empty(count, dtype=np.float64)
+    counts = np.zeros(n, dtype=np.int64)
+    for r in range(count):
+        counts[:] = 0
+        for pg, seeds, piece_model in zip(piece_graphs, seed_lists, models):
+            if not seeds:
+                continue
+            counts += simulate_model_cascade(
+                pg,
+                seeds,
+                rng,
+                model=piece_model,
+                backend=backend,
+                check_weights=False,
+            )
+        per_round[r] = float(adoption.probability(counts).sum())
+    return per_round
+
+
 def simulate_adoption_utility(
     piece_graphs: Sequence[PieceGraph],
     plan_seed_sets: Sequence[Iterable[int]],
@@ -170,6 +243,8 @@ def simulate_adoption_utility(
     return_std: bool = False,
     backend: str | None = None,
     model=None,
+    workers=None,
+    executor: str | None = None,
 ):
     """Monte-Carlo estimate of the adoption utility sigma(S-bar) (Eq. 2).
 
@@ -199,9 +274,21 @@ def simulate_adoption_utility(
         Diffusion model per piece — ``"ic"``/``"lt"``, either one name
         for every piece or a per-piece sequence (heterogeneous multiplex
         campaigns, e.g. ``["ic", "lt"]``).  Default IC.
+    workers, executor:
+        Parallel Monte-Carlo runtime (:mod:`repro.sampling.parallel`):
+        fixed-size chunks of rounds run on a ``"thread"`` or
+        ``"process"`` pool with spawned child streams, merged in chunk
+        order — estimates are identical for every worker count.
+        ``workers=None`` keeps the historical serial stream.
     """
     from repro.sampling.batch import check_lt_feasible
     from repro.sampling.mrr import resolve_models
+    from repro.sampling.parallel import (
+        parallel_map,
+        resolve_workers,
+        round_chunks,
+        spawn_task_seeds,
+    )
 
     if len(piece_graphs) != len(plan_seed_sets):
         raise ParameterError(
@@ -221,22 +308,41 @@ def simulate_adoption_utility(
         if piece_model == "lt":
             check_lt_feasible(pg)  # once per piece, not once per round
     seed_lists = [list(s) for s in plan_seed_sets]
-    per_round = np.empty(rounds, dtype=np.float64)
-    counts = np.zeros(n, dtype=np.int64)
-    for r in range(rounds):
-        counts[:] = 0
-        for pg, seeds, piece_model in zip(piece_graphs, seed_lists, models):
-            if not seeds:
-                continue
-            counts += simulate_model_cascade(
-                pg,
-                seeds,
-                rng,
-                model=piece_model,
-                backend=backend,
-                check_weights=False,
-            )
-        per_round[r] = float(adoption.probability(counts).sum())
+    pool_width = resolve_workers(workers)
+    if pool_width is not None:
+        chunks = round_chunks(rounds)
+        task_seeds = spawn_task_seeds(rng, len(chunks))
+        pieces = list(piece_graphs)
+        slices = parallel_map(
+            _utility_chunk_task,
+            [
+                (pieces, seed_lists, models, adoption, backend,
+                 stop - start, s)
+                for (start, stop), s in zip(chunks, task_seeds)
+            ],
+            pool_width,
+            executor=executor,
+        )
+        per_round = np.concatenate(slices)
+    else:
+        per_round = np.empty(rounds, dtype=np.float64)
+        counts = np.zeros(n, dtype=np.int64)
+        for r in range(rounds):
+            counts[:] = 0
+            for pg, seeds, piece_model in zip(
+                piece_graphs, seed_lists, models
+            ):
+                if not seeds:
+                    continue
+                counts += simulate_model_cascade(
+                    pg,
+                    seeds,
+                    rng,
+                    model=piece_model,
+                    backend=backend,
+                    check_weights=False,
+                )
+            per_round[r] = float(adoption.probability(counts).sum())
     mean = float(per_round.mean())
     if return_std:
         std_err = float(per_round.std(ddof=1) / np.sqrt(rounds)) if rounds > 1 else 0.0

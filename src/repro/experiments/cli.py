@@ -41,6 +41,18 @@ _DRIVERS = {
 }
 
 
+def _parse_workers_flag(text: str):
+    """argparse type for ``--workers``: int, ``auto``, or ``serial``."""
+    if text in ("auto", "serial"):
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, 'auto', or 'serial', got {text!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -78,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the profile seed"
     )
     parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="N",
+        type=_parse_workers_flag,
+        help="parallel sampling fan-out: an integer pool size, 'auto', "
+        "or 'serial' (default: the profile's setting — serial)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -110,6 +130,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["datasets"] = tuple(args.datasets)
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     if overrides:
         profile = profile.with_overrides(**overrides)
 

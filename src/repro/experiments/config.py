@@ -69,6 +69,11 @@ class ExperimentProfile:
     eval_theta: int | None = None  # defaults to theta
     theta_multiplier: dict[str, float] = field(default_factory=dict)
     seed: int = 2019  # ICDE year; fixed for reproducibility
+    #: Sampling-runtime fan-out (``repro.sampling.parallel``): ``None``
+    #: keeps the historical serial stream, ``"auto"``/int fan the
+    #: (piece, root block) tasks out on a pool.  Collections are
+    #: identical for every worker count, so figures stay reproducible.
+    workers: int | str | None = None
 
     def scale_for(self, dataset: str) -> float | None:
         """Scale override for ``dataset`` (None = registry default)."""

@@ -134,6 +134,7 @@ def prepare_instance(
             opt_theta,
             seed=rng_opt,
             piece_graphs=piece_graphs,
+            workers=profile.workers,
         )
         mrr_eval = MRRCollection.generate(
             graph,
@@ -141,6 +142,7 @@ def prepare_instance(
             eval_theta,
             seed=rng_eval,
             piece_graphs=piece_graphs,
+            workers=profile.workers,
         )
     return PreparedInstance(
         bundle=bundle,

@@ -32,6 +32,8 @@ def celf_greedy_im(
     seed=None,
     backend: str | None = None,
     model: str | None = None,
+    workers=None,
+    executor: str | None = None,
 ) -> tuple[list[int], float]:
     """Select ``k`` seeds by CELF lazy greedy over simulated spread.
 
@@ -43,7 +45,11 @@ def celf_greedy_im(
     masks can differ at last-ulp rounding, see
     :func:`repro.diffusion.threshold.simulate_lt_cascade`); ``model``
     selects the diffusion model (``"ic"``/``"lt"``, default IC — LT
-    graphs must be weight-normalised first).
+    graphs must be weight-normalised first).  ``workers`` runs each
+    marginal-spread evaluation's rounds on the parallel Monte-Carlo
+    runtime (chunked trials, spawned child streams — see
+    :mod:`repro.sampling.parallel`); selections are identical for every
+    worker count, while ``None`` keeps the historical serial stream.
 
     Returns ``(seeds, spread_estimate)``.
 
@@ -52,7 +58,9 @@ def celf_greedy_im(
     the original CELF paper) results can differ from plain greedy by a
     noise-sized margin.
     """
+    from repro.diffusion.simulate import simulate_piece_spread
     from repro.sampling.batch import check_lt_feasible, check_model
+    from repro.sampling.parallel import make_pool, resolve_workers
 
     check_positive_int("k", k)
     check_positive_int("rounds", rounds)
@@ -64,12 +72,33 @@ def celf_greedy_im(
     pool = np.asarray(pool, dtype=np.int64)
     if pool.size == 0:
         raise SolverError("empty candidate pool")
+    pool_width = resolve_workers(workers)
+    # One pool for the whole CELF run: spread() is called O(|pool| + k)
+    # times, so per-evaluation pool construction would dwarf the gain.
+    eval_pool = (
+        make_pool(pool_width, executor=executor)
+        if pool_width is not None
+        else None
+    )
 
     def spread(seeds: list[int]) -> float:
         if not seeds:
             return 0.0
+        entropy = int(rng.integers(0, 2**63 - 1))
+        if pool_width is not None:
+            return simulate_piece_spread(
+                piece_graph,
+                seeds,
+                rounds=rounds,
+                seed=entropy,
+                backend=backend,
+                model=model,
+                workers=pool_width,
+                executor=executor,
+                pool=eval_pool,
+            )
         total = 0
-        eval_rng = as_generator(int(rng.integers(0, 2**63 - 1)))
+        eval_rng = as_generator(entropy)
         for _ in range(rounds):
             total += int(
                 simulate_model_cascade(
@@ -83,19 +112,23 @@ def celf_greedy_im(
             )
         return total / rounds
 
-    seeds: list[int] = []
-    current = 0.0
-    heap: list[tuple[float, int, int, int]] = []
-    for idx, v in enumerate(pool):
-        gain = spread([int(v)])
-        heap.append((-gain, idx, int(v), 0))
-    heapq.heapify(heap)
-    while heap and len(seeds) < k:
-        neg_gain, idx, v, evaluated_at = heapq.heappop(heap)
-        if evaluated_at == len(seeds):
-            seeds.append(v)
-            current = current + (-neg_gain)
-            continue
-        gain = spread(seeds + [v]) - current
-        heapq.heappush(heap, (-gain, idx, v, len(seeds)))
-    return seeds, current
+    try:
+        seeds: list[int] = []
+        current = 0.0
+        heap: list[tuple[float, int, int, int]] = []
+        for idx, v in enumerate(pool):
+            gain = spread([int(v)])
+            heap.append((-gain, idx, int(v), 0))
+        heapq.heapify(heap)
+        while heap and len(seeds) < k:
+            neg_gain, idx, v, evaluated_at = heapq.heappop(heap)
+            if evaluated_at == len(seeds):
+                seeds.append(v)
+                current = current + (-neg_gain)
+                continue
+            gain = spread(seeds + [v]) - current
+            heapq.heappush(heap, (-gain, idx, v, len(seeds)))
+        return seeds, current
+    finally:
+        if eval_pool is not None:
+            eval_pool.shutdown(wait=True, cancel_futures=True)

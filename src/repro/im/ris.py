@@ -16,6 +16,7 @@ import heapq
 
 import numpy as np
 
+from repro.core.bitset import SampleBitset
 from repro.core.coverage import coverage_gains
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import SolverError
@@ -42,9 +43,12 @@ def max_coverage_seeds(
     the lazy (CELF) path batches the initial full scan — its dominant
     cost — and re-evaluates stale entries on demand; ``lazy=False``
     rescans the whole pool per iteration with one kernel call each.
-    Gains are integer counts, so both variants (and the historical
-    per-candidate loop) break ties identically — on the first pool
-    position — and select the same seed set.
+    The working covered set is a word-packed
+    :class:`~repro.core.bitset.SampleBitset` (theta/8 bytes instead of
+    theta bools; the final spread is one popcount).  Gains are integer
+    counts, so both variants (and the historical per-candidate loop)
+    break ties identically — on the first pool position — and select
+    the same seed set.
 
     Returns ``(seeds, spread_estimate)`` where the spread estimate is the
     standard ``n/theta * |covered sets|``.
@@ -53,10 +57,10 @@ def max_coverage_seeds(
     pool = np.asarray(pool, dtype=np.int64)
     if pool.size == 0:
         raise SolverError("empty candidate pool")
-    covered = np.zeros(mrr.theta, dtype=bool)
+    covered = SampleBitset(mrr.theta)
 
     def commit(v: int) -> None:
-        covered[mrr.samples_containing(piece, int(v))] = True
+        covered.set_many(mrr.samples_containing(piece, int(v)))
 
     seeds: list[int] = []
     if lazy:
@@ -74,7 +78,7 @@ def max_coverage_seeds(
                 seeds.append(v)
                 continue
             samples = mrr.samples_containing(piece, v)
-            gain = int((~covered[samples]).sum()) if samples.size else 0
+            gain = int((~covered.test(samples)).sum()) if samples.size else 0
             if gain > 0:
                 heapq.heappush(heap, (-gain, idx, v, len(seeds)))
     else:
@@ -88,7 +92,7 @@ def max_coverage_seeds(
             commit(int(pool[best]))
             chosen[best] = True
             seeds.append(int(pool[best]))
-    spread = mrr.n / mrr.theta * float(covered.sum())
+    spread = mrr.n / mrr.theta * float(covered.count())
     return seeds, spread
 
 
@@ -101,6 +105,8 @@ def ris_influence_maximization(
     seed=None,
     backend: str | None = None,
     model: str | None = None,
+    workers=None,
+    executor: str | None = None,
 ) -> tuple[list[int], float]:
     """End-to-end RIS IM on a homogeneous influence graph.
 
@@ -112,23 +118,40 @@ def ris_influence_maximization(
     the diffusion model (``"ic"``/``"lt"``, default IC — the same RIS
     machinery applies to both, Sec. II).  Under LT the graph should be
     weight-normalised first (:func:`repro.diffusion.threshold.
-    normalize_lt_weights`).
+    normalize_lt_weights`).  ``workers`` fans the root blocks out on the
+    parallel sampling runtime (:mod:`repro.sampling.parallel`) — seed
+    sets are identical for every worker count; ``None`` keeps the
+    historical serial stream.
 
     Returns ``(seeds, spread_estimate)``.
     """
     from repro.diffusion.threshold import LinearThresholdSampler
     from repro.sampling.batch import check_model
+    from repro.sampling.parallel import resolve_workers, sample_piece_blocks
 
     check_positive_int("k", k)
     check_positive_int("theta", theta)
     rng = as_generator(seed)
     if pool is None:
         pool = np.arange(piece_graph.n, dtype=np.int64)
-    if check_model(model) == "lt":
-        sampler = LinearThresholdSampler(piece_graph, backend=backend)
-    else:
-        sampler = ReverseReachableSampler(piece_graph, backend=backend)
+    model = check_model(model)
     roots = rng.integers(0, piece_graph.n, size=theta)
-    ptr, nodes = sampler.sample_many(roots, rng)
+    pool_width = resolve_workers(workers)
+    if pool_width is not None:
+        ((ptr, nodes),) = sample_piece_blocks(
+            [piece_graph],
+            (model,),
+            roots,
+            rng,
+            backend=backend,
+            workers=pool_width,
+            executor=executor,
+        )
+    else:
+        if model == "lt":
+            sampler = LinearThresholdSampler(piece_graph, backend=backend)
+        else:
+            sampler = ReverseReachableSampler(piece_graph, backend=backend)
+        ptr, nodes = sampler.sample_many(roots, rng)
     collection = MRRCollection(piece_graph.n, roots, [ptr], [nodes])
     return max_coverage_seeds(collection, 0, pool, k)

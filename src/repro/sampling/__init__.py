@@ -8,12 +8,22 @@ from repro.sampling.batch import (
     MODELS,
     BatchLTSampler,
     BatchRRSampler,
+    adaptive_block_size,
     check_backend,
     check_model,
     simulate_cascade_batch,
     simulate_lt_cascade_batch,
 )
 from repro.sampling.mrr import MRRCollection, resolve_models
+from repro.sampling.parallel import (
+    EXECUTORS,
+    make_pool,
+    parallel_map,
+    resolve_workers,
+    sample_piece_blocks,
+    spawn_task_seeds,
+    task_block_size,
+)
 from repro.sampling.adaptive import generate_adaptive, theta_for_error_target
 from repro.sampling.theta import (
     estimation_error,
@@ -24,17 +34,25 @@ from repro.sampling.theta import (
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "EXECUTORS",
     "MODELS",
     "DEFAULT_MODEL",
     "BatchLTSampler",
     "BatchRRSampler",
     "ReverseReachableSampler",
     "MRRCollection",
+    "adaptive_block_size",
     "check_backend",
     "check_model",
+    "make_pool",
+    "parallel_map",
     "resolve_models",
+    "resolve_workers",
+    "sample_piece_blocks",
     "simulate_cascade_batch",
     "simulate_lt_cascade_batch",
+    "spawn_task_seeds",
+    "task_block_size",
     "hoeffding_theta",
     "estimation_error",
     "relative_error_theta",

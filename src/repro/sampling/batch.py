@@ -52,6 +52,7 @@ __all__ = [
     "DEFAULT_MODEL",
     "BatchLTSampler",
     "BatchRRSampler",
+    "adaptive_block_size",
     "check_backend",
     "check_lt_feasible",
     "check_model",
@@ -74,11 +75,33 @@ DEFAULT_BACKEND = _ENV_BACKEND or "batch"
 MODELS = ("ic", "lt")
 DEFAULT_MODEL = "ic"
 
-# Scratch budget for the per-sampler (block x n) stamp array: 2^21 int64
-# cells = 16 MB.  The block size is clamped so huge graphs fall back to
-# narrow blocks instead of exhausting memory.
+# Scratch budgets for the per-sampler (block x n) stamp array.  The
+# baseline budget (2^21 int64 cells = 16 MB) is what a sampler gets when
+# the batch size is unknown; when `sample_many` sees the actual root
+# count the budget adapts — enough cells for every root at once when
+# that is cheap, up to a hard ceiling (2^23 cells = 64 MB) so huge
+# graphs fall back to narrow blocks instead of exhausting memory.
 _SCRATCH_CELLS = 1 << 21
-_MAX_BLOCK = 512
+_MAX_SCRATCH_CELLS = 1 << 23
+_MAX_BLOCK = 4096
+
+
+def adaptive_block_size(n: int, num_roots: int) -> int:
+    """Roots per kernel pass, adapted to the batch actually requested.
+
+    Derived from the vertex count (stamp cells per block root) and the
+    available roots (no point sizing blocks past the batch): the scratch
+    budget grows from the 16 MB baseline toward whatever covers the
+    whole batch in one pass, hard-ceilinged at 64 MB of stamp cells, and
+    the resulting block is clamped to ``[1, min(num_roots, 4096)]``.
+    Replaces the flat 16 MB cap that left theta-scale batches crawling
+    through 2-root blocks on large graphs.
+    """
+    n = max(int(n), 1)
+    num_roots = max(int(num_roots), 1)
+    cells = min(_MAX_SCRATCH_CELLS, max(_SCRATCH_CELLS, num_roots * n))
+    block = max(1, cells // n)
+    return int(min(block, num_roots, _MAX_BLOCK))
 
 
 def check_backend(backend: str | None) -> str:
@@ -122,32 +145,36 @@ def check_lt_feasible(piece_graph: PieceGraph) -> None:
         )
 
 
-class BatchRRSampler:
-    """RR-set sampler drawing a whole block of roots per kernel pass.
+class _BlockedSampler:
+    """Block/stamp scratch management shared by both batch engines.
 
-    Drop-in compatible with
-    :class:`~repro.sampling.rr.ReverseReachableSampler` (same ``sample``
-    / ``sample_many`` contract, CSR-flattened output); the difference is
-    purely mechanical: ``block_size`` roots share each frontier
-    expansion, so the per-vertex Python overhead is amortized away.
+    ``block_size=None`` (the default) sizes blocks adaptively per
+    ``sample_many`` call via :func:`adaptive_block_size` — the stamp
+    array is (re)allocated only when the chosen block changes.  An
+    explicit ``block_size`` pins the block (the stream-equality tests
+    rely on ``block_size=1`` staying bit-compatible with the reference
+    loops).
     """
 
-    __slots__ = ("_graph", "_block", "_mark", "_stamp")
+    __slots__ = ("_graph", "_block", "_auto", "_mark", "_stamp")
 
     def __init__(
         self, piece_graph: PieceGraph, *, block_size: int | None = None
     ) -> None:
         n = piece_graph.n
-        if block_size is None:
-            block_size = min(_MAX_BLOCK, max(1, _SCRATCH_CELLS // max(n, 1)))
-        block_size = int(block_size)
-        if block_size < 1:
-            raise ParameterError(
-                f"block_size must be >= 1, got {block_size}"
-            )
         self._graph = piece_graph
-        self._block = block_size
-        self._mark = np.zeros(block_size * max(n, 1), dtype=np.int64)
+        self._auto = block_size is None
+        if self._auto:
+            self._block = 0
+            self._mark = np.zeros(0, dtype=np.int64)
+        else:
+            block_size = int(block_size)
+            if block_size < 1:
+                raise ParameterError(
+                    f"block_size must be >= 1, got {block_size}"
+                )
+            self._block = block_size
+            self._mark = np.zeros(block_size * max(n, 1), dtype=np.int64)
         self._stamp = 0
 
     @property
@@ -157,8 +184,35 @@ class BatchRRSampler:
 
     @property
     def block_size(self) -> int:
-        """How many roots share one frontier expansion."""
+        """Roots sharing one kernel pass (0 = adaptive, not yet sized)."""
         return self._block
+
+    def _ensure_scratch(self, num_roots: int) -> np.ndarray:
+        """The stamp array, sized for this batch (adaptive mode only)."""
+        if self._auto:
+            block = adaptive_block_size(self._graph.n, num_roots)
+            if block != self._block:
+                self._block = block
+                self._mark = np.zeros(
+                    block * max(self._graph.n, 1), dtype=np.int64
+                )
+                self._stamp = 0
+        return self._mark
+
+
+class BatchRRSampler(_BlockedSampler):
+    """RR-set sampler drawing a whole block of roots per kernel pass.
+
+    Drop-in compatible with
+    :class:`~repro.sampling.rr.ReverseReachableSampler` (same ``sample``
+    / ``sample_many`` contract, CSR-flattened output); the difference is
+    purely mechanical: a block of roots shares each frontier expansion,
+    so the per-vertex Python overhead is amortized away.  Blocks are
+    sized adaptively from the batch at hand unless ``block_size`` pins
+    them (see :class:`_BlockedSampler`).
+    """
+
+    __slots__ = ()
 
     def sample(self, root: int, rng) -> np.ndarray:
         """Draw one RR set for ``root`` (a single-root block)."""
@@ -184,7 +238,7 @@ class BatchRRSampler:
         in_ptr = self._graph.in_ptr
         in_src = self._graph.in_src
         in_prob = self._graph.in_prob
-        mark = self._mark
+        mark = self._ensure_scratch(roots.size)
         sizes = np.zeros(roots.size, dtype=np.int64)
         out = Int64Buffer(2 * roots.size + 16)
         for start in range(0, roots.size, self._block):
@@ -269,7 +323,7 @@ def simulate_cascade_batch(
     return active
 
 
-class BatchLTSampler:
+class BatchLTSampler(_BlockedSampler):
     """Batched LT RR-set sampler: weighted walks, a block per kernel pass.
 
     Under LT's live-edge view each vertex keeps at most one incoming
@@ -288,37 +342,18 @@ class BatchLTSampler:
     bit-for-bit like the reference (``np.cumsum`` accumulates
     sequentially, so even the inverse-CDF comparisons round
     identically); multi-root blocks interleave the walks' draws and
-    agree in distribution.
+    agree in distribution.  Blocks are sized adaptively from the batch
+    at hand unless ``block_size`` pins them (see
+    :class:`_BlockedSampler`).
     """
 
-    __slots__ = ("_graph", "_block", "_mark", "_stamp")
+    __slots__ = ()
 
     def __init__(
         self, piece_graph: PieceGraph, *, block_size: int | None = None
     ) -> None:
-        n = piece_graph.n
-        if block_size is None:
-            block_size = min(_MAX_BLOCK, max(1, _SCRATCH_CELLS // max(n, 1)))
-        block_size = int(block_size)
-        if block_size < 1:
-            raise ParameterError(
-                f"block_size must be >= 1, got {block_size}"
-            )
         check_lt_feasible(piece_graph)
-        self._graph = piece_graph
-        self._block = block_size
-        self._mark = np.zeros(block_size * max(n, 1), dtype=np.int64)
-        self._stamp = 0
-
-    @property
-    def graph(self) -> PieceGraph:
-        """The underlying (weight-normalised) piece graph."""
-        return self._graph
-
-    @property
-    def block_size(self) -> int:
-        """How many walks share each kernel pass."""
-        return self._block
+        super().__init__(piece_graph, block_size=block_size)
 
     def sample(self, root: int, rng) -> np.ndarray:
         """Draw one LT RR set for ``root`` (a single-walk block)."""
@@ -344,7 +379,7 @@ class BatchLTSampler:
         in_ptr = self._graph.in_ptr
         in_src = self._graph.in_src
         in_prob = self._graph.in_prob
-        mark = self._mark
+        mark = self._ensure_scratch(roots.size)
         sizes = np.zeros(roots.size, dtype=np.int64)
         out = Int64Buffer(2 * roots.size + 16)
         for start in range(0, roots.size, self._block):

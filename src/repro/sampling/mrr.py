@@ -112,6 +112,8 @@ class MRRCollection:
         piece_graphs: Sequence[PieceGraph] | None = None,
         backend: str | None = None,
         model=None,
+        workers=None,
+        executor: str | None = None,
     ) -> "MRRCollection":
         """Generate ``theta`` MRR samples for ``campaign`` on ``graph``.
 
@@ -126,7 +128,20 @@ class MRRCollection:
         piece or a per-piece sequence (heterogeneous multiplex
         campaigns).  LT pieces should be weight-normalised first
         (:func:`repro.diffusion.threshold.normalize_lt_weights`).
+
+        ``workers`` selects the sampling runtime: ``None`` (default)
+        keeps the historical serial stream; ``"auto"`` or an integer
+        fans the (piece, root block) tasks out on a pool with spawned
+        per-task child streams (:mod:`repro.sampling.parallel`) —
+        collections are bit-identical for every worker count, and
+        ``executor`` picks ``"thread"`` (default) or ``"process"``
+        pools.
         """
+        from repro.sampling.parallel import (
+            resolve_workers,
+            sample_piece_blocks,
+        )
+
         theta = check_positive_int("theta", theta)
         if graph.n == 0:
             raise SamplingError("cannot sample from an empty graph")
@@ -146,6 +161,20 @@ class MRRCollection:
         )
         models = resolve_models(model, campaign.num_pieces)
         roots = rng.integers(0, graph.n, size=theta)
+        pool_width = resolve_workers(workers)
+        if pool_width is not None:
+            pairs = sample_piece_blocks(
+                list(piece_graphs),
+                models,
+                roots,
+                rng,
+                backend=backend,
+                workers=pool_width,
+                executor=executor,
+            )
+            rr_ptr = [ptr for ptr, _ in pairs]
+            rr_nodes = [nodes for _, nodes in pairs]
+            return cls(graph.n, roots, rr_ptr, rr_nodes)
         rr_ptr: list[np.ndarray] = []
         rr_nodes: list[np.ndarray] = []
         for pg, piece_model in zip(piece_graphs, models):

@@ -1,0 +1,308 @@
+"""Parallel per-piece sampling runtime.
+
+MRR generation is embarrassingly parallel twice over: each piece's RR
+sets are independent given the shared roots, and within a piece every
+block of roots is independent too.  This module turns that structure
+into an explicit task decomposition — one task per (piece, root block)
+— executed on a thread or process pool, with three contracts that make
+the parallelism invisible to everything downstream:
+
+* **Deterministic streams.**  Each task draws from its own child
+  generator, spawned from one parent draw via
+  ``numpy.random.SeedSequence.spawn``.  The task list and the seed
+  assignment depend only on (theta, pieces, seed) — never on the worker
+  count — so ``workers=1`` and ``workers=8`` produce bit-identical
+  collections.
+* **Deterministic merge.**  Results are committed in task order
+  regardless of completion order.
+* **Clean failure.**  A worker exception cancels the remaining tasks,
+  shuts the pool down, and re-raises — no orphaned threads or hung
+  futures.
+
+``workers=None`` (the default everywhere) keeps the historical serial
+path byte-for-byte: one generator threads through all pieces
+sequentially, so existing pinned results are untouched.  The
+``REPRO_WORKERS`` environment variable overrides that default
+(``"auto"``, an integer, or ``"serial"``) so CI can run the whole suite
+under the parallel runtime; per-call ``workers=0`` forces the serial
+path even then.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.exceptions import ParameterError, SamplingError
+
+__all__ = [
+    "DEFAULT_EXECUTOR",
+    "EXECUTORS",
+    "make_pool",
+    "parallel_map",
+    "resolve_workers",
+    "round_chunks",
+    "sample_piece_blocks",
+    "spawn_task_seeds",
+    "task_block_size",
+]
+
+EXECUTORS = ("thread", "process")
+DEFAULT_EXECUTOR = "thread"
+
+#: Root blocks per piece aim for this many tasks so pools stay busy
+#: without drowning in per-task overhead; blocks never shrink below
+#: ``_MIN_TASK_BLOCK`` roots.  Both constants are worker-independent on
+#: purpose: the task decomposition (and with it every child rng stream)
+#: must not change when the pool size does.
+_TARGET_BLOCKS = 32
+_MIN_TASK_BLOCK = 256
+
+#: Rounds per Monte-Carlo task (same worker-independence argument).
+_ROUND_CHUNK = 8
+
+
+def _parse_env_workers(text: str | None):
+    if not text:
+        return None
+    if text in ("serial", "0"):
+        return None
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise ParameterError(
+            "REPRO_WORKERS must be 'auto', 'serial', or a positive "
+            f"integer, got {text!r}"
+        )
+    return value
+
+
+#: Suite-wide default when a call site passes ``workers=None``.
+DEFAULT_WORKERS = _parse_env_workers(os.environ.get("REPRO_WORKERS"))
+
+
+def resolve_workers(workers) -> int | None:
+    """Normalise a ``workers`` knob into a pool size.
+
+    Returns ``None`` for the serial legacy path (the default when
+    neither the argument nor ``REPRO_WORKERS`` asks for a pool), or a
+    positive integer pool size.  ``"auto"`` sizes the pool to the
+    machine; ``0`` / ``"serial"`` force the serial path regardless of
+    the environment default.
+    """
+    if workers is None:
+        workers = DEFAULT_WORKERS
+    if workers is None:
+        return None
+    if workers == "serial":
+        return None
+    if workers == "auto":
+        return os.cpu_count() or 1
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ParameterError(
+            f"workers must be None, 'auto', 'serial', or an int, "
+            f"got {workers!r}"
+        )
+    if workers == 0:
+        return None
+    if workers < 0:
+        raise ParameterError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def check_executor(executor: str | None) -> str:
+    """Normalise an executor choice; ``None`` means the default."""
+    if executor is None:
+        return DEFAULT_EXECUTOR
+    if executor not in EXECUTORS:
+        raise ParameterError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    return executor
+
+
+def task_block_size(theta: int) -> int:
+    """Roots per (piece, block) task — a function of theta alone.
+
+    Never of the worker count: the decomposition pins the child rng
+    streams, so it must be identical for every pool size.
+    """
+    if theta <= 0:
+        raise ParameterError(f"theta must be positive, got {theta}")
+    return max(_MIN_TASK_BLOCK, -(-theta // _TARGET_BLOCKS))
+
+
+def round_chunks(rounds: int) -> list[tuple[int, int]]:
+    """Split ``rounds`` Monte-Carlo trials into fixed-size task ranges."""
+    if rounds <= 0:
+        raise ParameterError(f"rounds must be positive, got {rounds}")
+    return [
+        (start, min(start + _ROUND_CHUNK, rounds))
+        for start in range(0, rounds, _ROUND_CHUNK)
+    ]
+
+
+def spawn_task_seeds(rng, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seeds keyed by one parent draw.
+
+    One integer is drawn from ``rng`` (keeping the caller's stream the
+    single source of entropy), then ``SeedSequence.spawn`` derives
+    non-overlapping children — the per-task streams of the runtime.
+    """
+    if count < 0:
+        raise ParameterError(f"count must be >= 0, got {count}")
+    root = np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+    return root.spawn(count)
+
+
+def make_pool(workers, *, executor: str | None = None):
+    """A pool sized for ``workers``, or ``None`` when inline is right.
+
+    For callers that issue many ``parallel_map`` rounds (e.g. one per
+    CELF marginal-spread evaluation): build the pool once, pass it via
+    ``parallel_map(..., pool=...)``, and shut it down in a ``finally``
+    — instead of paying pool construction per round.
+    """
+    width = resolve_workers(workers)
+    if width is None or width <= 1:
+        return None
+    pool_cls = (
+        ThreadPoolExecutor
+        if check_executor(executor) == "thread"
+        else ProcessPoolExecutor
+    )
+    return pool_cls(max_workers=width)
+
+
+def parallel_map(
+    fn, items, workers: int, *, executor: str | None = None, pool=None
+):
+    """Apply ``fn`` over ``items`` on a pool; results in item order.
+
+    ``workers <= 1`` (or a single item) runs inline — same results, no
+    pool.  On a worker exception the remaining futures are cancelled
+    and the exception re-raised, so a failing task can never leave the
+    pool hanging; a pool constructed here is also shut down.  Passing a
+    pre-built ``pool`` (see :func:`make_pool`) reuses it across calls —
+    ownership, and shutdown, stay with the caller.
+    """
+    items = list(items)
+    executor = check_executor(executor)
+    if pool is not None:
+        return _drain(pool, fn, items)
+    width = min(int(workers), len(items))
+    if width <= 1:
+        return [fn(item) for item in items]
+    with make_pool(width, executor=executor) as owned:
+        return _drain(owned, fn, items)
+
+
+def _drain(pool, fn, items):
+    """Submit ``items`` and collect results in order, cancel-on-error."""
+    futures = [pool.submit(fn, item) for item in items]
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+
+
+#: Per-thread sampler reuse across tasks: a sampler's stamp scratch can
+#: reach tens of MB under the adaptive block heuristic, so rebuilding it
+#: per (piece, block) task would re-zero that scratch ~32 times per
+#: piece.  Each worker thread keeps one sampler per (model, backend)
+#: and reuses it whenever the next task targets the *same* piece-graph
+#: object — with piece-major task submission a thread sees runs of
+#: same-piece tasks, so most rebuilds vanish.  Process workers unpickle
+#: a fresh graph per task and therefore always rebuild, but the
+#: one-entry-per-kind cache keeps at most one stale sampler pinned.
+_task_local = threading.local()
+
+
+def _cached_sampler(piece_graph, model: str, backend):
+    from repro.diffusion.threshold import LinearThresholdSampler
+    from repro.sampling.rr import ReverseReachableSampler
+
+    cache = getattr(_task_local, "samplers", None)
+    if cache is None:
+        cache = _task_local.samplers = {}
+    key = (model, backend)
+    sampler = cache.get(key)
+    if sampler is None or sampler.graph is not piece_graph:
+        if model == "lt":
+            sampler = LinearThresholdSampler(piece_graph, backend=backend)
+        else:
+            sampler = ReverseReachableSampler(piece_graph, backend=backend)
+        cache[key] = sampler
+    return sampler
+
+
+def _sample_task(args):
+    """One (piece, root block) unit: sample with the task's own stream.
+
+    Module-level (not a closure) so the process executor can pickle it;
+    imports are deferred to dodge the sampling <-> diffusion cycle.
+    """
+    piece_graph, model, backend, roots, seed = args
+    from repro.utils.rng import as_generator
+
+    sampler = _cached_sampler(piece_graph, model, backend)
+    return sampler.sample_many(roots, as_generator(seed))
+
+
+def sample_piece_blocks(
+    piece_graphs,
+    models,
+    roots: np.ndarray,
+    rng,
+    *,
+    backend: str | None,
+    workers: int,
+    executor: str | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Draw every piece's RR sets for ``roots``, fanned out per block.
+
+    The task list is piece-major — piece 0's blocks, then piece 1's —
+    and each task owns a spawned child stream; per-piece CSR arrays are
+    reassembled by concatenating block results in task order.  Output
+    is a list of ``(ptr, nodes)`` pairs aligned with ``piece_graphs``,
+    identical for every ``workers`` value.
+    """
+    if len(piece_graphs) != len(models):
+        raise SamplingError(
+            f"{len(models)} models for {len(piece_graphs)} piece graphs"
+        )
+    theta = int(roots.size)
+    block = task_block_size(theta)
+    starts = list(range(0, theta, block))
+    tasks = []
+    for piece_graph, model in zip(piece_graphs, models):
+        for start in starts:
+            tasks.append(
+                (piece_graph, model, backend, roots[start : start + block])
+            )
+    seeds = spawn_task_seeds(rng, len(tasks))
+    results = parallel_map(
+        _sample_task,
+        [task + (seed,) for task, seed in zip(tasks, seeds)],
+        workers,
+        executor=executor,
+    )
+    merged: list[tuple[np.ndarray, np.ndarray]] = []
+    per_piece = len(starts)
+    for j in range(len(piece_graphs)):
+        chunk = results[j * per_piece : (j + 1) * per_piece]
+        sizes = np.concatenate([np.diff(ptr) for ptr, _ in chunk])
+        ptr = np.zeros(theta + 1, dtype=np.int64)
+        np.cumsum(sizes, out=ptr[1:])
+        nodes = np.concatenate([nodes for _, nodes in chunk])
+        merged.append((ptr, nodes))
+    return merged
