@@ -362,6 +362,157 @@ def test_bitset_branch_speedup_target(worlds, artifact_dir):
     )
 
 
+# ----------------------------------------------------------------------
+# sample-store peak RSS: the out-of-core memory claim, measured
+# ----------------------------------------------------------------------
+
+#: Each measurement runs in a fresh subprocess so ru_maxrss (a process
+#: high-water mark) is clean per (store, theta) configuration.
+_RSS_SCRIPT = """
+import json, resource, sys
+
+def peak_rss_kb():
+    # VmHWM belongs to the post-exec image; ru_maxrss is inherited
+    # across fork+exec and would report the *parent's* high water
+    # when the parent (pytest) is already fat.
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+import numpy as np
+from repro.core.coverage import CoverageState
+from repro.core.plan import AssignmentPlan
+from repro.graph.generators import (
+    build_topic_graph, preferential_attachment_digraph,
+)
+from repro.im.ris import max_coverage_seeds
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign
+
+store, theta, shard_dir, ceiling = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3] or None, int(sys.argv[4])
+)
+src, dst = preferential_attachment_digraph(2000, 5, seed=41)
+graph = build_topic_graph(
+    2000, src, dst, 8, topics_per_edge=2.0, prob_mean=0.1, seed=42
+)
+campaign = Campaign.sample_unit(3, 8, seed=43)
+kwargs = {}
+if store == "disk":
+    kwargs = {"shard_dir": shard_dir, "max_resident_bytes": ceiling}
+mrr = MRRCollection.generate(
+    graph, campaign, theta, seed=45, workers=1, store=store, **kwargs
+)
+# Coverage + RIS exercise the query path at full-theta scale.
+state = CoverageState.from_plan(
+    mrr, AssignmentPlan([{1, 7}, {3}, {11, 13}])
+)
+seeds, _ = max_coverage_seeds(
+    mrr, 0, np.arange(0, graph.n, 4, dtype=np.int64), 8
+)
+payload = sum(
+    int(mrr.rr_set_sizes(j).sum()) * 16 for j in range(mrr.num_pieces)
+)  # rr_nodes + inverted index, 8 bytes each per entry
+print(json.dumps({
+    "peak_rss_kb": peak_rss_kb(),
+    "store_resident": mrr.store.resident_bytes,
+    "payload_bytes": payload,
+    "seeds": seeds,
+}))
+"""
+
+#: Both thetas are past the point where the batch sampler's adaptive
+#: stamp scratch hits its 64 MB cap (block * n >= 2^23 cells), so the
+#: RSS *delta* between them isolates the store's own growth instead of
+#: the sampler scratch ramp that both stores share.
+STORE_RSS_THETAS = (150_000, 600_000)
+STORE_RSS_CEILING = 8 * 1024 * 1024
+
+
+def _measure_store_rss(store: str, theta: int, shard_dir: str) -> dict:
+    import json
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ, PYTHONPATH="src")
+    env.pop("REPRO_STORE", None)  # the script pins the store explicitly
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _RSS_SCRIPT,
+            store,
+            str(theta),
+            shard_dir if store == "disk" else "",
+            str(STORE_RSS_CEILING),
+        ],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def test_store_peak_rss_bounded(artifact_dir, tmp_path_factory):
+    """The out-of-core bar: growing theta 6x grows the memory store's
+    peak RSS with the sample payload, while the disk store's stays
+    bounded — its managed caches never exceed ``max_resident_bytes``
+    and its RSS growth is a fraction of the memory store's.  Seed sets
+    must agree exactly between the stores at every theta."""
+    rows = []
+    deltas = {}
+    seeds_by_store = {}
+    for store in ("memory", "disk"):
+        results = []
+        for theta in STORE_RSS_THETAS:
+            shard_dir = str(
+                tmp_path_factory.mktemp(f"shards-{store}-{theta}")
+            )
+            out = _measure_store_rss(store, theta, shard_dir)
+            results.append(out)
+            rows.append(
+                [
+                    store,
+                    theta,
+                    out["payload_bytes"] // 1024,
+                    out["peak_rss_kb"],
+                    out["store_resident"] // 1024,
+                ]
+            )
+            assert out["store_resident"] <= max(
+                STORE_RSS_CEILING, out["payload_bytes"]
+            )
+            if store == "disk":
+                assert out["store_resident"] <= STORE_RSS_CEILING
+        deltas[store] = results[-1]["peak_rss_kb"] - results[0]["peak_rss_kb"]
+        seeds_by_store[store] = [out["seeds"] for out in results]
+    # Same workload, same seeds, either store — at every theta.
+    assert seeds_by_store["memory"] == seeds_by_store["disk"]
+    text = format_table(
+        ["store", "theta", "payload (KiB)", "peak RSS (KiB)", "resident (KiB)"],
+        rows,
+        title=(
+            f"sample-store peak RSS, ceiling="
+            f"{STORE_RSS_CEILING // (1024 * 1024)} MiB "
+            f"(RSS delta: memory +{deltas['memory']} KiB, "
+            f"disk +{deltas['disk']} KiB)"
+        ),
+    )
+    write_artifact(artifact_dir, "store_peak_rss", text)
+    assert deltas["memory"] > 0, "memory-store RSS should grow with theta"
+    assert deltas["disk"] <= 0.5 * deltas["memory"], (
+        f"disk-store RSS grew {deltas['disk']} KiB vs memory's "
+        f"{deltas['memory']} KiB — the resident ceiling is not holding"
+    )
+
+
 def test_greedy_seed_sets_identical_across_backends(worlds, lt_worlds):
     """Pinned instances: identical greedy seed sets across sampling
     backends in the stream-preserving configuration, and across

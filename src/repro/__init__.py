@@ -30,6 +30,7 @@ True
 
 from repro.exceptions import (
     BudgetExhaustedError,
+    ConfigError,
     DatasetError,
     ExperimentError,
     GraphError,
@@ -38,6 +39,7 @@ from repro.exceptions import (
     ReproError,
     SamplingError,
     SolverError,
+    StoreError,
     TopicError,
 )
 from repro.graph import TopicGraph, load_topic_graph, save_topic_graph
@@ -50,8 +52,10 @@ from repro.diffusion import (
 )
 from repro.sampling import (
     BatchRRSampler,
+    MemoryStore,
     MRRCollection,
     ReverseReachableSampler,
+    ShardStore,
 )
 from repro.core import (
     AssignmentPlan,
@@ -76,7 +80,9 @@ __all__ = [
     "GraphFormatError",
     "TopicError",
     "ParameterError",
+    "ConfigError",
     "SamplingError",
+    "StoreError",
     "SolverError",
     "BudgetExhaustedError",
     "DatasetError",
@@ -98,7 +104,9 @@ __all__ = [
     # sampling
     "BatchRRSampler",
     "MRRCollection",
+    "MemoryStore",
     "ReverseReachableSampler",
+    "ShardStore",
     # core
     "AssignmentPlan",
     "OIPAProblem",

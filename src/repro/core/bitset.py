@@ -30,6 +30,7 @@ import numpy as np
 
 __all__ = [
     "COUNT_DTYPE",
+    "CowCounts",
     "PieceBitMatrix",
     "SampleBitset",
     "pack_bool",
@@ -148,6 +149,49 @@ class SampleBitset:
 
     def __repr__(self) -> str:
         return f"SampleBitset(size={self.size}, set={self.count()})"
+
+
+class CowCounts:
+    """Copy-on-write per-sample counts — the bit rows' scalar sibling.
+
+    The coverage states carry one O(theta) ``counts`` array next to the
+    packed rows; eagerly duplicating it on every branch clone (and
+    twice per :class:`~repro.core.upper_bound.TauState` construction)
+    was the last O(theta)-per-branch copy the ROADMAP flagged.  Like
+    :meth:`PieceBitMatrix.copy`, :meth:`clone` shares the backing array
+    and marks both holders shared; the first mutation on either side —
+    via :meth:`own` — pays the one copy, and read-only holders (a
+    pruned BAB node, a tau state that never commits) never pay it.
+
+    ``array`` is the read view; callers must route every write through
+    ``own()`` first, mirroring ``PieceBitMatrix._own_row``.
+    """
+
+    __slots__ = ("array", "_shared")
+
+    def __init__(self, size: int, dtype=COUNT_DTYPE) -> None:
+        self.array = np.zeros(int(size), dtype=dtype)
+        self._shared = False
+
+    def own(self) -> np.ndarray:
+        """The counts array, privately owned (duplicating if shared)."""
+        if self._shared:
+            self.array = self.array.copy()
+            self._shared = False
+        return self.array
+
+    def clone(self) -> "CowCounts":
+        """O(1) copy-on-write clone; the array is duplicated on write."""
+        clone = CowCounts.__new__(CowCounts)
+        clone.array = self.array
+        clone._shared = True
+        self._shared = True
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"CowCounts(size={self.array.size}, shared={self._shared})"
+        )
 
 
 class PieceBitMatrix:

@@ -5,27 +5,40 @@ added: which (sample, piece) cells are already covered, and how many
 distinct pieces cover each sample (``counts``).  :class:`CoverageState`
 maintains both with O(index lookup) updates; the cell set lives in a
 word-packed :class:`~repro.core.bitset.PieceBitMatrix` with per-piece
-copy-on-write rows, so :meth:`CoverageState.copy` — the
-branch-and-bound branching operation — is O(piece rows) instead of the
-historical O(theta * l) dense bool copy, and a branch only ever pays
-for the rows it actually dirties.
+copy-on-write rows, and ``counts`` in a matching
+:class:`~repro.core.bitset.CowCounts`, so :meth:`CoverageState.copy` —
+the branch-and-bound branching operation — is O(piece rows) instead of
+the historical O(theta * l) dense bool copy, and a branch only ever
+pays for the rows (or the counts array) it actually dirties.  A small
+``count_hist`` histogram (how many samples sit at each coverage count)
+rides along, maintained incrementally, so the tau bound can anchor its
+majorants in O(l) instead of an O(theta) per-sample gather.
 
 The module also hosts the *batch* coverage kernels: instead of looping
 candidate vertices in Python and slicing the inverted index once per
 candidate, :func:`coverage_gains` gathers every candidate's index slab
-into one flat array (:func:`~repro.utils.frontier.frontier_edge_slots`
-over the CSR ``idx_ptr``) and reduces the uncovered flags with a single
+into one flat array and reduces the uncovered flags with a single
 segmented sum — one NumPy dispatch for the whole candidate pool.  The
-RIS greedy, the baselines, and the tau bound all drive their
-marginal-gain scans through these kernels; ``covered`` may be either a
-dense bool vector or a packed :class:`~repro.core.bitset.SampleBitset`.
+gathers run through :meth:`MRRCollection.iter_index_slabs`, which
+chunks them to the sample store's resident budget: on the in-RAM store
+that is one dispatch exactly as before, while on a disk-sharded store a
+whole-pool scan builds its bit rows shard-by-shard without ever
+materialising the dense slab concatenation.  The RIS greedy, the
+baselines, and the tau bound all drive their marginal-gain scans
+through these kernels; ``covered`` may be either a dense bool vector or
+a packed :class:`~repro.core.bitset.SampleBitset`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.bitset import COUNT_DTYPE, PieceBitMatrix, SampleBitset
+from repro.core.bitset import (
+    COUNT_DTYPE,
+    CowCounts,
+    PieceBitMatrix,
+    SampleBitset,
+)
 from repro.core.plan import AssignmentPlan
 from repro.diffusion.adoption import AdoptionModel
 from repro.exceptions import SolverError
@@ -46,8 +59,11 @@ def coverage_gains(
     ``gains[i]`` is the number of ``piece`` RR sets containing
     ``vertices[i]`` that ``covered`` does not cover yet — exactly
     ``(~covered[mrr.samples_containing(piece, v)]).sum()`` for each
-    candidate, computed with one index gather and one segmented sum
-    instead of a Python loop over candidates.  ``covered`` is either a
+    candidate, computed with index gathers and segmented sums instead
+    of a Python loop over candidates.  Gathers are chunked to the
+    sample store's resident budget (one chunk — one dispatch — on the
+    in-RAM store); each candidate's sum sees exactly its own slab, so
+    gains are identical for every chunking.  ``covered`` is either a
     boolean array over the ``theta`` samples or a packed
     :class:`~repro.core.bitset.SampleBitset` (the RIS greedy's working
     set) — membership tests cost the same single dispatch either way.
@@ -62,22 +78,29 @@ def coverage_gains(
         raise SolverError(
             f"covered must have shape ({mrr.theta},), got {covered.shape}"
         )
-    samples, deg = mrr.gather_index_slabs(piece, vertices, exc=SolverError)
-    if samples.size == 0:
-        return np.zeros(deg.size, dtype=np.int64)
-    hit = covered.test(samples) if packed else covered[samples]
-    return segment_sums(~hit, deg)
+    vertices = np.asarray(vertices, dtype=np.int64)
+    gains = np.zeros(vertices.size, dtype=np.int64)
+    for samples, deg, lo, hi in mrr.iter_index_slabs(
+        piece, vertices, exc=SolverError
+    ):
+        if samples.size == 0:
+            continue
+        hit = covered.test(samples) if packed else covered[samples]
+        gains[lo:hi] = segment_sums(~hit, deg)
+    return gains
 
 
 class CoverageState:
     """Mutable (sample x piece) coverage induced by a growing plan."""
 
-    __slots__ = ("mrr", "bits", "counts")
+    __slots__ = ("mrr", "bits", "_counts", "count_hist")
 
     def __init__(self, mrr: MRRCollection) -> None:
         self.mrr = mrr
         self.bits = PieceBitMatrix(mrr.num_pieces, mrr.theta)
-        self.counts = np.zeros(mrr.theta, dtype=COUNT_DTYPE)
+        self._counts = CowCounts(mrr.theta, dtype=COUNT_DTYPE)
+        self.count_hist = np.zeros(mrr.num_pieces + 1, dtype=np.int64)
+        self.count_hist[0] = mrr.theta
 
     @classmethod
     def from_plan(cls, mrr: MRRCollection, plan: AssignmentPlan) -> "CoverageState":
@@ -94,6 +117,15 @@ class CoverageState:
         return state
 
     @property
+    def counts(self) -> np.ndarray:
+        """Per-sample distinct-piece coverage counts (read-only view).
+
+        Mutating the returned array corrupts copy-on-write sharing —
+        use :meth:`add` / :meth:`add_many`.
+        """
+        return self._counts.array
+
+    @property
     def covered(self) -> np.ndarray:
         """Dense ``(theta, l)`` bool view of the packed cell set.
 
@@ -106,19 +138,28 @@ class CoverageState:
     def copy(self) -> "CoverageState":
         """Independent copy (used when branching).
 
-        The packed rows are shared copy-on-write — O(l) now, one
-        ``theta/8``-byte row duplication per piece a side later
-        dirties — and ``counts`` is duplicated eagerly, so no
-        mutation of either state can ever reach the other through a
-        shared slab.
+        Both the packed rows and the counts array are shared
+        copy-on-write — O(l) now, one row (or counts) duplication per
+        side that later dirties it — so no mutation of either state can
+        ever reach the other through a shared slab.
         """
         clone = CoverageState.__new__(CoverageState)
         clone.mrr = self.mrr
         clone.bits = self.bits.copy()
-        clone.counts = self.counts.copy()
+        clone._counts = self._counts.clone()
+        clone.count_hist = self.count_hist.copy()
         return clone
 
     # ------------------------------------------------------------------
+
+    def _bump(self, fresh: np.ndarray) -> None:
+        """Increment ``counts[fresh]``, keeping the histogram in step."""
+        counts = self._counts.own()
+        old = counts[fresh].astype(np.int64)
+        counts[fresh] += 1
+        width = self.count_hist.size
+        self.count_hist -= np.bincount(old, minlength=width)
+        self.count_hist += np.bincount(old + 1, minlength=width)
 
     def add(self, vertex: int, piece: int) -> np.ndarray:
         """Cover ``(vertex, piece)``; return sample ids newly covered.
@@ -134,7 +175,7 @@ class CoverageState:
         fresh = samples[~self.bits.test(piece, samples)]
         if fresh.size:
             self.bits.set_many(piece, fresh)
-            self.counts[fresh] += 1
+            self._bump(fresh)
         return fresh
 
     def newly_covered(self, vertex: int, piece: int) -> np.ndarray:
@@ -148,22 +189,32 @@ class CoverageState:
     def add_many(self, vertices, piece: int) -> np.ndarray:
         """Cover ``(v, piece)`` for every ``v``; return fresh sample ids.
 
-        Vectorized commit: one index gather over all vertices replaces
-        per-vertex :meth:`add` calls.  Returns the sample ids newly
-        covered for ``piece`` (each reported once, even when several of
-        the vertices share it).
+        Vectorized commit: index gathers over all vertices replace
+        per-vertex :meth:`add` calls, chunked to the store's resident
+        budget so a disk-backed commit sets its bit rows shard-by-shard.
+        Returns the sample ids newly covered for ``piece``, sorted
+        ascending (each reported once, even when several of the
+        vertices share it).
         """
-        samples, _ = self.mrr.gather_index_slabs(
+        fresh_chunks: list[np.ndarray] = []
+        for samples, _deg, _lo, _hi in self.mrr.iter_index_slabs(
             piece, vertices, exc=SolverError
-        )
-        if samples.size == 0:
-            return samples
-        samples = np.unique(samples)
-        fresh = samples[~self.bits.test(piece, samples)]
-        if fresh.size:
-            self.bits.set_many(piece, fresh)
-            self.counts[fresh] += 1
-        return fresh
+        ):
+            if samples.size == 0:
+                continue
+            samples = np.unique(samples)
+            fresh = samples[~self.bits.test(piece, samples)]
+            if fresh.size:
+                self.bits.set_many(piece, fresh)
+                self._bump(fresh)
+                fresh_chunks.append(fresh)
+        if not fresh_chunks:
+            return np.zeros(0, dtype=np.int64)
+        if len(fresh_chunks) == 1:
+            return fresh_chunks[0]
+        # Chunks are disjoint (bits were set between them); sort so the
+        # result matches the single-gather path's np.unique order.
+        return np.sort(np.concatenate(fresh_chunks))
 
     def _check_cell(self, vertex: int, piece: int) -> None:
         """Both coordinates range-checked up front, failing loudly."""

@@ -141,9 +141,21 @@ class MajorantTable:
         elsewhere — the marginal-gain lookup used by every tau
         evaluation.  Rows are non-increasing over ``c`` (concavity), which
         is what makes tau submodular.
+    anchor_diag:
+        ``anchor_diag[b] = phi_b(b) = values[b, b]`` — the anchor values,
+        extracted once so a tau state's anchor sum is an O(l) dot with
+        the coverage state's count histogram instead of an O(theta)
+        per-sample gather.
     """
 
-    __slots__ = ("adoption", "num_pieces", "method", "values", "gains")
+    __slots__ = (
+        "adoption",
+        "num_pieces",
+        "method",
+        "values",
+        "gains",
+        "anchor_diag",
+    )
 
     def __init__(
         self,
@@ -175,6 +187,8 @@ class MajorantTable:
             self.values[base, :base] = row[0]
             if base < l:
                 self.gains[base, base:l] = np.diff(row)
+        diag = np.arange(l + 1)
+        self.anchor_diag = self.values[diag, diag].copy()
 
     # ------------------------------------------------------------------
 

@@ -15,6 +15,12 @@ assignments — the property Theorems 2 and 3 rest on.
 covered cells and current counts, answers marginal-gain queries through
 the MRR inverted index, and counts every evaluation (the quantity
 Theorem 4 bounds, and the currency of the BAB-vs-BAB-P ablation).
+Construction is O(l): the anchor sum folds the base coverage's count
+histogram against the majorant diagonal instead of gathering an
+O(theta) per-sample anchor array, and both count arrays are
+copy-on-write clones of the base's — the first :meth:`add` pays the one
+copy, while bound computations that never commit (pruned nodes) pay
+nothing.
 """
 
 from __future__ import annotations
@@ -39,15 +45,20 @@ class TauState:
     subsequent :meth:`add` calls grow the candidate set ``S-bar`` along
     those fixed majorants, which is exactly what keeps the function
     submodular throughout one ``ComputeBound`` invocation.
+
+    The base coverage is consumed: its packed rows and counts are
+    shared copy-on-write with this state, so the base itself is never
+    mutated through the share, but callers must not mutate the base
+    while relying on this state's ``base_counts`` staying anchored.
     """
 
     __slots__ = (
         "mrr",
         "table",
         "adoption",
-        "base_counts",
+        "_base_counts",
         "bits",
-        "counts",
+        "_counts",
         "scale",
         "evaluations",
         "_value",
@@ -68,16 +79,21 @@ class TauState:
         self.mrr = mrr
         self.table = table
         self.adoption = adoption
-        self.base_counts = base_coverage.counts.copy()
-        # Copy-on-write clone of the base's packed cell set: O(l) here,
-        # and greedy growth only duplicates the piece rows it touches —
-        # the base coverage is never written through the share.
+        # Copy-on-write clones of the base's packed cell set and counts:
+        # O(l) here, and greedy growth only duplicates what it touches —
+        # the base coverage is never written through the share.  The
+        # frozen anchor counts are a second clone that is never mutated,
+        # so they never pay a copy at all.
+        self._base_counts = base_coverage._counts.clone()
         self.bits = base_coverage.bits.copy()
-        self.counts = base_coverage.counts.copy()
+        self._counts = base_coverage._counts.clone()
         self.scale = mrr.n / mrr.theta
         self.evaluations = 0
-        anchors = table.values[self.base_counts, self.base_counts]
-        self._value = float(self.scale * anchors.sum())
+        # The anchor sum over theta samples collapses to an O(l) fold of
+        # the base's count histogram against the majorant diagonal:
+        # sum_i phi_{b_i}(b_i) = sum_c hist[c] * values[c, c].
+        hist = base_coverage.count_hist.astype(np.float64)
+        self._value = float(self.scale * (hist * table.anchor_diag).sum())
 
     # ------------------------------------------------------------------
 
@@ -85,6 +101,16 @@ class TauState:
     def value(self) -> float:
         """Current ``tau`` value (absolute, same scale as sigma)."""
         return self._value
+
+    @property
+    def base_counts(self) -> np.ndarray:
+        """The frozen anchor counts ``b_i`` (read-only view)."""
+        return self._base_counts.array
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The growing coverage counts (read-only view)."""
+        return self._counts.array
 
     @property
     def covered(self) -> np.ndarray:
@@ -118,25 +144,32 @@ class TauState:
         """``tau`` gains of every ``(v, piece)`` candidate — no mutation.
 
         Vectorized counterpart of :meth:`marginal_gain`: the candidates'
-        inverted-index slabs are gathered into one flat array and their
-        majorant gains reduced with a single segmented sum, so a whole
-        candidate scan costs one NumPy dispatch instead of one Python
-        iteration per candidate.  Each candidate still counts as one tau
-        evaluation (Theorem 4's unit of work is unchanged).
+        inverted-index slabs are gathered into flat arrays and their
+        majorant gains reduced with segmented sums, so a whole candidate
+        scan costs one NumPy dispatch per store-budget chunk (a single
+        dispatch on the in-RAM store) instead of one Python iteration
+        per candidate.  Each candidate still counts as one tau
+        evaluation (Theorem 4's unit of work is unchanged), and each
+        candidate's gain sees exactly its own slab, so results are
+        identical for every chunking.
         """
-        samples, deg = self.mrr.gather_index_slabs(
+        vertices = np.asarray(vertices, dtype=np.int64)
+        gains = np.zeros(vertices.size, dtype=np.float64)
+        self.evaluations += int(vertices.size)
+        base_counts, counts = self.base_counts, self.counts
+        for samples, deg, lo, hi in self.mrr.iter_index_slabs(
             piece, vertices, exc=SolverError
-        )
-        self.evaluations += int(deg.size)
-        if samples.size == 0:
-            return np.zeros(deg.size, dtype=np.float64)
-        fresh = ~self.bits.test(piece, samples)
-        vals = np.where(
-            fresh,
-            self.table.gains[self.base_counts[samples], self.counts[samples]],
-            0.0,
-        )
-        return self.scale * segment_sums(vals, deg)
+        ):
+            if samples.size == 0:
+                continue
+            fresh = ~self.bits.test(piece, samples)
+            vals = np.where(
+                fresh,
+                self.table.gains[base_counts[samples], counts[samples]],
+                0.0,
+            )
+            gains[lo:hi] = segment_sums(vals, deg)
+        return self.scale * gains
 
     def add(self, vertex: int, piece: int) -> float:
         """Commit ``(vertex, piece)``; return the realised ``tau`` gain."""
@@ -149,7 +182,7 @@ class TauState:
         gains = self.table.gains[self.base_counts[fresh], self.counts[fresh]]
         gain = float(self.scale * gains.sum())
         self.bits.set_many(piece, fresh)
-        self.counts[fresh] += 1
+        self._counts.own()[fresh] += 1
         self._value += gain
         return gain
 

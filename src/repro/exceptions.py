@@ -18,7 +18,9 @@ __all__ = [
     "GraphFormatError",
     "TopicError",
     "ParameterError",
+    "ConfigError",
     "SamplingError",
+    "StoreError",
     "SolverError",
     "BudgetExhaustedError",
     "DatasetError",
@@ -56,8 +58,30 @@ class ParameterError(ReproError):
     """A model or algorithm parameter is outside its legal domain."""
 
 
+class ConfigError(ParameterError):
+    """An environment/configuration knob holds an illegal value.
+
+    Raised when ``REPRO_BACKEND`` / ``REPRO_WORKERS`` / ``REPRO_STORE``
+    (or their per-call counterparts) cannot be parsed — at the entry
+    point that resolves the knob, with a message naming the variable and
+    its legal values, instead of surfacing later as an obscure failure
+    inside pool or kernel setup.  Subclasses :class:`ParameterError` so
+    existing ``except ParameterError`` handling keeps working.
+    """
+
+
 class SamplingError(ReproError):
     """RR/MRR sampling was asked to do something impossible."""
+
+
+class StoreError(SamplingError):
+    """A sample store is missing, inconsistent, or corrupted.
+
+    Raised by the pluggable sample-store layer
+    (:mod:`repro.sampling.store`) when a shard directory's manifest does
+    not match the requested collection, a shard file is missing or
+    unreadable, or a store is used before it is finalized.
+    """
 
 
 class SolverError(ReproError):

@@ -5,6 +5,8 @@ Regenerates any table or figure of the paper at a chosen profile::
     repro-experiments table3
     repro-experiments fig4 --profile quick
     repro-experiments fig3 --theta 8000 --datasets lastfm
+    repro-experiments table3 --model ic lt          # mixed-model pieces
+    repro-experiments fig4 --store disk --shard-dir /tmp/shards
     repro-experiments all --out results.txt
     repro-experiments params            # print Table IV
 
@@ -98,6 +100,41 @@ def build_parser() -> argparse.ArgumentParser:
         "or 'serial' (default: the profile's setting — serial)",
     )
     parser.add_argument(
+        "--model",
+        nargs="+",
+        default=None,
+        choices=["ic", "lt"],
+        metavar="MODEL",
+        help="per-piece diffusion models, cycled across each cell's "
+        "pieces (e.g. '--model ic lt' alternates IC and LT — the "
+        "mixed-model multiplex workload); default: IC everywhere",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        choices=["memory", "disk"],
+        help="sample-store layer: 'memory' keeps MRR arrays in RAM, "
+        "'disk' spills root-block shards to --shard-dir and bounds "
+        "resident sample memory (default: the REPRO_STORE env "
+        "override, else memory)",
+    )
+    parser.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="PATH",
+        help="root directory for disk-store shards (per-cell "
+        "subdirectories are created; default: a private temp dir); "
+        "requires --store disk",
+    )
+    parser.add_argument(
+        "--max-resident-mb",
+        default=None,
+        type=int,
+        metavar="MB",
+        help="disk-store resident ceiling in MiB for shard caches and "
+        "index builds (default: 256); requires --store disk",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -118,7 +155,8 @@ def _print_params() -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.target == "params":
         print(_print_params())
         return 0
@@ -132,6 +170,27 @@ def main(argv: list[str] | None = None) -> int:
         overrides["seed"] = args.seed
     if args.workers is not None:
         overrides["workers"] = args.workers
+    if args.model is not None:
+        overrides["model"] = (
+            args.model[0] if len(args.model) == 1 else tuple(args.model)
+        )
+    if args.store is not None:
+        overrides["store"] = args.store
+    if args.shard_dir is not None or args.max_resident_mb is not None:
+        # The store may also resolve to disk via the profile or the
+        # REPRO_STORE env default, so only the explicit contradiction
+        # fails here; anything subtler is validated (with a clear
+        # ConfigError) when the first collection resolves its store.
+        if args.store == "memory":
+            parser.error(
+                "--shard-dir / --max-resident-mb require the disk store"
+            )
+        if args.shard_dir is not None:
+            overrides["shard_dir"] = args.shard_dir
+        if args.max_resident_mb is not None:
+            overrides["max_resident_bytes"] = (
+                args.max_resident_mb * 1024 * 1024
+            )
     if overrides:
         profile = profile.with_overrides(**overrides)
 

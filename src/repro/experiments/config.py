@@ -74,10 +74,40 @@ class ExperimentProfile:
     #: (piece, root block) tasks out on a pool.  Collections are
     #: identical for every worker count, so figures stay reproducible.
     workers: int | str | None = None
+    #: Per-piece diffusion models: ``None`` (IC everywhere), one name,
+    #: or a sequence cycled across the pieces of each cell — the
+    #: mixed-model multiplex workload (``--model ic lt`` gives IC/LT
+    #: alternating pieces at every ``l`` of a sweep).  LT pieces are
+    #: weight-normalised by the runner before sampling.
+    model: str | tuple[str, ...] | None = None
+    #: Sample-store layer (``repro.sampling.store``): ``None`` defers to
+    #: the ``REPRO_STORE`` env default, ``"memory"`` pins in-RAM arrays,
+    #: ``"disk"`` spills root-block shards under ``shard_dir`` (a temp
+    #: directory when unset) with resident sample memory bounded by
+    #: ``max_resident_bytes``.
+    store: str | None = None
+    shard_dir: str | None = None
+    max_resident_bytes: int | None = None
 
     def scale_for(self, dataset: str) -> float | None:
         """Scale override for ``dataset`` (None = registry default)."""
         return self.dataset_scale.get(dataset)
+
+    def models_for(self, num_pieces: int) -> tuple[str, ...] | None:
+        """The per-piece model list for a cell with ``num_pieces`` pieces.
+
+        A configured sequence is cycled (or truncated) to the cell's
+        piece count so one ``--model ic lt`` flag serves every ``l`` of
+        a sweep; a scalar or ``None`` passes through unchanged.
+        """
+        if self.model is None or isinstance(self.model, str):
+            return None if self.model is None else (self.model,) * num_pieces
+        if not self.model:
+            raise ExperimentError("model list must not be empty")
+        cycled = tuple(
+            self.model[i % len(self.model)] for i in range(num_pieces)
+        )
+        return cycled
 
     def theta_for(self, dataset: str) -> tuple[int, int]:
         """(optimisation, evaluation) sample counts for ``dataset``.

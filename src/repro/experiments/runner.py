@@ -15,6 +15,7 @@ diagnostics).  The runner mirrors the paper's measurement protocol
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass
 
@@ -25,6 +26,7 @@ from repro.core.problem import OIPAProblem
 from repro.datasets.registry import DatasetBundle, load_dataset
 from repro.diffusion.adoption import AdoptionModel
 from repro.diffusion.projection import project_campaign
+from repro.diffusion.threshold import normalize_lt_weights
 from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentProfile
 from repro.im.baselines import im_baseline, tim_baseline
@@ -88,6 +90,23 @@ class PreparedInstance:
     sample_seconds: float
 
 
+def _shard_dir_for(
+    profile: ExperimentProfile, dataset: str, num_pieces: int, role: str
+) -> str | None:
+    """A per-collection shard directory under the profile's root.
+
+    The optimisation and evaluation collections of one cell (and the
+    cells of one sweep) must not share shards — each gets its own
+    subdirectory keyed by (dataset, l, role).  ``None`` (no configured
+    root) lets the disk store spill into a private temp directory.
+    """
+    if profile.shard_dir is None:
+        return None
+    return os.path.join(
+        profile.shard_dir, f"{dataset}-l{num_pieces}-{role}"
+    )
+
+
 def prepare_instance(
     dataset: str,
     profile: ExperimentProfile,
@@ -126,6 +145,14 @@ def prepare_instance(
         seed=rng_pool,
     )
     piece_graphs = project_campaign(graph, campaign)
+    models = profile.models_for(num_pieces)
+    if models is not None:
+        # LT pieces must satisfy the live-edge feasibility condition;
+        # IC pieces keep their raw projections untouched.
+        piece_graphs = [
+            normalize_lt_weights(pg) if m == "lt" else pg
+            for pg, m in zip(piece_graphs, models)
+        ]
     opt_theta, eval_theta = profile.theta_for(dataset)
     with Timer() as sample_timer:
         mrr_opt = MRRCollection.generate(
@@ -134,7 +161,11 @@ def prepare_instance(
             opt_theta,
             seed=rng_opt,
             piece_graphs=piece_graphs,
+            model=models,
             workers=profile.workers,
+            store=profile.store,
+            shard_dir=_shard_dir_for(profile, dataset, num_pieces, "opt"),
+            max_resident_bytes=profile.max_resident_bytes,
         )
         mrr_eval = MRRCollection.generate(
             graph,
@@ -142,7 +173,11 @@ def prepare_instance(
             eval_theta,
             seed=rng_eval,
             piece_graphs=piece_graphs,
+            model=models,
             workers=profile.workers,
+            store=profile.store,
+            shard_dir=_shard_dir_for(profile, dataset, num_pieces, "eval"),
+            max_resident_bytes=profile.max_resident_bytes,
         )
     return PreparedInstance(
         bundle=bundle,

@@ -60,10 +60,17 @@ def celf_greedy_im(
     """
     from repro.diffusion.simulate import simulate_piece_spread
     from repro.sampling.batch import check_lt_feasible, check_model
-    from repro.sampling.parallel import make_pool, resolve_workers
+    from repro.sampling.parallel import (
+        check_executor,
+        make_pool,
+        resolve_workers,
+    )
 
     check_positive_int("k", k)
     check_positive_int("rounds", rounds)
+    # Entry validation: a bad executor string must fail here, not be
+    # silently ignored whenever the serial path happens to be taken.
+    check_executor(executor)
     if check_model(model) == "lt":
         check_lt_feasible(piece_graph)  # once, not once per trial
     rng = as_generator(seed)

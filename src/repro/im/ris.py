@@ -107,6 +107,9 @@ def ris_influence_maximization(
     model: str | None = None,
     workers=None,
     executor: str | None = None,
+    store=None,
+    shard_dir: str | None = None,
+    max_resident_bytes: int | None = None,
 ) -> tuple[list[int], float]:
     """End-to-end RIS IM on a homogeneous influence graph.
 
@@ -121,12 +124,17 @@ def ris_influence_maximization(
     normalize_lt_weights`).  ``workers`` fans the root blocks out on the
     parallel sampling runtime (:mod:`repro.sampling.parallel`) — seed
     sets are identical for every worker count; ``None`` keeps the
-    historical serial stream.
+    historical serial stream.  ``store`` selects the sample-store layer
+    (:mod:`repro.sampling.store`): ``"disk"`` streams the RR shards into
+    ``shard_dir`` and bounds resident sample memory at
+    ``max_resident_bytes``, with seed sets bit-identical to the in-RAM
+    store at ``workers >= 1``.
 
     Returns ``(seeds, spread_estimate)``.
     """
     from repro.diffusion.threshold import LinearThresholdSampler
     from repro.sampling.batch import check_model
+    from repro.sampling.mrr import _resolve_store_arg
     from repro.sampling.parallel import resolve_workers, sample_piece_blocks
 
     check_positive_int("k", k)
@@ -135,8 +143,22 @@ def ris_influence_maximization(
     if pool is None:
         pool = np.arange(piece_graph.n, dtype=np.int64)
     model = check_model(model)
+    store_obj = _resolve_store_arg(store, shard_dir, max_resident_bytes)
     roots = rng.integers(0, piece_graph.n, size=theta)
     pool_width = resolve_workers(workers)
+    if store_obj is not None:
+        collection = MRRCollection._generate_into_store(
+            piece_graph.n,
+            [piece_graph],
+            (model,),
+            roots,
+            rng,
+            backend=backend,
+            workers=pool_width or 1,
+            executor=executor,
+            store=store_obj,
+        )
+        return max_coverage_seeds(collection, 0, pool, k)
     if pool_width is not None:
         ((ptr, nodes),) = sample_piece_blocks(
             [piece_graph],

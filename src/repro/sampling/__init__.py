@@ -22,7 +22,18 @@ from repro.sampling.parallel import (
     resolve_workers,
     sample_piece_blocks,
     spawn_task_seeds,
+    stream_piece_blocks,
     task_block_size,
+)
+from repro.sampling.store import (
+    DEFAULT_STORE,
+    STORES,
+    MemoryStore,
+    SampleStore,
+    ShardStore,
+    check_store,
+    resolve_store,
+    store_fingerprint,
 )
 from repro.sampling.adaptive import generate_adaptive, theta_for_error_target
 from repro.sampling.theta import (
@@ -34,24 +45,33 @@ from repro.sampling.theta import (
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "DEFAULT_STORE",
     "EXECUTORS",
     "MODELS",
     "DEFAULT_MODEL",
+    "STORES",
     "BatchLTSampler",
     "BatchRRSampler",
+    "MemoryStore",
     "ReverseReachableSampler",
     "MRRCollection",
+    "SampleStore",
+    "ShardStore",
     "adaptive_block_size",
     "check_backend",
     "check_model",
+    "check_store",
     "make_pool",
     "parallel_map",
     "resolve_models",
+    "resolve_store",
     "resolve_workers",
     "sample_piece_blocks",
     "simulate_cascade_batch",
     "simulate_lt_cascade_batch",
     "spawn_task_seeds",
+    "store_fingerprint",
+    "stream_piece_blocks",
     "task_block_size",
     "hoeffding_theta",
     "estimation_error",

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import ParameterError, SamplingError
+from repro.utils.env import parse_env_choice
 from repro.utils.frontier import (
     Int64Buffer,
     frontier_edge_slots,
@@ -64,13 +65,12 @@ BACKENDS = ("python", "batch")
 
 # The default backend honours the REPRO_BACKEND environment variable so
 # CI can run the whole suite under either engine (the env matrix keeps
-# the reference path from rotting).  Unset or empty means "batch".
-_ENV_BACKEND = os.environ.get("REPRO_BACKEND")
-if _ENV_BACKEND and _ENV_BACKEND not in BACKENDS:
-    raise ParameterError(
-        f"REPRO_BACKEND must be one of {BACKENDS}, got {_ENV_BACKEND!r}"
-    )
-DEFAULT_BACKEND = _ENV_BACKEND or "batch"
+# the reference path from rotting).  Unset or empty means "batch"; an
+# invalid value raises ConfigError here, at entry.
+DEFAULT_BACKEND = (
+    parse_env_choice("REPRO_BACKEND", os.environ.get("REPRO_BACKEND"), BACKENDS)
+    or "batch"
+)
 
 MODELS = ("ic", "lt")
 DEFAULT_MODEL = "ic"

@@ -15,6 +15,16 @@ Besides the raw sets, the collection maintains one inverted index per
 piece (vertex -> sample ids whose RR set contains the vertex).  Every
 solver in :mod:`repro.core` and every RIS baseline drives its coverage
 bookkeeping through these indexes.
+
+Where the arrays actually live is delegated to a pluggable
+:class:`~repro.sampling.store.SampleStore`: the default
+:class:`~repro.sampling.store.MemoryStore` keeps everything in RAM
+(bit-for-bit the historical layout), while
+:class:`~repro.sampling.store.ShardStore` spills root-block shards to
+disk and serves queries through bounded reads — same indexes, same
+estimates, theta beyond RAM.  Batch consumers that must stay
+memory-bounded iterate :meth:`MRRCollection.iter_index_slabs` instead
+of gathering a whole candidate pool's slabs at once.
 """
 
 from __future__ import annotations
@@ -26,12 +36,19 @@ import numpy as np
 from repro.diffusion.adoption import AdoptionModel
 from repro.diffusion.projection import PieceGraph, project_campaign
 from repro.diffusion.threshold import LinearThresholdSampler
-from repro.exceptions import SamplingError
+from repro.exceptions import SamplingError, StoreError
 from repro.graph.digraph import TopicGraph
 from repro.sampling.batch import check_model
 from repro.sampling.rr import ReverseReachableSampler
+from repro.sampling.store import (
+    MemoryStore,
+    SampleStore,
+    ShardStore,
+    _chunk_bounds,
+    resolve_store,
+    store_fingerprint,
+)
 from repro.topics.distributions import Campaign
-from repro.utils.frontier import frontier_edge_slots
 from repro.utils.rng import as_generator
 from repro.utils.validation import (
     check_index_array,
@@ -59,43 +76,74 @@ def resolve_models(model, num_pieces: int) -> tuple[str, ...]:
     return models
 
 
+def _resolve_store_arg(
+    store, shard_dir: str | None, max_resident_bytes: int | None
+):
+    """The generate-time store knob: a store instance, or ``None``.
+
+    ``None`` means "plain in-RAM arrays via the historical code path";
+    a :class:`ShardStore` (or any caller-provided store instance) means
+    "stream shards through the store".  Name resolution and knob
+    validation are :func:`repro.sampling.store.resolve_store`'s — this
+    wrapper only maps the resolved default memory store back to the
+    historical path (a caller-provided :class:`MemoryStore` instance
+    still streams, which is what pins the streaming machinery against
+    the legacy path in the tests).
+    """
+    if isinstance(store, SampleStore):
+        return store
+    resolved = resolve_store(
+        store, shard_dir=shard_dir, max_resident_bytes=max_resident_bytes
+    )
+    return resolved if resolved.kind == "disk" else None
+
+
 class MRRCollection:
     """``theta`` MRR samples: per-piece RR sets sharing common roots."""
 
-    __slots__ = (
-        "n",
-        "theta",
-        "num_pieces",
-        "roots",
-        "_rr_ptr",
-        "_rr_nodes",
-        "_idx_ptr",
-        "_idx_samples",
-    )
+    __slots__ = ("n", "theta", "num_pieces", "roots", "store")
 
     def __init__(
         self,
         n: int,
         roots: np.ndarray,
-        rr_ptr: Sequence[np.ndarray],
-        rr_nodes: Sequence[np.ndarray],
+        rr_ptr: Sequence[np.ndarray] | None = None,
+        rr_nodes: Sequence[np.ndarray] | None = None,
+        *,
+        store: SampleStore | None = None,
     ) -> None:
         self.n = int(n)
         self.roots = np.asarray(roots, dtype=np.int64)
         self.theta = int(self.roots.size)
+        if store is not None:
+            if rr_ptr is not None or rr_nodes is not None:
+                raise SamplingError(
+                    "pass raw (rr_ptr, rr_nodes) arrays or a store, not both"
+                )
+            if not store.finalized:
+                raise StoreError(
+                    "MRRCollection needs a finalized store — call "
+                    "store.finalize() after committing every block"
+                )
+            if store.n != self.n or store.theta != self.theta:
+                raise SamplingError(
+                    f"store holds (n={store.n}, theta={store.theta}), "
+                    f"expected (n={self.n}, theta={self.theta})"
+                )
+            self.num_pieces = store.num_pieces
+            self.store = store
+            return
         if not rr_ptr or len(rr_ptr) != len(rr_nodes):
             raise SamplingError("need one (ptr, nodes) pair per piece")
         self.num_pieces = len(rr_ptr)
+        rr_ptr = [np.asarray(p, dtype=np.int64) for p in rr_ptr]
+        rr_nodes = [np.asarray(x, dtype=np.int64) for x in rr_nodes]
         for j in range(self.num_pieces):
             if rr_ptr[j].shape != (self.theta + 1,):
                 raise SamplingError(
                     f"piece {j}: ptr length {rr_ptr[j].shape} != theta+1"
                 )
-        self._rr_ptr = [np.asarray(p, dtype=np.int64) for p in rr_ptr]
-        self._rr_nodes = [np.asarray(x, dtype=np.int64) for x in rr_nodes]
-        self._idx_ptr: list[np.ndarray] = []
-        self._idx_samples: list[np.ndarray] = []
-        self._build_indexes()
+        self.store = MemoryStore.from_arrays(self.n, rr_ptr, rr_nodes)
 
     # ------------------------------------------------------------------
     # construction
@@ -114,6 +162,9 @@ class MRRCollection:
         model=None,
         workers=None,
         executor: str | None = None,
+        store=None,
+        shard_dir: str | None = None,
+        max_resident_bytes: int | None = None,
     ) -> "MRRCollection":
         """Generate ``theta`` MRR samples for ``campaign`` on ``graph``.
 
@@ -136,6 +187,20 @@ class MRRCollection:
         collections are bit-identical for every worker count, and
         ``executor`` picks ``"thread"`` (default) or ``"process"``
         pools.
+
+        ``store`` selects the sample-store layer
+        (:mod:`repro.sampling.store`): ``"memory"`` (default, or the
+        ``REPRO_STORE`` env override) keeps the arrays in RAM;
+        ``"disk"`` streams each (piece, root block) shard into
+        ``shard_dir`` (a private temp directory when ``None``) as it is
+        sampled, keeping peak RAM at ``max_resident_bytes`` instead of
+        O(theta).  The disk store always samples through the block
+        decomposition, so its collections are bit-identical to
+        memory-store runs with ``workers >= 1`` — and a shard directory
+        from an interrupted run resumes from its completed shards,
+        while a finished one reloads without resampling.  A
+        pre-constructed :class:`~repro.sampling.store.SampleStore`
+        instance is also accepted.
         """
         from repro.sampling.parallel import (
             resolve_workers,
@@ -160,8 +225,21 @@ class MRRCollection:
             exc=SamplingError,
         )
         models = resolve_models(model, campaign.num_pieces)
+        store_obj = _resolve_store_arg(store, shard_dir, max_resident_bytes)
         roots = rng.integers(0, graph.n, size=theta)
         pool_width = resolve_workers(workers)
+        if store_obj is not None:
+            return cls._generate_into_store(
+                graph.n,
+                list(piece_graphs),
+                models,
+                roots,
+                rng,
+                backend=backend,
+                workers=pool_width or 1,
+                executor=executor,
+                store=store_obj,
+            )
         if pool_width is not None:
             pairs = sample_piece_blocks(
                 list(piece_graphs),
@@ -187,34 +265,98 @@ class MRRCollection:
             rr_nodes.append(nodes)
         return cls(graph.n, roots, rr_ptr, rr_nodes)
 
-    def _build_indexes(self) -> None:
-        """Inverted index per piece: vertex -> sorted sample ids."""
-        for j in range(self.num_pieces):
-            ptr, nodes = self._rr_ptr[j], self._rr_nodes[j]
-            sample_of_slot = np.repeat(
-                np.arange(self.theta, dtype=np.int64), np.diff(ptr)
-            )
-            order = np.argsort(nodes, kind="stable")
-            sorted_nodes = nodes[order]
-            idx_samples = sample_of_slot[order]
-            idx_ptr = np.zeros(self.n + 1, dtype=np.int64)
-            if sorted_nodes.size:
-                counts = np.bincount(sorted_nodes, minlength=self.n)
-                np.cumsum(counts, out=idx_ptr[1:])
-            self._idx_ptr.append(idx_ptr)
-            self._idx_samples.append(idx_samples)
+    @classmethod
+    def _generate_into_store(
+        cls,
+        n: int,
+        piece_graphs,
+        models,
+        roots: np.ndarray,
+        rng,
+        *,
+        backend,
+        workers: int,
+        executor,
+        store: SampleStore,
+    ) -> "MRRCollection":
+        """Stream (piece, root block) shards into ``store`` as sampled.
+
+        Shards are committed the moment their task finishes (task
+        order, bounded in-flight window), so peak RAM during generation
+        is O(workers x block) instead of O(theta).  Shards already in
+        the store — a resumed :class:`ShardStore` directory — are
+        skipped without disturbing any other task's child stream, and a
+        fully finalized store is reloaded without sampling at all.
+        """
+        from repro.sampling.parallel import (
+            stream_piece_blocks,
+            task_block_size,
+        )
+
+        theta = int(roots.size)
+        store.begin(
+            n,
+            len(piece_graphs),
+            theta,
+            task_block_size(theta),
+            fingerprint=store_fingerprint(n, roots, models, backend),
+        )
+        if isinstance(store, ShardStore):
+            store.save_roots(roots)
+        if not store.finalized:
+            for piece, block, ptr, nodes in stream_piece_blocks(
+                piece_graphs,
+                models,
+                roots,
+                rng,
+                backend=backend,
+                workers=workers,
+                executor=executor,
+                skip=store.has_block,
+            ):
+                store.put_block(piece, block, ptr, nodes)
+            store.finalize()
+        return cls(n, roots, store=store)
+
+    @classmethod
+    def from_store(
+        cls, store: SampleStore, roots: np.ndarray | None = None
+    ) -> "MRRCollection":
+        """Rebuild a collection from a finalized store.
+
+        ``roots`` defaults to the draw a :class:`ShardStore` persisted
+        at generation time (``roots.npy``), so a finished shard
+        directory round-trips with ``ShardStore.open`` alone.
+        """
+        if roots is None:
+            if not isinstance(store, ShardStore):
+                raise SamplingError(
+                    f"{type(store).__name__} does not persist roots — "
+                    "pass them explicitly"
+                )
+            roots = store.load_roots()
+        return cls(store.n, roots, store=store)
 
     # ------------------------------------------------------------------
     # raw access
     # ------------------------------------------------------------------
+
+    @property
+    def _rr_ptr(self) -> list[np.ndarray]:
+        """Per-piece CSR pointers, materialised (tests / diagnostics)."""
+        return [self.store.rr_arrays(j)[0] for j in range(self.num_pieces)]
+
+    @property
+    def _rr_nodes(self) -> list[np.ndarray]:
+        """Per-piece CSR node arrays, materialised (tests / diagnostics)."""
+        return [self.store.rr_arrays(j)[1] for j in range(self.num_pieces)]
 
     def rr_set(self, piece: int, sample: int) -> np.ndarray:
         """The RR set of ``sample`` (0-based) for ``piece``."""
         self._check_piece(piece)
         if not (0 <= sample < self.theta):
             raise SamplingError(f"sample {sample} outside [0, {self.theta})")
-        ptr = self._rr_ptr[piece]
-        return self._rr_nodes[piece][ptr[sample] : ptr[sample + 1]]
+        return self.store.rr_set(piece, sample)
 
     def samples_containing(self, piece: int, vertex: int) -> np.ndarray:
         """Sample ids whose RR set for ``piece`` contains ``vertex``.
@@ -225,8 +367,10 @@ class MRRCollection:
         self._check_piece(piece)
         if not (0 <= vertex < self.n):
             raise SamplingError(f"vertex {vertex} outside [0, {self.n})")
-        ptr = self._idx_ptr[piece]
-        return self._idx_samples[piece][ptr[vertex] : ptr[vertex + 1]]
+        ptr = self.store.idx_ptr(piece)
+        return self.store.read_index_range(
+            piece, int(ptr[vertex]), int(ptr[vertex + 1])
+        )
 
     def index_arrays(self, piece: int) -> tuple[np.ndarray, np.ndarray]:
         """One piece's raw CSR inverted index ``(idx_ptr, idx_samples)``.
@@ -234,10 +378,12 @@ class MRRCollection:
         ``idx_samples[idx_ptr[v]:idx_ptr[v+1]]`` are the sample ids whose
         RR set contains ``v`` — the flat arrays the vectorized coverage
         kernels (:mod:`repro.core.coverage`) gather over.  Callers must
-        treat both arrays as read-only.
+        treat both arrays as read-only.  On a disk store this
+        materialises the whole index (O(total) RAM) — bounded consumers
+        use :meth:`iter_index_slabs` instead.
         """
         self._check_piece(piece)
-        return self._idx_ptr[piece], self._idx_samples[piece]
+        return self.store.index_arrays(piece)
 
     def gather_index_slabs(
         self,
@@ -255,20 +401,53 @@ class MRRCollection:
         each vertex's sample-id slab in vertex order, plus the per-vertex
         slab lengths for the caller's segmented reduction.
         """
+        vertices = self._check_gather(piece, vertices, exc)
+        return self.store.gather_index(piece, vertices)
+
+    def iter_index_slabs(
+        self,
+        piece: int,
+        vertices,
+        *,
+        exc: type[Exception] | None = None,
+    ):
+        """Chunked :meth:`gather_index_slabs`, bounded by the store.
+
+        Yields ``(samples, deg, lo, hi)`` where ``samples``/``deg`` are
+        the gathered slabs of ``vertices[lo:hi]``.  Chunk boundaries
+        respect the store's gather budget
+        (:attr:`~repro.sampling.store.SampleStore.gather_chunk_bytes`)
+        so a whole-pool scan on a disk store never materialises more
+        than ``max_resident_bytes`` of slab at once; the in-RAM store
+        yields one chunk, preserving the historical single-dispatch
+        path.  Per-vertex results are identical to the unchunked gather
+        — every segmented reduction sees exactly its own slab.
+        """
+        vertices = self._check_gather(piece, vertices, exc)
+        budget = self.store.gather_chunk_bytes
+        if budget is None or vertices.size == 0:
+            samples, deg = self.store.gather_index(piece, vertices)
+            yield samples, deg, 0, int(vertices.size)
+            return
+        ptr = self.store.idx_ptr(piece)
+        deg_all = ptr[vertices + 1] - ptr[vertices]
+        bounds = _chunk_bounds(np.cumsum(deg_all * 8), budget)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            samples, deg = self.store.gather_index(piece, vertices[lo:hi])
+            yield samples, deg, lo, hi
+
+    def _check_gather(self, piece, vertices, exc) -> np.ndarray:
         exc = SamplingError if exc is None else exc
         if not (0 <= piece < self.num_pieces):
             raise exc(f"piece {piece} outside [0, {self.num_pieces})")
         vertices = np.asarray(vertices, dtype=np.int64)
         check_index_array("vertex", vertices, self.n, exc=exc)
-        slot_idx, deg = frontier_edge_slots(self._idx_ptr[piece], vertices)
-        if slot_idx.size == 0:
-            return np.zeros(0, dtype=np.int64), deg
-        return self._idx_samples[piece][slot_idx], deg
+        return vertices
 
     def rr_set_sizes(self, piece: int) -> np.ndarray:
         """Sizes of every RR set for ``piece``."""
         self._check_piece(piece)
-        return np.diff(self._rr_ptr[piece])
+        return self.store.rr_set_sizes(piece)
 
     def vertex_frequencies(self, piece: int) -> np.ndarray:
         """How many RR sets of ``piece`` contain each vertex.
@@ -277,7 +456,7 @@ class MRRCollection:
         quantity whose power-law tail Lemma 4 leans on.
         """
         self._check_piece(piece)
-        return np.diff(self._idx_ptr[piece])
+        return np.diff(self.store.idx_ptr(piece))
 
     def _check_piece(self, piece: int) -> None:
         if not (0 <= piece < self.num_pieces):
@@ -308,8 +487,8 @@ class MRRCollection:
                 continue
             check_index_array("vertex", seeds, self.n, exc=SamplingError)
             covered[:] = False
-            slot_idx, _ = frontier_edge_slots(self._idx_ptr[j], seeds)
-            covered[self._idx_samples[j][slot_idx]] = True
+            for samples, _deg, _lo, _hi in self.iter_index_slabs(j, seeds):
+                covered[samples] = True
             counts += covered
         return counts
 
@@ -335,5 +514,5 @@ class MRRCollection:
     def __repr__(self) -> str:
         return (
             f"MRRCollection(theta={self.theta}, pieces={self.num_pieces}, "
-            f"n={self.n})"
+            f"n={self.n}, store={self.store.kind})"
         )

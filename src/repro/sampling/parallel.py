@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
 from repro.exceptions import ParameterError, SamplingError
+from repro.utils.env import parse_env_workers
 
 __all__ = [
     "DEFAULT_EXECUTOR",
@@ -47,6 +49,7 @@ __all__ = [
     "round_chunks",
     "sample_piece_blocks",
     "spawn_task_seeds",
+    "stream_piece_blocks",
     "task_block_size",
 ]
 
@@ -65,27 +68,9 @@ _MIN_TASK_BLOCK = 256
 _ROUND_CHUNK = 8
 
 
-def _parse_env_workers(text: str | None):
-    if not text:
-        return None
-    if text in ("serial", "0"):
-        return None
-    if text == "auto":
-        return "auto"
-    try:
-        value = int(text)
-    except ValueError:
-        value = 0
-    if value < 1:
-        raise ParameterError(
-            "REPRO_WORKERS must be 'auto', 'serial', or a positive "
-            f"integer, got {text!r}"
-        )
-    return value
-
-
-#: Suite-wide default when a call site passes ``workers=None``.
-DEFAULT_WORKERS = _parse_env_workers(os.environ.get("REPRO_WORKERS"))
+#: Suite-wide default when a call site passes ``workers=None``.  An
+#: invalid REPRO_WORKERS raises ConfigError here, at entry.
+DEFAULT_WORKERS = parse_env_workers(os.environ.get("REPRO_WORKERS"))
 
 
 def resolve_workers(workers) -> int | None:
@@ -258,6 +243,90 @@ def _sample_task(args):
     return sampler.sample_many(roots, as_generator(seed))
 
 
+def stream_piece_blocks(
+    piece_graphs,
+    models,
+    roots: np.ndarray,
+    rng,
+    *,
+    backend: str | None,
+    workers: int,
+    executor: str | None = None,
+    skip=None,
+):
+    """Yield every (piece, root block) result in task order, as sampled.
+
+    The streaming face of the runtime — and the out-of-core writer's
+    contract: tuples ``(piece, block_index, ptr, nodes)`` are yielded
+    the moment the head-of-line task finishes, with a bounded in-flight
+    window (2x ``workers``) so only O(workers) block results ever sit
+    in RAM, however large theta is.  The task list, block sizes, and
+    child rng streams are identical to :func:`sample_piece_blocks`
+    (piece-major, one spawned seed per task), so collecting this stream
+    reproduces it bit-for-bit.
+
+    ``skip`` is an optional ``(piece, block_index) -> bool`` predicate:
+    skipped tasks are neither sampled nor yielded, but still consume
+    their spawned seed — which is what lets a resumed shard store rerun
+    only its missing blocks and land on the same collection.
+    """
+    if len(piece_graphs) != len(models):
+        raise SamplingError(
+            f"{len(models)} models for {len(piece_graphs)} piece graphs"
+        )
+    theta = int(roots.size)
+    block = task_block_size(theta)
+    starts = list(range(0, theta, block))
+    todo = []
+    task_index = 0
+    seeds_needed = len(piece_graphs) * len(starts)
+    seeds = spawn_task_seeds(rng, seeds_needed)
+    for j, (piece_graph, model) in enumerate(zip(piece_graphs, models)):
+        for b, start in enumerate(starts):
+            seed = seeds[task_index]
+            task_index += 1
+            if skip is not None and skip(j, b):
+                continue
+            todo.append(
+                (
+                    (j, b),
+                    (
+                        piece_graph,
+                        model,
+                        backend,
+                        roots[start : start + block],
+                        seed,
+                    ),
+                )
+            )
+    width = min(int(workers), len(todo))
+    if width <= 1:
+        for (j, b), args in todo:
+            ptr, nodes = _sample_task(args)
+            yield j, b, ptr, nodes
+        return
+    pool = make_pool(width, executor=executor)
+    pending: deque = deque()
+    iterator = iter(todo)
+    try:
+        while True:
+            while len(pending) < 2 * width:
+                item = next(iterator, None)
+                if item is None:
+                    break
+                coords, args = item
+                pending.append((coords, pool.submit(_sample_task, args)))
+            if not pending:
+                break
+            (j, b), future = pending.popleft()
+            ptr, nodes = future.result()
+            yield j, b, ptr, nodes
+    finally:
+        for _, future in pending:
+            future.cancel()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
 def sample_piece_blocks(
     piece_graphs,
     models,
@@ -274,32 +343,25 @@ def sample_piece_blocks(
     and each task owns a spawned child stream; per-piece CSR arrays are
     reassembled by concatenating block results in task order.  Output
     is a list of ``(ptr, nodes)`` pairs aligned with ``piece_graphs``,
-    identical for every ``workers`` value.
+    identical for every ``workers`` value.  (This is
+    :func:`stream_piece_blocks`, collected — the in-RAM consumer.)
     """
-    if len(piece_graphs) != len(models):
-        raise SamplingError(
-            f"{len(models)} models for {len(piece_graphs)} piece graphs"
-        )
     theta = int(roots.size)
-    block = task_block_size(theta)
-    starts = list(range(0, theta, block))
-    tasks = []
-    for piece_graph, model in zip(piece_graphs, models):
-        for start in starts:
-            tasks.append(
-                (piece_graph, model, backend, roots[start : start + block])
-            )
-    seeds = spawn_task_seeds(rng, len(tasks))
-    results = parallel_map(
-        _sample_task,
-        [task + (seed,) for task, seed in zip(tasks, seeds)],
-        workers,
+    collected: list[list[tuple[np.ndarray, np.ndarray]]] = [
+        [] for _ in piece_graphs
+    ]
+    for j, _b, ptr, nodes in stream_piece_blocks(
+        piece_graphs,
+        models,
+        roots,
+        rng,
+        backend=backend,
+        workers=workers,
         executor=executor,
-    )
+    ):
+        collected[j].append((ptr, nodes))
     merged: list[tuple[np.ndarray, np.ndarray]] = []
-    per_piece = len(starts)
-    for j in range(len(piece_graphs)):
-        chunk = results[j * per_piece : (j + 1) * per_piece]
+    for chunk in collected:
         sizes = np.concatenate([np.diff(ptr) for ptr, _ in chunk])
         ptr = np.zeros(theta + 1, dtype=np.int64)
         np.cumsum(sizes, out=ptr[1:])

@@ -1,0 +1,864 @@
+"""Pluggable sample stores: where an MRR collection's arrays live.
+
+The paper's sample complexity makes theta the memory wall: the
+``(theta x l)`` MRR collection holds one CSR pair ``(rr_ptr, rr_nodes)``
+plus one inverted index per piece, and both grow as
+``theta * E[|RR set|]`` — at production scale they no longer fit in
+RAM.  This module splits "what the collection stores" from "how the
+solvers query it" behind one :class:`SampleStore` interface with two
+implementations:
+
+:class:`MemoryStore`
+    Today's in-RAM arrays, bit-for-bit.  Zero overhead; the default.
+
+:class:`ShardStore`
+    Root-block shards spilled to disk.  ``sample_piece_blocks`` already
+    decomposes generation into per-(piece, root block) tasks, and those
+    blocks are exactly the shards: each is written to ``shard_dir`` as a
+    ``.npz`` the moment it is sampled (so peak RAM during generation is
+    one block, not theta), the per-piece inverted index is built with a
+    bucketed external sort bounded by ``max_resident_bytes``, and
+    queries read only the slabs they touch through explicit bounded
+    file reads — never a whole-collection materialisation.  A manifest
+    makes shard directories self-describing: interrupted generations
+    resume from the completed shards, finished ones reload without
+    resampling, and mismatched or corrupted shards fail loudly
+    (:class:`repro.exceptions.StoreError`).
+
+Both stores produce identical inverted indexes for identical samples,
+so every solver — coverage, tau bounds, BAB, RIS — returns bit-identical
+seed sets and estimates regardless of where the samples live.  The
+``REPRO_STORE`` environment variable flips the suite-wide default
+(``memory``/``disk``) so CI can run everything out-of-core.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.exceptions import ConfigError, StoreError
+from repro.utils.env import parse_env_choice
+from repro.utils.frontier import frontier_edge_slots
+
+__all__ = [
+    "DEFAULT_MAX_RESIDENT_BYTES",
+    "DEFAULT_STORE",
+    "STORES",
+    "MemoryStore",
+    "SampleStore",
+    "ShardStore",
+    "check_store",
+    "resolve_store",
+    "store_fingerprint",
+]
+
+STORES = ("memory", "disk")
+
+#: Suite-wide default when a call site passes ``store=None``; the
+#: REPRO_STORE environment variable overrides it (CI's store axis).  An
+#: invalid value raises ConfigError here, at entry.
+DEFAULT_STORE = (
+    parse_env_choice("REPRO_STORE", os.environ.get("REPRO_STORE"), STORES)
+    or "memory"
+)
+
+#: Resident ceiling for a ShardStore's managed caches (block LRU, index
+#: build buckets, gather chunks) when the caller does not pick one.
+DEFAULT_MAX_RESIDENT_BYTES = 256 * 1024 * 1024
+
+_MANIFEST = "manifest.json"
+_FORMAT = 1
+
+
+def check_store(store: str | None) -> str:
+    """Normalise a store choice; ``None`` means the (env) default."""
+    if store is None:
+        return DEFAULT_STORE
+    if store not in STORES:
+        raise ConfigError(f"store must be one of {STORES}, got {store!r}")
+    return store
+
+
+def resolve_store(
+    store=None,
+    *,
+    shard_dir: str | None = None,
+    max_resident_bytes: int | None = None,
+) -> "SampleStore":
+    """Turn the ``store`` knob into a ready-to-write :class:`SampleStore`.
+
+    ``store`` is a name (``"memory"``/``"disk"``, ``None`` = the
+    ``REPRO_STORE`` default) or an already-constructed store instance
+    (returned as-is).  ``shard_dir`` / ``max_resident_bytes`` configure
+    the disk store and are rejected for the memory store, where they
+    would silently do nothing.
+    """
+    if isinstance(store, SampleStore):
+        return store
+    kind = check_store(store)
+    if kind == "disk":
+        return ShardStore(shard_dir, max_resident_bytes=max_resident_bytes)
+    if shard_dir is not None or max_resident_bytes is not None:
+        raise ConfigError(
+            "shard_dir / max_resident_bytes apply to store='disk', "
+            f"but the resolved store is {kind!r}"
+        )
+    return MemoryStore()
+
+
+def store_fingerprint(n: int, roots: np.ndarray, models, backend) -> str:
+    """Identity of one generation run, recorded in shard manifests.
+
+    Two runs produce identical shards iff their graph size, root draw,
+    per-piece diffusion models, and sampling backend agree — the
+    fingerprint captures exactly that, so resuming against a shard
+    directory from a *different* run fails loudly instead of silently
+    mixing samples.  The backend is recorded *resolved* (``None`` means
+    the ``REPRO_BACKEND`` default), so a directory written under one
+    env default cannot be reloaded under another.
+    """
+    from repro.sampling.batch import check_backend
+
+    roots = np.asarray(roots, dtype=np.int64)
+    crc = zlib.crc32(roots.tobytes())
+    return (
+        f"v{_FORMAT}:n={int(n)}:theta={roots.size}:roots={crc:08x}"
+        f":models={','.join(models)}:backend={check_backend(backend)}"
+    )
+
+
+def _chunk_bounds(cum_weights: np.ndarray, budget: int) -> list[int]:
+    """Split ``[0, len)`` into runs whose weight is at most ``budget``.
+
+    ``cum_weights`` is the inclusive prefix sum (``cum_weights[i]`` =
+    total weight of items ``0..i``); runs always advance by at least one
+    item, so a single item heavier than the budget gets its own run.
+    """
+    size = int(cum_weights.size)
+    bounds = [0]
+    while bounds[-1] < size:
+        lo = bounds[-1]
+        base = int(cum_weights[lo - 1]) if lo else 0
+        hi = int(np.searchsorted(cum_weights, base + budget, side="right"))
+        bounds.append(max(hi, lo + 1))
+    return bounds
+
+
+class SampleStore:
+    """Interface between :class:`~repro.sampling.mrr.MRRCollection` and
+    wherever its arrays live.
+
+    Write protocol (driven by ``MRRCollection.generate``):
+    :meth:`begin` fixes the dimensions, :meth:`put_block` commits one
+    (piece, root block) shard as the sampler produces it, and
+    :meth:`finalize` builds the per-piece inverted indexes.  Read
+    protocol (driven by every solver): per-vertex slab gathers over the
+    inverted index, per-sample RR-set access, and the O(n)/O(theta)
+    structural arrays (``idx_ptr``, RR-set sizes) which always stay in
+    RAM — shedding the ``theta * E[|RR set|]``-sized payloads is what
+    the store layer is for.
+    """
+
+    kind = "abstract"
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.num_pieces = 0
+        self.theta = 0
+        self.block_size = 0
+        self.num_blocks = 0
+        self.finalized = False
+
+    # -- write protocol -------------------------------------------------
+
+    def begin(
+        self,
+        n: int,
+        num_pieces: int,
+        theta: int,
+        block_size: int,
+        *,
+        fingerprint: str | None = None,
+    ) -> None:
+        if n < 1 or num_pieces < 1 or theta < 1 or block_size < 1:
+            raise StoreError(
+                f"store dimensions must be positive, got n={n}, "
+                f"pieces={num_pieces}, theta={theta}, block={block_size}"
+            )
+        self.n = int(n)
+        self.num_pieces = int(num_pieces)
+        self.theta = int(theta)
+        self.block_size = int(block_size)
+        self.num_blocks = -(-self.theta // self.block_size)
+
+    def has_block(self, piece: int, block: int) -> bool:
+        """Is this shard already committed (resume support)?"""
+        raise NotImplementedError
+
+    def put_block(
+        self, piece: int, block: int, ptr: np.ndarray, nodes: np.ndarray
+    ) -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        raise NotImplementedError
+
+    def _block_span(self, block: int) -> tuple[int, int]:
+        lo = block * self.block_size
+        return lo, min(lo + self.block_size, self.theta)
+
+    def _check_block(
+        self, piece: int, block: int, ptr: np.ndarray, nodes: np.ndarray
+    ) -> None:
+        if not (0 <= piece < self.num_pieces):
+            raise StoreError(
+                f"piece {piece} outside [0, {self.num_pieces})"
+            )
+        if not (0 <= block < self.num_blocks):
+            raise StoreError(
+                f"block {block} outside [0, {self.num_blocks})"
+            )
+        lo, hi = self._block_span(block)
+        if ptr.shape != (hi - lo + 1,):
+            raise StoreError(
+                f"piece {piece} block {block}: ptr length {ptr.shape} "
+                f"!= block size + 1 = {hi - lo + 1}"
+            )
+        if nodes.shape != (int(ptr[-1]),):
+            raise StoreError(
+                f"piece {piece} block {block}: {nodes.shape} nodes for "
+                f"ptr[-1] = {int(ptr[-1])}"
+            )
+
+    # -- read protocol --------------------------------------------------
+
+    @property
+    def gather_chunk_bytes(self) -> int | None:
+        """Byte budget per index-gather chunk (``None`` = unbounded)."""
+        return None
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of sample payload currently held in RAM by this store."""
+        raise NotImplementedError
+
+    def idx_ptr(self, piece: int) -> np.ndarray:
+        """One piece's inverted-index CSR pointer (O(n), in RAM)."""
+        raise NotImplementedError
+
+    def read_index_range(self, piece: int, lo: int, hi: int) -> np.ndarray:
+        """``idx_samples[lo:hi]`` for one piece (one vertex's slab)."""
+        raise NotImplementedError
+
+    def gather_index(
+        self, piece: int, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated index slabs of ``vertices`` plus slab lengths."""
+        raise NotImplementedError
+
+    def rr_set(self, piece: int, sample: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def rr_set_sizes(self, piece: int) -> np.ndarray:
+        """Sizes of every RR set for ``piece`` (O(theta), in RAM)."""
+        raise NotImplementedError
+
+    def rr_arrays(self, piece: int) -> tuple[np.ndarray, np.ndarray]:
+        """One piece's full CSR ``(ptr, nodes)`` — O(total) RAM.
+
+        Compatibility/diagnostic accessor: the disk store materialises
+        the concatenation, so hot paths must not call this.
+        """
+        raise NotImplementedError
+
+    def index_arrays(self, piece: int) -> tuple[np.ndarray, np.ndarray]:
+        """One piece's full inverted index — O(total) RAM (see above)."""
+        raise NotImplementedError
+
+    def _check_finalized(self) -> None:
+        if not self.finalized:
+            raise StoreError(
+                f"{type(self).__name__} queried before finalize()"
+            )
+
+
+class MemoryStore(SampleStore):
+    """The in-RAM store: today's arrays, today's vectorized queries."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
+        self._rr_ptr: list[np.ndarray] = []
+        self._rr_nodes: list[np.ndarray] = []
+        self._idx_ptr: list[np.ndarray] = []
+        self._idx_samples: list[np.ndarray] = []
+
+    @classmethod
+    def from_arrays(cls, n, rr_ptr, rr_nodes) -> "MemoryStore":
+        """Wrap already-assembled per-piece CSR arrays (zero copy)."""
+        store = cls()
+        theta = int(rr_ptr[0].size - 1)
+        store.begin(n, len(rr_ptr), max(theta, 1), max(theta, 1))
+        store.theta = theta  # allow theta == 0 for degenerate tests
+        store._rr_ptr = list(rr_ptr)
+        store._rr_nodes = list(rr_nodes)
+        store._build_indexes()
+        store.finalized = True
+        return store
+
+    def begin(self, n, num_pieces, theta, block_size, *, fingerprint=None):
+        super().begin(n, num_pieces, theta, block_size, fingerprint=fingerprint)
+        self._pending = [{} for _ in range(self.num_pieces)]
+
+    def has_block(self, piece: int, block: int) -> bool:
+        return block in self._pending[piece]
+
+    def put_block(self, piece, block, ptr, nodes) -> None:
+        ptr = np.asarray(ptr, dtype=np.int64)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        self._check_block(piece, block, ptr, nodes)
+        self._pending[piece][block] = (ptr, nodes)
+
+    def finalize(self) -> None:
+        if self.finalized:
+            return
+        for j, blocks in enumerate(self._pending):
+            missing = [b for b in range(self.num_blocks) if b not in blocks]
+            if missing:
+                raise StoreError(
+                    f"piece {j}: blocks {missing} were never committed"
+                )
+            chunk = [blocks[b] for b in range(self.num_blocks)]
+            sizes = np.concatenate([np.diff(ptr) for ptr, _ in chunk])
+            ptr = np.zeros(self.theta + 1, dtype=np.int64)
+            np.cumsum(sizes, out=ptr[1:])
+            self._rr_ptr.append(ptr)
+            self._rr_nodes.append(np.concatenate([n for _, n in chunk]))
+        self._pending = []
+        self._build_indexes()
+        self.finalized = True
+
+    def _build_indexes(self) -> None:
+        """Inverted index per piece: vertex -> sorted sample ids."""
+        for j in range(len(self._rr_ptr)):
+            ptr, nodes = self._rr_ptr[j], self._rr_nodes[j]
+            sample_of_slot = np.repeat(
+                np.arange(ptr.size - 1, dtype=np.int64), np.diff(ptr)
+            )
+            order = np.argsort(nodes, kind="stable")
+            sorted_nodes = nodes[order]
+            idx_samples = sample_of_slot[order]
+            idx_ptr = np.zeros(self.n + 1, dtype=np.int64)
+            if sorted_nodes.size:
+                counts = np.bincount(sorted_nodes, minlength=self.n)
+                np.cumsum(counts, out=idx_ptr[1:])
+            self._idx_ptr.append(idx_ptr)
+            self._idx_samples.append(idx_samples)
+
+    # -- reads ----------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(
+            a.nbytes
+            for arrays in (self._rr_nodes, self._idx_samples)
+            for a in arrays
+        )
+
+    def idx_ptr(self, piece: int) -> np.ndarray:
+        self._check_finalized()
+        return self._idx_ptr[piece]
+
+    def read_index_range(self, piece, lo, hi) -> np.ndarray:
+        self._check_finalized()
+        return self._idx_samples[piece][lo:hi]
+
+    def gather_index(self, piece, vertices):
+        self._check_finalized()
+        slot_idx, deg = frontier_edge_slots(self._idx_ptr[piece], vertices)
+        if slot_idx.size == 0:
+            return np.zeros(0, dtype=np.int64), deg
+        return self._idx_samples[piece][slot_idx], deg
+
+    def rr_set(self, piece, sample) -> np.ndarray:
+        self._check_finalized()
+        ptr = self._rr_ptr[piece]
+        return self._rr_nodes[piece][ptr[sample] : ptr[sample + 1]]
+
+    def rr_set_sizes(self, piece) -> np.ndarray:
+        self._check_finalized()
+        return np.diff(self._rr_ptr[piece])
+
+    def rr_arrays(self, piece):
+        self._check_finalized()
+        return self._rr_ptr[piece], self._rr_nodes[piece]
+
+    def index_arrays(self, piece):
+        self._check_finalized()
+        return self._idx_ptr[piece], self._idx_samples[piece]
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryStore(pieces={self.num_pieces}, theta={self.theta}, "
+            f"resident={self.resident_bytes})"
+        )
+
+
+class ShardStore(SampleStore):
+    """Root-block shards on disk, queried through bounded reads.
+
+    Layout under ``shard_dir``::
+
+        manifest.json                   dimensions, fingerprint, progress
+        roots.npy                       the shared root draw
+        piece000_block00000.npz         one (piece, root block) shard
+        piece000.idx_ptr.npy            inverted-index CSR pointer (O(n))
+        piece000.sizes.npy              per-sample RR-set sizes (O(theta))
+        piece000.idx.bin                inverted-index sample ids (raw
+                                        int64; the big one — read by
+                                        slab, never whole)
+
+    ``max_resident_bytes`` bounds everything this store holds in RAM:
+    the shard LRU cache serving :meth:`rr_set`, the bucket size of the
+    external-sort index build, and (via :attr:`gather_chunk_bytes`) the
+    slab chunks the coverage kernels gather per dispatch.  OS page
+    cache does the rest — all file traffic is explicit ``read()`` I/O,
+    so cached pages are reclaimable and never count against the
+    process's resident set the way a mapped index would.
+
+    Passing ``shard_dir=None`` spills into a private temporary
+    directory that lives as long as the store object does (the CI
+    ``REPRO_STORE=disk`` axis runs the whole suite this way).
+    """
+
+    kind = "disk"
+
+    def __init__(
+        self,
+        shard_dir: str | None = None,
+        *,
+        max_resident_bytes: int | None = None,
+    ) -> None:
+        super().__init__()
+        if max_resident_bytes is None:
+            max_resident_bytes = DEFAULT_MAX_RESIDENT_BYTES
+        if int(max_resident_bytes) < 1:
+            raise ConfigError(
+                f"max_resident_bytes must be positive, got {max_resident_bytes}"
+            )
+        self.max_resident_bytes = int(max_resident_bytes)
+        self._tmp = None
+        if shard_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            shard_dir = self._tmp.name
+        self.shard_dir = str(shard_dir)
+        os.makedirs(self.shard_dir, exist_ok=True)
+        self.fingerprint: str | None = None
+        self._completed: set[tuple[int, int]] = set()
+        self._cache: OrderedDict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray]
+        ] = OrderedDict()
+        self._cache_bytes = 0
+        self._idx_ptr: dict[int, np.ndarray] = {}
+        self._sizes: dict[int, np.ndarray] = {}
+        self._idx_files: dict[int, object] = {}
+
+    # -- paths ----------------------------------------------------------
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.shard_dir, name)
+
+    def _block_path(self, piece: int, block: int) -> str:
+        return self._path(f"piece{piece:03d}_block{block:05d}.npz")
+
+    def _idx_ptr_path(self, piece: int) -> str:
+        return self._path(f"piece{piece:03d}.idx_ptr.npy")
+
+    def _sizes_path(self, piece: int) -> str:
+        return self._path(f"piece{piece:03d}.sizes.npy")
+
+    def _idx_bin_path(self, piece: int) -> str:
+        return self._path(f"piece{piece:03d}.idx.bin")
+
+    # -- manifest -------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "format": _FORMAT,
+            "n": self.n,
+            "num_pieces": self.num_pieces,
+            "theta": self.theta,
+            "block_size": self.block_size,
+            "fingerprint": self.fingerprint,
+            "finalized": self.finalized,
+            "blocks": sorted(list(pair) for pair in self._completed),
+        }
+        tmp = self._path(_MANIFEST + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, self._path(_MANIFEST))
+
+    def _read_manifest(self) -> dict | None:
+        path = self._path(_MANIFEST)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError) as err:
+            raise StoreError(f"unreadable shard manifest {path}: {err}") from err
+
+    # -- write protocol -------------------------------------------------
+
+    def begin(self, n, num_pieces, theta, block_size, *, fingerprint=None):
+        super().begin(n, num_pieces, theta, block_size, fingerprint=fingerprint)
+        self.fingerprint = fingerprint
+        manifest = self._read_manifest()
+        if manifest is None:
+            self._completed = set()
+            self._write_manifest()
+            return
+        expected = {
+            "n": self.n,
+            "num_pieces": self.num_pieces,
+            "theta": self.theta,
+            "block_size": self.block_size,
+        }
+        found = {key: manifest.get(key) for key in expected}
+        if found != expected or (
+            fingerprint is not None
+            and manifest.get("fingerprint") not in (None, fingerprint)
+        ):
+            raise StoreError(
+                f"shard dir {self.shard_dir} holds a different collection "
+                f"(manifest {found}, fingerprint "
+                f"{manifest.get('fingerprint')!r}; expected {expected}, "
+                f"{fingerprint!r}) — point at an empty directory or remove "
+                f"the stale shards"
+            )
+        # Resume: trust only blocks whose files actually survived.
+        self._completed = {
+            (int(j), int(b))
+            for j, b in manifest.get("blocks", [])
+            if os.path.exists(self._block_path(int(j), int(b)))
+        }
+        self.finalized = bool(manifest.get("finalized")) and all(
+            os.path.exists(p)
+            for j in range(self.num_pieces)
+            for p in (
+                self._idx_ptr_path(j),
+                self._sizes_path(j),
+                self._idx_bin_path(j),
+            )
+        )
+        self._write_manifest()
+
+    def has_block(self, piece: int, block: int) -> bool:
+        return (piece, block) in self._completed
+
+    def put_block(self, piece, block, ptr, nodes) -> None:
+        ptr = np.asarray(ptr, dtype=np.int64)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        self._check_block(piece, block, ptr, nodes)
+        if self.has_block(piece, block):
+            return
+        path = self._block_path(piece, block)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            np.savez(fh, ptr=ptr, nodes=nodes)
+        os.replace(tmp, path)
+        self._completed.add((piece, block))
+        self._write_manifest()
+
+    def _load_block_file(
+        self, piece: int, block: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        path = self._block_path(piece, block)
+        try:
+            with np.load(path) as payload:
+                return (
+                    payload["ptr"].astype(np.int64, copy=False),
+                    payload["nodes"].astype(np.int64, copy=False),
+                )
+        except Exception as err:  # noqa: BLE001 — any load failure is fatal
+            raise StoreError(
+                f"shard {path} is missing or corrupted: {err}"
+            ) from err
+
+    def finalize(self) -> None:
+        if self.finalized:
+            return
+        missing = [
+            (j, b)
+            for j in range(self.num_pieces)
+            for b in range(self.num_blocks)
+            if not self.has_block(j, b)
+        ]
+        if missing:
+            raise StoreError(
+                f"cannot finalize: {len(missing)} shard(s) never "
+                f"committed, first {missing[:4]}"
+            )
+        for j in range(self.num_pieces):
+            self._build_piece_index(j)
+        self.finalized = True
+        self._write_manifest()
+
+    def _build_piece_index(self, piece: int) -> None:
+        """External-sort construction of one piece's inverted index.
+
+        Pass 1 streams the shards once for per-sample sizes and
+        per-vertex counts (both O(theta)/O(n) in RAM).  Pass 2 streams
+        them again, splitting each shard's (vertex, sample) pairs into
+        vertex-range buckets on disk; each bucket is then loaded alone
+        — bucket sizes are bounded by ``max_resident_bytes`` — stably
+        sorted by vertex, and appended to ``idx.bin``.  Because shards
+        are visited in root order and every sort is stable, each
+        vertex's slab lists sample ids in increasing order: exactly the
+        index :class:`MemoryStore` builds with one global argsort.
+        """
+        sizes = np.empty(self.theta, dtype=np.int64)
+        counts = np.zeros(self.n, dtype=np.int64)
+        for b in range(self.num_blocks):
+            lo, hi = self._block_span(b)
+            ptr, nodes = self._load_block_file(piece, b)
+            sizes[lo:hi] = np.diff(ptr)
+            if nodes.size:
+                counts += np.bincount(nodes, minlength=self.n)
+        idx_ptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=idx_ptr[1:])
+
+        # 32 bytes/entry budget: a bucket's (vertex, sample) columns
+        # plus its argsort scratch stay within max_resident_bytes.
+        bucket_entries = max(self.max_resident_bytes // 32, 4096)
+        bounds = _chunk_bounds(idx_ptr[1:], bucket_entries)
+        bucket_v = [
+            open(self._path(f".bucket{piece:03d}_{i:04d}.v"), "wb")
+            for i in range(len(bounds) - 1)
+        ]
+        bucket_s = [
+            open(self._path(f".bucket{piece:03d}_{i:04d}.s"), "wb")
+            for i in range(len(bounds) - 1)
+        ]
+        try:
+            for b in range(self.num_blocks):
+                lo, _ = self._block_span(b)
+                ptr, nodes = self._load_block_file(piece, b)
+                samples = lo + np.repeat(
+                    np.arange(ptr.size - 1, dtype=np.int64), np.diff(ptr)
+                )
+                order = np.argsort(nodes, kind="stable")
+                sv, ss = nodes[order], samples[order]
+                cuts = np.searchsorted(sv, bounds)
+                for i in range(len(bounds) - 1):
+                    a, z = cuts[i], cuts[i + 1]
+                    if a < z:
+                        sv[a:z].tofile(bucket_v[i])
+                        ss[a:z].tofile(bucket_s[i])
+            for fh in bucket_v + bucket_s:
+                fh.close()
+            tmp = self._idx_bin_path(piece) + ".tmp"
+            with open(tmp, "wb") as out:
+                for i in range(len(bounds) - 1):
+                    v = np.fromfile(
+                        self._path(f".bucket{piece:03d}_{i:04d}.v"),
+                        dtype=np.int64,
+                    )
+                    s = np.fromfile(
+                        self._path(f".bucket{piece:03d}_{i:04d}.s"),
+                        dtype=np.int64,
+                    )
+                    s[np.argsort(v, kind="stable")].tofile(out)
+            os.replace(tmp, self._idx_bin_path(piece))
+        finally:
+            for fh in bucket_v + bucket_s:
+                if not fh.closed:
+                    fh.close()
+            for i in range(len(bounds) - 1):
+                for suffix in ("v", "s"):
+                    try:
+                        os.remove(
+                            self._path(f".bucket{piece:03d}_{i:04d}.{suffix}")
+                        )
+                    except OSError:
+                        pass
+        np.save(self._idx_ptr_path(piece), idx_ptr)
+        np.save(self._sizes_path(piece), sizes)
+        self._idx_ptr[piece] = idx_ptr
+        self._sizes[piece] = sizes
+
+    # -- reload ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, shard_dir: str, *, max_resident_bytes: int | None = None
+    ) -> "ShardStore":
+        """Reopen a finalized shard directory for querying."""
+        store = cls(shard_dir, max_resident_bytes=max_resident_bytes)
+        manifest = store._read_manifest()
+        if manifest is None:
+            raise StoreError(f"no shard manifest in {shard_dir}")
+        store.begin(
+            manifest["n"],
+            manifest["num_pieces"],
+            manifest["theta"],
+            manifest["block_size"],
+            fingerprint=manifest.get("fingerprint"),
+        )
+        if not store.finalized:
+            raise StoreError(
+                f"shard dir {shard_dir} is not finalized (or its index "
+                f"files are missing) — regenerate the collection"
+            )
+        return store
+
+    def save_roots(self, roots: np.ndarray) -> None:
+        np.save(self._path("roots.npy"), np.asarray(roots, dtype=np.int64))
+
+    def load_roots(self) -> np.ndarray:
+        path = self._path("roots.npy")
+        try:
+            return np.load(path).astype(np.int64, copy=False)
+        except Exception as err:  # noqa: BLE001
+            raise StoreError(
+                f"roots array {path} is missing or corrupted: {err}"
+            ) from err
+
+    # -- reads ----------------------------------------------------------
+
+    @property
+    def gather_chunk_bytes(self) -> int:
+        return max(self.max_resident_bytes, 4096)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._cache_bytes
+
+    def _structural(self, piece: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check_finalized()
+        if piece not in self._idx_ptr:
+            try:
+                self._idx_ptr[piece] = np.load(self._idx_ptr_path(piece))
+                self._sizes[piece] = np.load(self._sizes_path(piece))
+            except Exception as err:  # noqa: BLE001
+                raise StoreError(
+                    f"piece {piece} index of {self.shard_dir} is missing "
+                    f"or corrupted: {err}"
+                ) from err
+        return self._idx_ptr[piece], self._sizes[piece]
+
+    def idx_ptr(self, piece: int) -> np.ndarray:
+        return self._structural(piece)[0]
+
+    def rr_set_sizes(self, piece: int) -> np.ndarray:
+        return self._structural(piece)[1]
+
+    def _idx_file(self, piece: int):
+        fh = self._idx_files.get(piece)
+        if fh is None:
+            try:
+                fh = open(self._idx_bin_path(piece), "rb")
+            except OSError as err:
+                raise StoreError(
+                    f"inverted index {self._idx_bin_path(piece)} is "
+                    f"missing: {err}"
+                ) from err
+            self._idx_files[piece] = fh
+        return fh
+
+    def _read_slab(self, fh, out_bytes: memoryview, lo: int, hi: int) -> None:
+        fh.seek(8 * lo)
+        want = 8 * (hi - lo)
+        got = fh.readinto(out_bytes[: want])
+        if got != want:
+            raise StoreError(
+                f"inverted index truncated: wanted {want} bytes at "
+                f"offset {8 * lo}, got {got}"
+            )
+
+    def read_index_range(self, piece, lo, hi) -> np.ndarray:
+        self._check_finalized()
+        out = np.empty(hi - lo, dtype=np.int64)
+        if hi > lo:
+            self._read_slab(
+                self._idx_file(piece), memoryview(out).cast("B"), lo, hi
+            )
+        return out
+
+    def gather_index(self, piece, vertices):
+        self._check_finalized()
+        ptr = self.idx_ptr(piece)
+        deg = ptr[vertices + 1] - ptr[vertices]
+        total = int(deg.sum())
+        out = np.empty(total, dtype=np.int64)
+        if total:
+            fh = self._idx_file(piece)
+            view = memoryview(out).cast("B")
+            pos = 0
+            for v, d in zip(vertices.tolist(), deg.tolist()):
+                if d == 0:
+                    continue
+                lo = int(ptr[v])
+                self._read_slab(fh, view[pos : pos + 8 * d], lo, lo + d)
+                pos += 8 * d
+        return out, deg
+
+    def _cached_block(self, piece, block) -> tuple[np.ndarray, np.ndarray]:
+        key = (piece, block)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+            return hit
+        ptr, nodes = self._load_block_file(piece, block)
+        self._cache[key] = (ptr, nodes)
+        self._cache_bytes += ptr.nbytes + nodes.nbytes
+        while self._cache_bytes > self.max_resident_bytes and len(self._cache) > 1:
+            _, (old_ptr, old_nodes) = self._cache.popitem(last=False)
+            self._cache_bytes -= old_ptr.nbytes + old_nodes.nbytes
+        return ptr, nodes
+
+    def rr_set(self, piece, sample) -> np.ndarray:
+        self._check_finalized()
+        block, local = divmod(int(sample), self.block_size)
+        ptr, nodes = self._cached_block(piece, block)
+        return nodes[ptr[local] : ptr[local + 1]]
+
+    def rr_arrays(self, piece):
+        self._check_finalized()
+        sizes = self.rr_set_sizes(piece)
+        ptr = np.zeros(self.theta + 1, dtype=np.int64)
+        np.cumsum(sizes, out=ptr[1:])
+        nodes = np.concatenate(
+            [
+                self._load_block_file(piece, b)[1]
+                for b in range(self.num_blocks)
+            ]
+        )
+        return ptr, nodes
+
+    def index_arrays(self, piece):
+        ptr = self.idx_ptr(piece)
+        return ptr, self.read_index_range(piece, 0, int(ptr[-1]))
+
+    def close(self) -> None:
+        """Release file handles and drop the block cache."""
+        for fh in self._idx_files.values():
+            fh.close()
+        self._idx_files = {}
+        self._cache.clear()
+        self._cache_bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStore(dir={self.shard_dir!r}, pieces={self.num_pieces}, "
+            f"theta={self.theta}, resident={self.resident_bytes}/"
+            f"{self.max_resident_bytes})"
+        )

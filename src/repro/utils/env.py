@@ -1,0 +1,64 @@
+"""Environment-knob parsing shared by every ``REPRO_*`` override.
+
+Three environment variables flip suite-wide defaults so CI matrices can
+exercise every runtime without touching call sites: ``REPRO_BACKEND``
+(sampling engine), ``REPRO_WORKERS`` (parallel runtime), and
+``REPRO_STORE`` (sample-store layer).  Each knob is parsed here, once,
+with the same contract:
+
+* an unset or empty variable means "library default" (the empty string
+  supports the ``REPRO_X= cmd`` unset-for-one-command shell idiom);
+* an invalid value raises :class:`repro.exceptions.ConfigError` — a
+  clear, variable-named message at the entry point that resolves the
+  knob, never a late failure deep inside pool or kernel setup.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigError
+
+__all__ = ["parse_env_choice", "parse_env_workers"]
+
+
+def parse_env_choice(
+    name: str, text: str | None, choices: tuple[str, ...]
+) -> str | None:
+    """Parse a choice-valued env knob; ``None``/empty means unset.
+
+    Returns the validated choice, or ``None`` when the variable is
+    unset (caller applies its library default).  Anything else raises
+    :class:`ConfigError` naming the variable and its legal values.
+    """
+    if not text:
+        return None
+    if text not in choices:
+        raise ConfigError(
+            f"{name} must be one of {choices}, got {text!r}"
+        )
+    return text
+
+
+def parse_env_workers(text: str | None):
+    """Parse ``REPRO_WORKERS``: serial / auto / a positive pool size.
+
+    Returns ``None`` (serial default), ``"auto"``, or a positive int.
+    ``"serial"`` and ``"0"`` are explicit serial requests; anything
+    unparsable raises :class:`ConfigError` up front, so a typo in the
+    CI matrix fails at entry instead of inside pool construction.
+    """
+    if not text:
+        return None
+    if text in ("serial", "0"):
+        return None
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise ConfigError(
+            "REPRO_WORKERS must be 'auto', 'serial', or a positive "
+            f"integer, got {text!r}"
+        )
+    return value

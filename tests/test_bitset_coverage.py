@@ -176,8 +176,15 @@ class _DenseTau:
         self.counts = counts
         self.scale = mrr.n / mrr.theta
         self.evaluations = 0
-        anchors = table.values[self.base_counts, self.base_counts]
-        self.value = float(self.scale * anchors.sum())
+        # Anchor sum via the count histogram against the majorant
+        # diagonal — the same O(l) fold TauState performs (the one
+        # deliberate departure from the seed's per-sample
+        # `values[b, b]` gather, whose pairwise sum rounds differently;
+        # everything downstream of the anchor is compared exactly).
+        hist = np.bincount(
+            self.base_counts, minlength=mrr.num_pieces + 1
+        ).astype(np.float64)
+        self.value = float(self.scale * (hist * table.anchor_diag).sum())
 
     def marginal_gain(self, vertex, piece):
         self.evaluations += 1

@@ -144,12 +144,78 @@ class TestFigures:
         assert "BAB" in panel["utilities"]
 
 
+class TestMixedModelAndStore:
+    def test_models_for_cycles_and_scalars(self):
+        profile = TINY_PROFILE.with_overrides(model=("ic", "lt"))
+        assert profile.models_for(5) == ("ic", "lt", "ic", "lt", "ic")
+        assert profile.models_for(1) == ("ic",)
+        assert TINY_PROFILE.models_for(3) is None
+        scalar = TINY_PROFILE.with_overrides(model="lt")
+        assert scalar.models_for(2) == ("lt", "lt")
+        with pytest.raises(ExperimentError):
+            TINY_PROFILE.with_overrides(model=()).models_for(2)
+
+    def test_prepare_instance_mixed_models(self):
+        profile = TINY_PROFILE.with_overrides(model=("ic", "lt"))
+        instance = prepare_instance(
+            "lastfm", profile, k=3, num_pieces=2, beta_over_alpha=0.5
+        )
+        cell = run_cell(instance, "BAB-P", max_nodes=10)
+        assert cell.utility >= 0.0
+        # The LT piece really sampled under LT: a different model mix
+        # with the same seed must change the collection.
+        ic_only = prepare_instance(
+            "lastfm", TINY_PROFILE, k=3, num_pieces=2, beta_over_alpha=0.5
+        )
+        assert not np.array_equal(
+            instance.mrr_opt.rr_set_sizes(1), ic_only.mrr_opt.rr_set_sizes(1)
+        )
+
+    def test_prepare_instance_disk_store(self, tmp_path):
+        disk_profile = TINY_PROFILE.with_overrides(
+            store="disk", shard_dir=str(tmp_path), workers=1
+        )
+        mem_profile = TINY_PROFILE.with_overrides(workers=1)
+        disk = prepare_instance(
+            "lastfm", disk_profile, k=3, num_pieces=2, beta_over_alpha=0.5
+        )
+        mem = prepare_instance(
+            "lastfm", mem_profile, k=3, num_pieces=2, beta_over_alpha=0.5
+        )
+        assert disk.mrr_opt.store.kind == "disk"
+        # Opt and eval collections shard into distinct subdirectories.
+        assert disk.mrr_opt.store.shard_dir != disk.mrr_eval.store.shard_dir
+        np.testing.assert_array_equal(disk.mrr_opt.roots, mem.mrr_opt.roots)
+        cell_disk = run_cell(disk, "BAB", max_nodes=10)
+        cell_mem = run_cell(mem, "BAB", max_nodes=10)
+        assert cell_disk.utility == cell_mem.utility
+
+
 class TestCli:
     def test_parser_targets(self):
         parser = build_parser()
         args = parser.parse_args(["table3"])
         assert args.target == "table3"
         assert args.profile == "quick"
+
+    def test_model_and_store_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["table3", "--model", "ic", "lt", "--store", "disk",
+             "--shard-dir", "/tmp/x", "--max-resident-mb", "64"]
+        )
+        assert args.model == ["ic", "lt"]
+        assert args.store == "disk"
+        assert args.shard_dir == "/tmp/x"
+        assert args.max_resident_mb == 64
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table3", "--model", "sir"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table3", "--store", "s3"])
+
+    def test_shard_dir_rejects_explicit_memory_store(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--store", "memory", "--shard-dir", "/tmp/x"])
 
     def test_params_target_prints_table4(self, capsys):
         assert main(["params"]) == 0
