@@ -44,6 +44,7 @@ from repro.graph.generators import (
 )
 from repro.im.ris import max_coverage_seeds
 from repro.sampling.batch import BatchLTSampler, BatchRRSampler
+from repro.runtime import Runtime
 from repro.sampling.mrr import MRRCollection
 from repro.sampling.rr import ReverseReachableSampler
 from repro.topics.distributions import Campaign
@@ -95,7 +96,7 @@ def test_mrr_generate_backend(benchmark, worlds, pieces, backend):
         THETA,
         seed=9,
         piece_graphs=piece_graphs[:pieces],
-        backend=backend,
+        runtime=Runtime(backend=backend),
     )
     assert mrr.theta == THETA
 
@@ -404,8 +405,10 @@ campaign = Campaign.sample_unit(3, 8, seed=43)
 kwargs = {}
 if store == "disk":
     kwargs = {"shard_dir": shard_dir, "max_resident_bytes": ceiling}
+from repro.runtime import Runtime
 mrr = MRRCollection.generate(
-    graph, campaign, theta, seed=45, workers=1, store=store, **kwargs
+    graph, campaign, theta, seed=45,
+    runtime=Runtime(workers=1, store=store, **kwargs),
 )
 # Coverage + RIS exercise the query path at full-theta scale.
 state = CoverageState.from_plan(
@@ -562,8 +565,7 @@ def test_greedy_seed_sets_identical_across_backends(worlds, lt_worlds):
             500,
             seed=11,
             piece_graphs=pgs,
-            backend="batch",
-            model=model,
+            runtime=Runtime(backend="batch", model=model),
         )
         lazy, _ = max_coverage_seeds(mrr, 0, pool, 8, lazy=True)
         dense, _ = max_coverage_seeds(mrr, 0, pool, 8, lazy=False)

@@ -2,17 +2,18 @@
 
 Real multi-network campaigns rarely diffuse under a single model — a
 viral clip spreads cascade-style (IC) while a subscription product
-needs accumulated peer pressure (LT).  The samplers have supported
-per-piece model lists since the LT engine landed; this scenario shows
-the whole pipeline running heterogeneous: a three-piece campaign where
-pieces alternate IC / LT / IC, solved with BAB-P and compared against
-the TIM baseline on an independent evaluation collection.
+needs accumulated peer pressure (LT).  This scenario shows the whole
+pipeline running heterogeneous through the :class:`repro.Session`
+facade: a three-piece campaign whose pieces alternate IC / LT / IC,
+solved with BAB-P and compared against the TIM baseline on an
+independent evaluation collection.
 
-The same workload is one flag away from the experiment harness
-(``repro-experiments table3 --model ic lt``) — and one more flag from
-running out-of-core (``--store disk --shard-dir /tmp/shards``), which
-this script also demonstrates by generating the evaluation collection
-through a disk :class:`~repro.sampling.store.ShardStore`.
+The execution policy is one :class:`repro.Runtime`: per-piece diffusion
+models (LT pieces are weight-normalised automatically by the session)
+plus an out-of-core disk store for the larger evaluation collection —
+same estimates, resident sample memory bounded.  The same workload is
+one flag away from the experiment harness (``repro-experiments table3
+--model ic lt --store disk --shard-dir /tmp/shards``).
 
 Run:
     python examples/mixed_model_campaign.py
@@ -22,17 +23,7 @@ from __future__ import annotations
 
 import tempfile
 
-from repro import (
-    AdoptionModel,
-    Campaign,
-    MRRCollection,
-    OIPAProblem,
-    solve_bab_progressive,
-    tim_baseline,
-)
-from repro.datasets import load_dataset
-from repro.diffusion.projection import project_campaign
-from repro.diffusion.threshold import normalize_lt_weights
+from repro import Runtime, Session
 from repro.utils.tables import format_table
 
 MODELS = ("ic", "lt", "ic")
@@ -40,62 +31,34 @@ MODELS = ("ic", "lt", "ic")
 
 def main() -> None:
     print("Building the lastfm-like dataset...")
-    bundle = load_dataset("lastfm", scale=0.4)
-    graph = bundle.graph
-
-    campaign = Campaign.sample_unit(len(MODELS), graph.num_topics, seed=5)
-    adoption = AdoptionModel.from_ratio(0.5)
-    problem = OIPAProblem.with_random_pool(
-        graph, campaign, adoption, k=8, pool_fraction=0.12, seed=5
-    )
-
-    # LT pieces must satisfy the live-edge feasibility condition
-    # (incoming mass <= 1); IC pieces keep their raw projections.
-    piece_graphs = [
-        normalize_lt_weights(pg) if model == "lt" else pg
-        for pg, model in zip(project_campaign(graph, campaign), MODELS)
-    ]
-
-    print(f"Sampling mixed-model MRR sets (models={MODELS})...")
-    mrr = MRRCollection.generate(
-        graph,
-        campaign,
-        theta=3000,
-        seed=5,
-        piece_graphs=piece_graphs,
-        model=list(MODELS),
-    )
     with tempfile.TemporaryDirectory() as shard_dir:
-        # The larger evaluation collection streams through a disk
-        # store: same estimates, resident sample memory bounded.
-        mrr_eval = MRRCollection.generate(
-            graph,
-            campaign,
-            theta=12000,
-            seed=6,
-            piece_graphs=piece_graphs,
-            model=list(MODELS),
-            store="disk",
-            shard_dir=shard_dir,
-            max_resident_bytes=8 * 1024 * 1024,
+        session = Session.from_dataset(
+            "lastfm",
+            scale=0.4,
+            pieces=len(MODELS),
+            k=8,
+            pool_fraction=0.12,
+            seed=5,
+            runtime=Runtime(
+                model=MODELS,
+                store="disk",
+                shard_dir=shard_dir,
+                max_resident_bytes=8 * 1024 * 1024,
+            ),
         )
-        print(f"  evaluation store: {mrr_eval.store!r}")
+
+        print(f"Sampling mixed-model MRR sets (models={MODELS})...")
+        session.sample(3000)
+        session.sample_evaluation(12000, seed=6)
+        print(f"  evaluation store: {session.mrr_eval.store!r}")
 
         print("Solving (BAB-P vs TIM)...")
-        result = solve_bab_progressive(problem, mrr, max_nodes=300)
-        tim = tim_baseline(problem, mrr)
+        babp = session.solve("bab-p", max_nodes=300, evaluate=True)
+        tim = session.solve("tim", evaluate=True)
 
         rows = [
-            [
-                "BAB-P",
-                round(mrr_eval.estimate(result.plan.seed_lists(), adoption), 3),
-                result.plan.size,
-            ],
-            [
-                "TIM",
-                round(mrr_eval.estimate(tim.plan.seed_lists(), adoption), 3),
-                tim.plan.size,
-            ],
+            ["BAB-P", round(babp.evaluation, 3), babp.plan.size],
+            ["TIM", round(tim.evaluation, 3), tim.plan.size],
         ]
     print(
         format_table(
@@ -105,7 +68,7 @@ def main() -> None:
         )
     )
     print("Per-piece seed sets (piece: model -> seeds):")
-    for j, seeds in enumerate(result.plan.seed_lists()):
+    for j, seeds in enumerate(babp.plan.seed_lists()):
         print(f"  piece {j} ({MODELS[j]}): {sorted(seeds)}")
 
 

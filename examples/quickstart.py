@@ -1,9 +1,18 @@
-"""Quickstart: solve one OIPA instance end-to-end.
+"""Quickstart: solve one OIPA instance end-to-end with the Session facade.
 
-Builds the lastfm-like dataset (power-law social graph with
-TIC-learned topic influence probabilities), samples a three-piece
-campaign, and compares the paper's four methods — the IM / TIM
-baselines and the BAB / BAB-P solvers — on the same MRR sample set.
+One :class:`repro.Session` wires the whole pipeline — dataset, campaign,
+promoter pool, MRR sampling, solvers, independent evaluation — so the
+minimal run is three lines::
+
+    session = Session.from_dataset("lastfm", pieces=3, k=10, seed=7)
+    result = session.solve("bab-p", theta=4000)
+    print(result.seed_sets)
+
+This script runs the paper's four methods (IM, TIM, BAB, BAB-P) on one
+shared sample collection via the solver registry, scoring every plan on
+an independent evaluation collection (no optimiser grades its own
+homework).  Execution policy — backend, workers, sample store — would
+be one ``runtime=Runtime(...)`` away; the default is fine here.
 
 Run:
     python examples/quickstart.py
@@ -11,67 +20,36 @@ Run:
 
 from __future__ import annotations
 
-from repro import (
-    AdoptionModel,
-    Campaign,
-    MRRCollection,
-    OIPAProblem,
-    im_baseline,
-    load_dataset,
-    solve_bab,
-    solve_bab_progressive,
-    tim_baseline,
-)
+from repro import Session
 from repro.utils.tables import format_table
 
 
 def main() -> None:
     print("Building the lastfm-like dataset (graph + log + TIC learning)...")
-    bundle = load_dataset("lastfm", scale=0.5)
-    graph = bundle.graph
-    print(f"  {graph!r}; pipeline metadata: {bundle.metadata}")
-
-    # A campaign with three single-topic pieces (the experiments' shape)
-    # and the paper's default logistic difficulty beta/alpha = 0.5.
-    campaign = Campaign.sample_unit(3, graph.num_topics, seed=7)
-    adoption = AdoptionModel.from_ratio(0.5)
-    problem = OIPAProblem.with_random_pool(
-        graph, campaign, adoption, k=10, pool_fraction=0.1, seed=7
+    session = Session.from_dataset(
+        "lastfm", scale=0.5, pieces=3, k=10, seed=7
     )
-    print(f"  {problem!r}")
+    print(f"  {session.graph!r}; pipeline metadata: {session.bundle.metadata}")
+    print(f"  {session.problem!r}")
 
-    print("Sampling MRR sets (Sec. V-A)...")
-    mrr = MRRCollection.generate(graph, campaign, theta=4000, seed=7)
-    mrr_eval = MRRCollection.generate(graph, campaign, theta=16000, seed=8)
+    print("Sampling MRR sets (Sec. V-A) and running all four methods...")
+    session.sample(4000)
+    session.sample_evaluation(16000, seed=8)
 
-    def evaluate(plan):
-        """Score on an independent collection — no self-grading."""
-        return mrr_eval.estimate(plan.seed_lists(), adoption)
-
-    print("Running all four methods...")
     rows = []
-    im = im_baseline(problem, mrr, seed=1)
-    rows.append(["IM", evaluate(im.plan), im.elapsed_seconds, "-"])
-    tim = tim_baseline(problem, mrr)
-    rows.append(["TIM", evaluate(tim.plan), tim.elapsed_seconds, "-"])
-    bab = solve_bab(problem, mrr)
-    rows.append(
-        [
-            "BAB",
-            evaluate(bab.plan),
-            bab.diagnostics.elapsed_seconds,
-            bab.diagnostics.tau_evaluations,
-        ]
-    )
-    babp = solve_bab_progressive(problem, mrr, epsilon=0.5)
-    rows.append(
-        [
-            "BAB-P",
-            evaluate(babp.plan),
-            babp.diagnostics.elapsed_seconds,
-            babp.diagnostics.tau_evaluations,
-        ]
-    )
+    results = {}
+    for method in ("im", "tim", "bab", "bab-p"):
+        result = session.solve(method, evaluate=True)
+        results[method] = result
+        diag = result.diagnostics
+        rows.append(
+            [
+                method.upper(),
+                result.evaluation,
+                diag.get("elapsed_seconds", 0.0),
+                diag.get("tau_evaluations", "-"),
+            ]
+        )
     print()
     print(
         format_table(
@@ -82,8 +60,8 @@ def main() -> None:
     )
     print()
     print("BAB's winning assignment plan (piece -> promoters):")
-    for j, seeds in enumerate(bab.plan.seed_sets):
-        piece = campaign[j]
+    for j, seeds in enumerate(results["bab"].plan.seed_sets):
+        piece = session.campaign[j]
         print(f"  {piece.name}: {sorted(seeds)}")
 
 

@@ -12,20 +12,22 @@ experiment harness regenerating every table and figure.
 
 Quickstart
 ----------
->>> from repro import (
-...     AdoptionModel, Campaign, MRRCollection, OIPAProblem, load_dataset,
-...     solve_bab_progressive,
-... )
->>> bundle = load_dataset("lastfm", scale=0.1)
->>> campaign = Campaign.sample_unit(3, bundle.graph.num_topics, seed=1)
->>> problem = OIPAProblem.with_random_pool(
-...     bundle.graph, campaign, AdoptionModel(alpha=2.0, beta=1.0),
-...     k=5, seed=1,
-... )
->>> mrr = MRRCollection.generate(bundle.graph, campaign, theta=2000, seed=1)
->>> result = solve_bab_progressive(problem, mrr)
+>>> from repro import Session
+>>> session = Session.from_dataset("lastfm", scale=0.1, pieces=3, k=5, seed=1)
+>>> result = session.solve("bab-p", theta=2000)
 >>> result.plan.size <= 5
 True
+
+Execution policy (sampling backend, diffusion models, worker pool,
+sample store) lives on one frozen :class:`repro.runtime.Runtime`:
+
+>>> from repro import Runtime
+>>> rt = Runtime(workers="auto", store="memory")
+>>> session = Session.from_dataset("lastfm", scale=0.1, seed=1, runtime=rt)
+
+The primitives remain available for hand-wired pipelines; their
+per-call execution kwargs are deprecated in favour of ``runtime=`` and
+produce bit-identical results either way.
 """
 
 from repro.exceptions import (
@@ -69,8 +71,15 @@ from repro.core import (
 )
 from repro.im import BaselineResult, im_baseline, tim_baseline
 from repro.datasets import load_dataset
+from repro.runtime import Runtime, resolve_runtime
+from repro.api import (
+    Session,
+    SessionResult,
+    available_solvers,
+    register_solver,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -122,4 +131,11 @@ __all__ = [
     "tim_baseline",
     # datasets
     "load_dataset",
+    # runtime + session facade
+    "Runtime",
+    "resolve_runtime",
+    "Session",
+    "SessionResult",
+    "available_solvers",
+    "register_solver",
 ]

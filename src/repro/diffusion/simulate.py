@@ -146,6 +146,7 @@ def simulate_piece_spread(
     *,
     rounds: int = 100,
     seed=None,
+    runtime=None,
     backend: str | None = None,
     model: str | None = None,
     workers=None,
@@ -155,42 +156,53 @@ def simulate_piece_spread(
     """Monte-Carlo estimate of the classical influence spread sigma_im(S).
 
     Averages the number of activated users over ``rounds`` independent
-    cascade trials.  ``model`` selects the diffusion model
-    (``"ic"``/``"lt"``, default IC); LT graphs should be
-    weight-normalised first.  ``workers`` fans fixed-size chunks of
-    rounds out on a pool with spawned child streams
-    (:mod:`repro.sampling.parallel`) — estimates are identical for
-    every worker count; ``None`` keeps the historical serial stream.
-    Callers evaluating many spreads may pass a pre-built ``pool``
+    cascade trials.  Execution policy (cascade backend, diffusion model,
+    the parallel Monte-Carlo runtime) lives on one
+    :class:`repro.runtime.Runtime` passed as ``runtime=`` and resolved
+    with the centralized order (explicit kwarg > Runtime field >
+    ``REPRO_*`` env > default); the per-call execution kwargs are
+    deprecated equivalents kept for backward compatibility.  LT graphs
+    should be weight-normalised first.  Estimates are identical for
+    every worker count; serial is the default.  Callers evaluating many
+    spreads may pass a pre-built ``pool``
     (:func:`repro.sampling.parallel.make_pool`) to reuse across calls;
     they keep ownership of its shutdown.
     """
-    from repro.sampling.batch import check_lt_feasible, check_model
+    from repro.runtime import resolve_runtime
+    from repro.sampling.batch import check_lt_feasible
     from repro.sampling.parallel import (
         parallel_map,
-        resolve_workers,
         round_chunks,
         spawn_task_seeds,
     )
 
+    rt = resolve_runtime(
+        runtime,
+        backend=backend,
+        model=model,
+        workers=workers,
+        executor=executor,
+        seed=seed,
+        caller="simulate_piece_spread",
+    )
     rounds = check_positive_int("rounds", rounds)
-    model = check_model(model)
+    model = rt.single_model()
     if model == "lt":
         check_lt_feasible(piece_graph)  # once, not once per trial
-    rng = as_generator(seed)
+    rng = as_generator(rt.seed)
     seeds = list(seeds)
-    pool_width = resolve_workers(workers)
+    pool_width = rt.pool_width
     if pool_width is not None:
         chunks = round_chunks(rounds)
         task_seeds = spawn_task_seeds(rng, len(chunks))
         totals = parallel_map(
             _spread_chunk_task,
             [
-                (piece_graph, seeds, model, backend, stop - start, s)
+                (piece_graph, seeds, model, rt.backend, stop - start, s)
                 for (start, stop), s in zip(chunks, task_seeds)
             ],
             pool_width,
-            executor=executor,
+            executor=rt.executor,
             pool=pool,
         )
         return sum(totals) / rounds
@@ -202,7 +214,7 @@ def simulate_piece_spread(
                 seeds,
                 rng,
                 model=model,
-                backend=backend,
+                backend=rt.backend,
                 check_weights=False,
             ).sum()
         )
@@ -241,6 +253,7 @@ def simulate_adoption_utility(
     rounds: int = 100,
     seed=None,
     return_std: bool = False,
+    runtime=None,
     backend: str | None = None,
     model=None,
     workers=None,
@@ -267,29 +280,38 @@ def simulate_adoption_utility(
         Independent simulation rounds.
     return_std:
         Also return the standard error of the estimate.
-    backend:
-        Cascade kernel selection (``"batch"``/``"python"``, default
-        batch); forwarded to :func:`simulate_cascade`.
-    model:
-        Diffusion model per piece — ``"ic"``/``"lt"``, either one name
-        for every piece or a per-piece sequence (heterogeneous multiplex
-        campaigns, e.g. ``["ic", "lt"]``).  Default IC.
-    workers, executor:
-        Parallel Monte-Carlo runtime (:mod:`repro.sampling.parallel`):
-        fixed-size chunks of rounds run on a ``"thread"`` or
-        ``"process"`` pool with spawned child streams, merged in chunk
-        order — estimates are identical for every worker count.
-        ``workers=None`` keeps the historical serial stream.
+    runtime:
+        One :class:`repro.runtime.Runtime` carrying the execution policy
+        — cascade backend, per-piece diffusion model(s) (``"ic"`` /
+        ``"lt"``, scalar or a per-piece sequence for heterogeneous
+        multiplex campaigns), and the parallel Monte-Carlo runtime
+        (fixed-size chunks of rounds on a thread/process pool with
+        spawned child streams, merged in chunk order — estimates are
+        identical for every worker count; serial is the default).
+        Resolved with the centralized order (explicit kwarg > Runtime
+        field > ``REPRO_*`` env > default).
+    backend, model, workers, executor:
+        Deprecated per-call equivalents of the ``runtime`` fields, kept
+        for backward compatibility.
     """
+    from repro.runtime import resolve_runtime
     from repro.sampling.batch import check_lt_feasible
     from repro.sampling.mrr import resolve_models
     from repro.sampling.parallel import (
         parallel_map,
-        resolve_workers,
         round_chunks,
         spawn_task_seeds,
     )
 
+    rt = resolve_runtime(
+        runtime,
+        backend=backend,
+        model=model,
+        workers=workers,
+        executor=executor,
+        seed=seed,
+        caller="simulate_adoption_utility",
+    )
     if len(piece_graphs) != len(plan_seed_sets):
         raise ParameterError(
             f"{len(plan_seed_sets)} seed sets for {len(piece_graphs)} pieces"
@@ -298,17 +320,17 @@ def simulate_adoption_utility(
         raise ParameterError("need at least one piece")
     rounds = check_positive_int("rounds", rounds)
     try:
-        models = resolve_models(model, len(piece_graphs))
+        models = resolve_models(rt.model, len(piece_graphs))
     except SamplingError as exc:
         raise ParameterError(str(exc)) from None
-    rng = as_generator(seed)
+    rng = as_generator(rt.seed)
     n = piece_graphs[0].n
     check_piece_graphs_aligned(piece_graphs, n)
     for pg, piece_model in zip(piece_graphs, models):
         if piece_model == "lt":
             check_lt_feasible(pg)  # once per piece, not once per round
     seed_lists = [list(s) for s in plan_seed_sets]
-    pool_width = resolve_workers(workers)
+    pool_width = rt.pool_width
     if pool_width is not None:
         chunks = round_chunks(rounds)
         task_seeds = spawn_task_seeds(rng, len(chunks))
@@ -316,12 +338,12 @@ def simulate_adoption_utility(
         slices = parallel_map(
             _utility_chunk_task,
             [
-                (pieces, seed_lists, models, adoption, backend,
+                (pieces, seed_lists, models, adoption, rt.backend,
                  stop - start, s)
                 for (start, stop), s in zip(chunks, task_seeds)
             ],
             pool_width,
-            executor=executor,
+            executor=rt.executor,
         )
         per_round = np.concatenate(slices)
     else:
@@ -339,7 +361,7 @@ def simulate_adoption_utility(
                     seeds,
                     rng,
                     model=piece_model,
-                    backend=backend,
+                    backend=rt.backend,
                     check_weights=False,
                 )
             per_round[r] = float(adoption.probability(counts).sum())

@@ -100,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
         "or 'serial' (default: the profile's setting — serial)",
     )
     parser.add_argument(
+        "--executor",
+        default=None,
+        choices=["thread", "process"],
+        help="pool flavour for the parallel runtime (default: thread)",
+    )
+    parser.add_argument(
         "--model",
         nargs="+",
         default=None,
@@ -170,6 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["seed"] = args.seed
     if args.workers is not None:
         overrides["workers"] = args.workers
+    if args.executor is not None:
+        overrides["executor"] = args.executor
     if args.model is not None:
         overrides["model"] = (
             args.model[0] if len(args.model) == 1 else tuple(args.model)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.exceptions import ExperimentError
+from repro.runtime import Runtime
 
 __all__ = [
     "PAPER_PARAMETER_GRID",
@@ -88,6 +89,39 @@ class ExperimentProfile:
     store: str | None = None
     shard_dir: str | None = None
     max_resident_bytes: int | None = None
+    #: Pool flavour for the parallel runtime (``"thread"``/``"process"``).
+    executor: str | None = None
+    #: One :class:`repro.runtime.Runtime` carrying the whole execution
+    #: policy.  The per-knob fields above remain as declarative/CLI
+    #: overlays: any that are set override the corresponding ``runtime``
+    #: field (see :meth:`resolved_runtime`).  ``model`` stays separate
+    #: because the harness cycles it per cell (:meth:`models_for`).
+    runtime: Runtime | None = None
+
+    def resolved_runtime(self) -> Runtime:
+        """The profile's execution policy as one :class:`Runtime`.
+
+        Starts from the ``runtime`` field (or an all-defaults
+        :class:`Runtime`) and overlays the legacy per-knob profile
+        fields — the CLI flags keep feeding those, so ``--workers`` and
+        friends override a profile-supplied runtime the same way an
+        explicit kwarg overrides a ``Runtime`` field everywhere else.
+        The per-cell diffusion models are *not* folded in here; the
+        runner attaches :meth:`models_for`'s cycled tuple per cell.
+        """
+        base = self.runtime if self.runtime is not None else Runtime()
+        overlays = {
+            name: getattr(self, name)
+            for name in (
+                "workers",
+                "executor",
+                "store",
+                "shard_dir",
+                "max_resident_bytes",
+            )
+            if getattr(self, name) is not None
+        }
+        return base.replace(**overlays) if overlays else base
 
     def scale_for(self, dataset: str) -> float | None:
         """Scale override for ``dataset`` (None = registry default)."""

@@ -15,7 +15,6 @@ diagnostics).  The runner mirrors the paper's measurement protocol
 
 from __future__ import annotations
 
-import os
 import zlib
 from dataclasses import dataclass
 
@@ -90,23 +89,6 @@ class PreparedInstance:
     sample_seconds: float
 
 
-def _shard_dir_for(
-    profile: ExperimentProfile, dataset: str, num_pieces: int, role: str
-) -> str | None:
-    """A per-collection shard directory under the profile's root.
-
-    The optimisation and evaluation collections of one cell (and the
-    cells of one sweep) must not share shards — each gets its own
-    subdirectory keyed by (dataset, l, role).  ``None`` (no configured
-    root) lets the disk store spill into a private temp directory.
-    """
-    if profile.shard_dir is None:
-        return None
-    return os.path.join(
-        profile.shard_dir, f"{dataset}-l{num_pieces}-{role}"
-    )
-
-
 def prepare_instance(
     dataset: str,
     profile: ExperimentProfile,
@@ -154,6 +136,20 @@ def prepare_instance(
             for pg, m in zip(piece_graphs, models)
         ]
     opt_theta, eval_theta = profile.theta_for(dataset)
+    # One Runtime for the cell; the optimisation and evaluation
+    # collections only differ in their (role-keyed) shard directory.
+    cell_rt = profile.resolved_runtime()
+    if models is not None:
+        cell_rt = cell_rt.replace(model=models)
+
+    def role_runtime(role: str):
+        # The optimisation and evaluation collections of one cell (and
+        # the cells of one sweep) must not share shards — each gets its
+        # own subdirectory keyed by (dataset, l, role).
+        return cell_rt.with_shard_subdir(
+            f"{dataset}-l{num_pieces}-{role}"
+        )
+
     with Timer() as sample_timer:
         mrr_opt = MRRCollection.generate(
             graph,
@@ -161,11 +157,7 @@ def prepare_instance(
             opt_theta,
             seed=rng_opt,
             piece_graphs=piece_graphs,
-            model=models,
-            workers=profile.workers,
-            store=profile.store,
-            shard_dir=_shard_dir_for(profile, dataset, num_pieces, "opt"),
-            max_resident_bytes=profile.max_resident_bytes,
+            runtime=role_runtime("opt"),
         )
         mrr_eval = MRRCollection.generate(
             graph,
@@ -173,11 +165,7 @@ def prepare_instance(
             eval_theta,
             seed=rng_eval,
             piece_graphs=piece_graphs,
-            model=models,
-            workers=profile.workers,
-            store=profile.store,
-            shard_dir=_shard_dir_for(profile, dataset, num_pieces, "eval"),
-            max_resident_bytes=profile.max_resident_bytes,
+            runtime=role_runtime("eval"),
         )
     return PreparedInstance(
         bundle=bundle,

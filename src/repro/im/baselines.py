@@ -80,14 +80,22 @@ def im_baseline(
     *,
     theta: int | None = None,
     seed=None,
+    runtime=None,
     backend: str | None = None,
 ) -> BaselineResult:
     """The ``IM`` baseline: topic-blind seed set, best single piece.
 
     ``theta`` controls the flattened-graph RR sample count for seed
     selection (defaults to the evaluation collection's theta);
-    ``backend`` selects the RR sampling engine.
+    ``runtime`` (a :class:`repro.runtime.Runtime`) selects the RR
+    sampling engine — the per-call ``backend`` kwarg is the deprecated
+    equivalent.
     """
+    from repro.runtime import resolve_runtime
+
+    rt = resolve_runtime(
+        runtime, backend=backend, seed=seed, caller="im_baseline"
+    )
     theta = mrr.theta if theta is None else theta
     # Flat-graph RR sampling is timed separately (the paper excludes
     # sampling time from every method's reported run time).
@@ -98,8 +106,8 @@ def im_baseline(
         flat_graph = PieceGraph.from_edge_probabilities(
             problem.graph, flat_probs
         )
-        rng = as_generator(seed)
-        sampler = ReverseReachableSampler(flat_graph, backend=backend)
+        rng = as_generator(rt.seed)
+        sampler = ReverseReachableSampler(flat_graph, backend=rt.backend)
         roots = rng.integers(0, flat_graph.n, size=theta)
         ptr, nodes = sampler.sample_many(roots, rng)
         flat_mrr = MRRCollection(flat_graph.n, roots, [ptr], [nodes])

@@ -30,6 +30,7 @@ def celf_greedy_im(
     pool: np.ndarray | None = None,
     rounds: int = 200,
     seed=None,
+    runtime=None,
     backend: str | None = None,
     model: str | None = None,
     workers=None,
@@ -39,17 +40,17 @@ def celf_greedy_im(
 
     ``rounds`` cascades are averaged per marginal-spread evaluation; the
     same common-random-numbers generator is reused across evaluations to
-    reduce comparison noise.  ``backend`` selects the cascade kernel
-    (``"batch"``/``"python"``, default batch — identical rng streams, so
-    under IC the choice never changes the selected seeds; under LT the
-    masks can differ at last-ulp rounding, see
-    :func:`repro.diffusion.threshold.simulate_lt_cascade`); ``model``
-    selects the diffusion model (``"ic"``/``"lt"``, default IC — LT
-    graphs must be weight-normalised first).  ``workers`` runs each
-    marginal-spread evaluation's rounds on the parallel Monte-Carlo
-    runtime (chunked trials, spawned child streams — see
-    :mod:`repro.sampling.parallel`); selections are identical for every
-    worker count, while ``None`` keeps the historical serial stream.
+    reduce comparison noise.  Execution policy (cascade kernel backend,
+    diffusion model, the parallel Monte-Carlo runtime) lives on one
+    :class:`repro.runtime.Runtime` passed as ``runtime=`` and resolved
+    with the centralized order (explicit kwarg > Runtime field >
+    ``REPRO_*`` env > default); the per-call execution kwargs are
+    deprecated equivalents kept for backward compatibility.  Under IC
+    the backend choice never changes the selected seeds (identical rng
+    streams); under LT the masks can differ at last-ulp rounding (see
+    :func:`repro.diffusion.threshold.simulate_lt_cascade`), and LT
+    graphs must be weight-normalised first.  Selections are identical
+    for every worker count; serial is the default.
 
     Returns ``(seeds, spread_estimate)``.
 
@@ -59,31 +60,37 @@ def celf_greedy_im(
     noise-sized margin.
     """
     from repro.diffusion.simulate import simulate_piece_spread
-    from repro.sampling.batch import check_lt_feasible, check_model
-    from repro.sampling.parallel import (
-        check_executor,
-        make_pool,
-        resolve_workers,
-    )
+    from repro.runtime import resolve_runtime
+    from repro.sampling.batch import check_lt_feasible
+    from repro.sampling.parallel import make_pool
 
+    # Entry validation: every execution knob must fail here (ConfigError)
+    # instead of being silently ignored on whichever path is taken.
+    rt = resolve_runtime(
+        runtime,
+        backend=backend,
+        model=model,
+        workers=workers,
+        executor=executor,
+        seed=seed,
+        caller="celf_greedy_im",
+    )
     check_positive_int("k", k)
     check_positive_int("rounds", rounds)
-    # Entry validation: a bad executor string must fail here, not be
-    # silently ignored whenever the serial path happens to be taken.
-    check_executor(executor)
-    if check_model(model) == "lt":
+    model = rt.single_model()
+    if model == "lt":
         check_lt_feasible(piece_graph)  # once, not once per trial
-    rng = as_generator(seed)
+    rng = as_generator(rt.seed)
     if pool is None:
         pool = np.arange(piece_graph.n, dtype=np.int64)
     pool = np.asarray(pool, dtype=np.int64)
     if pool.size == 0:
         raise SolverError("empty candidate pool")
-    pool_width = resolve_workers(workers)
+    pool_width = rt.pool_width
     # One pool for the whole CELF run: spread() is called O(|pool| + k)
     # times, so per-evaluation pool construction would dwarf the gain.
     eval_pool = (
-        make_pool(pool_width, executor=executor)
+        make_pool(pool_width, executor=rt.executor)
         if pool_width is not None
         else None
     )
@@ -98,10 +105,7 @@ def celf_greedy_im(
                 seeds,
                 rounds=rounds,
                 seed=entropy,
-                backend=backend,
-                model=model,
-                workers=pool_width,
-                executor=executor,
+                runtime=rt,
                 pool=eval_pool,
             )
         total = 0
@@ -113,7 +117,7 @@ def celf_greedy_im(
                     seeds,
                     eval_rng,
                     model=model,
-                    backend=backend,
+                    backend=rt.backend,
                     check_weights=False,
                 ).sum()
             )

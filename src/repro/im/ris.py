@@ -103,6 +103,7 @@ def ris_influence_maximization(
     *,
     pool: np.ndarray | None = None,
     seed=None,
+    runtime=None,
     backend: str | None = None,
     model: str | None = None,
     workers=None,
@@ -116,36 +117,46 @@ def ris_influence_maximization(
     Draws ``theta`` RR sets with uniform roots, then selects ``k`` seeds
     by greedy max coverage.  This is the engine behind the paper's ``IM``
     baseline (run on the flattened graph) and a reference implementation
-    for the classical problem.  ``backend`` selects the RR sampling
-    engine (``"batch"``/``"python"``, default batch); ``model`` selects
-    the diffusion model (``"ic"``/``"lt"``, default IC — the same RIS
-    machinery applies to both, Sec. II).  Under LT the graph should be
-    weight-normalised first (:func:`repro.diffusion.threshold.
-    normalize_lt_weights`).  ``workers`` fans the root blocks out on the
-    parallel sampling runtime (:mod:`repro.sampling.parallel`) — seed
-    sets are identical for every worker count; ``None`` keeps the
-    historical serial stream.  ``store`` selects the sample-store layer
-    (:mod:`repro.sampling.store`): ``"disk"`` streams the RR shards into
-    ``shard_dir`` and bounds resident sample memory at
-    ``max_resident_bytes``, with seed sets bit-identical to the in-RAM
-    store at ``workers >= 1``.
+    for the classical problem.
+
+    Execution policy (sampling backend, diffusion model, parallel
+    runtime, sample store) lives on one :class:`repro.runtime.Runtime`
+    passed as ``runtime=`` and resolved with the centralized order
+    (explicit kwarg > Runtime field > ``REPRO_*`` env > default); the
+    per-call execution kwargs are deprecated equivalents kept for
+    backward compatibility with bit-identical seed sets.  Under LT the
+    graph should be weight-normalised first
+    (:func:`repro.diffusion.threshold.normalize_lt_weights`); seed sets
+    are identical for every worker count, and disk-store runs match the
+    in-RAM store at ``workers >= 1``.
 
     Returns ``(seeds, spread_estimate)``.
     """
     from repro.diffusion.threshold import LinearThresholdSampler
-    from repro.sampling.batch import check_model
-    from repro.sampling.mrr import _resolve_store_arg
-    from repro.sampling.parallel import resolve_workers, sample_piece_blocks
+    from repro.runtime import resolve_runtime
+    from repro.sampling.parallel import sample_piece_blocks
 
+    rt = resolve_runtime(
+        runtime,
+        backend=backend,
+        model=model,
+        workers=workers,
+        executor=executor,
+        store=store,
+        shard_dir=shard_dir,
+        max_resident_bytes=max_resident_bytes,
+        seed=seed,
+        caller="ris_influence_maximization",
+    )
     check_positive_int("k", k)
     check_positive_int("theta", theta)
-    rng = as_generator(seed)
+    rng = as_generator(rt.seed)
     if pool is None:
         pool = np.arange(piece_graph.n, dtype=np.int64)
-    model = check_model(model)
-    store_obj = _resolve_store_arg(store, shard_dir, max_resident_bytes)
+    model = rt.single_model()
+    store_obj = rt.store_for_generate()
     roots = rng.integers(0, piece_graph.n, size=theta)
-    pool_width = resolve_workers(workers)
+    pool_width = rt.pool_width
     if store_obj is not None:
         collection = MRRCollection._generate_into_store(
             piece_graph.n,
@@ -153,9 +164,9 @@ def ris_influence_maximization(
             (model,),
             roots,
             rng,
-            backend=backend,
+            backend=rt.backend,
             workers=pool_width or 1,
-            executor=executor,
+            executor=rt.executor,
             store=store_obj,
         )
         return max_coverage_seeds(collection, 0, pool, k)
@@ -165,15 +176,15 @@ def ris_influence_maximization(
             (model,),
             roots,
             rng,
-            backend=backend,
+            backend=rt.backend,
             workers=pool_width,
-            executor=executor,
+            executor=rt.executor,
         )
     else:
         if model == "lt":
-            sampler = LinearThresholdSampler(piece_graph, backend=backend)
+            sampler = LinearThresholdSampler(piece_graph, backend=rt.backend)
         else:
-            sampler = ReverseReachableSampler(piece_graph, backend=backend)
+            sampler = ReverseReachableSampler(piece_graph, backend=rt.backend)
         ptr, nodes = sampler.sample_many(roots, rng)
     collection = MRRCollection(piece_graph.n, roots, [ptr], [nodes])
     return max_coverage_seeds(collection, 0, pool, k)

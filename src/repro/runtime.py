@@ -1,0 +1,483 @@
+"""Unified execution policy: the :class:`Runtime` config and its resolver.
+
+Four PRs of scaling work left the reproduction with seven execution
+knobs (``backend``, ``model``, ``workers``, ``executor``, ``store``,
+``shard_dir``, ``max_resident_bytes``) copy-pasted across every entry
+point, each re-resolving its environment overrides on its own.  This
+module is the single execution surface that replaces that scatter:
+
+:class:`Runtime`
+    A frozen dataclass owning all execution policy — sampling backend,
+    diffusion model(s), worker pool + executor, sample store + shard
+    directory + memory budget, and the default RNG seed.  Every field
+    defaults to ``None`` ("defer to the next layer"), values are
+    validated at construction (:class:`~repro.exceptions.ConfigError`),
+    and one ``Runtime`` object travels through a whole pipeline instead
+    of seven kwargs through every call.
+
+:func:`resolve_runtime`
+    The one resolution order, applied the same way by every entry
+    point::
+
+        explicit kwarg  >  Runtime field  >  REPRO_* env  >  default
+
+    Explicit per-call execution kwargs remain supported for backward
+    compatibility but are deprecated: when an entry point passes its
+    ``caller`` name, any non-``None`` legacy knob emits a
+    :class:`DeprecationWarning` pointing at the ``runtime=`` spelling.
+
+Environment overrides (``REPRO_BACKEND``, ``REPRO_WORKERS``,
+``REPRO_STORE``) are parsed here, once, at import — the *only* place in
+the tree that reads them.  The sampling modules re-export the parsed
+defaults (``repro.sampling.batch.DEFAULT_BACKEND`` and friends) as the
+env layer of the resolution order, so CI matrices and tests keep their
+existing override points.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigError
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "DEFAULT_EXECUTOR",
+    "DEFAULT_MODEL",
+    "DEFAULT_STORE",
+    "DEFAULT_WORKERS",
+    "EXECUTORS",
+    "MODELS",
+    "STORES",
+    "ResolvedRuntime",
+    "Runtime",
+    "as_runtime",
+    "parse_env_choice",
+    "parse_env_workers",
+    "resolve_runtime",
+]
+
+# --------------------------------------------------------------------------
+# Canonical knob vocabularies.  The sampling modules import these instead
+# of defining their own, so one registry feeds validation everywhere.
+# --------------------------------------------------------------------------
+
+BACKENDS = ("python", "batch")
+MODELS = ("ic", "lt")
+EXECUTORS = ("thread", "process")
+STORES = ("memory", "disk")
+
+DEFAULT_MODEL = "ic"
+DEFAULT_EXECUTOR = "thread"
+
+
+def parse_env_choice(
+    name: str, text: str | None, choices: tuple[str, ...]
+) -> str | None:
+    """Parse a choice-valued env knob; ``None``/empty means unset.
+
+    Returns the validated choice, or ``None`` when the variable is
+    unset (the empty string supports the ``REPRO_X= cmd``
+    unset-for-one-command shell idiom).  Anything else raises
+    :class:`ConfigError` naming the variable and its legal values.
+    """
+    if not text:
+        return None
+    if text not in choices:
+        raise ConfigError(
+            f"{name} must be one of {choices}, got {text!r}"
+        )
+    return text
+
+
+def parse_env_workers(text: str | None):
+    """Parse ``REPRO_WORKERS``: serial / auto / a positive pool size.
+
+    Returns ``None`` (serial default), ``"auto"``, or a positive int.
+    ``"serial"`` and ``"0"`` are explicit serial requests; anything
+    unparsable raises :class:`ConfigError` up front, so a typo in the
+    CI matrix fails at entry instead of inside pool construction.
+    """
+    if not text:
+        return None
+    if text in ("serial", "0"):
+        return None
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise ConfigError(
+            "REPRO_WORKERS must be 'auto', 'serial', or a positive "
+            f"integer, got {text!r}"
+        )
+    return value
+
+
+# The env layer of the resolution order — the ONLY place in the tree
+# that reads the REPRO_* variables.  An invalid value raises ConfigError
+# here, at import, naming the variable; unset/empty means "library
+# default".  The sampling modules re-export these (their module globals
+# are what the check_*/resolve_* helpers consult, keeping the historical
+# monkeypatch points for tests and the CI matrices).
+DEFAULT_BACKEND = (
+    parse_env_choice("REPRO_BACKEND", os.environ.get("REPRO_BACKEND"), BACKENDS)
+    or "batch"
+)
+DEFAULT_WORKERS = parse_env_workers(os.environ.get("REPRO_WORKERS"))
+DEFAULT_STORE = (
+    parse_env_choice("REPRO_STORE", os.environ.get("REPRO_STORE"), STORES)
+    or "memory"
+)
+
+
+# --------------------------------------------------------------------------
+# Field validators (construction-time; resolution happens later).
+# --------------------------------------------------------------------------
+
+
+def _check_choice(name: str, value, choices: tuple[str, ...]):
+    if value is None:
+        return None
+    if value not in choices:
+        raise ConfigError(f"{name} must be one of {choices}, got {value!r}")
+    return value
+
+
+def _check_model_field(model):
+    """Validate the ``model`` field: a name, a per-piece sequence, or None."""
+    if model is None or model in MODELS:
+        return model
+    if isinstance(model, str):
+        raise ConfigError(f"model must be one of {MODELS}, got {model!r}")
+    try:
+        models = tuple(model)
+    except TypeError:
+        raise ConfigError(
+            f"model must be one of {MODELS} or a sequence of them, "
+            f"got {model!r}"
+        ) from None
+    for m in models:
+        _check_choice("model", m, MODELS)
+    return models
+
+
+def _check_workers_field(workers):
+    """Validate the ``workers`` field without resolving 'auto' or env."""
+    if workers is None or workers in ("auto", "serial"):
+        return workers
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigError(
+            f"workers must be None, 'auto', 'serial', or an int, "
+            f"got {workers!r}"
+        )
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _check_store_field(store):
+    if store is None or store in STORES:
+        return store
+    # A pre-constructed SampleStore instance is legal everywhere the
+    # name is; imported lazily to keep this module a leaf.
+    from repro.sampling.store import SampleStore
+
+    if isinstance(store, SampleStore):
+        return store
+    raise ConfigError(
+        f"store must be one of {STORES} or a SampleStore instance, "
+        f"got {store!r}"
+    )
+
+
+def _check_max_resident(value):
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ConfigError(
+            f"max_resident_bytes must be a positive integer, got {value!r}"
+        )
+    return value
+
+
+class _ShardDirKeying:
+    """Shared helper: key the shard directory per generated collection.
+
+    One runtime travels through a whole pipeline, but every generated
+    collection needs its own shard directory (a reused directory with
+    different dimensions fails the manifest check).  Every caller that
+    generates several collections off one runtime — the session's
+    opt/eval roles, the adaptive doubler's attempts, the harness's
+    sweep cells — derives per-collection runtimes through this one
+    helper instead of re-implementing the keying.
+    """
+
+    def with_shard_subdir(self, *parts):
+        """A copy whose ``shard_dir`` gains a ``parts`` subdirectory.
+
+        No-op when no shard directory is configured (private temp dirs
+        are already per-collection).
+        """
+        if self.shard_dir is None:
+            return self
+        return self.replace(
+            shard_dir=os.path.join(self.shard_dir, *map(str, parts))
+        )
+
+
+@dataclass(frozen=True)
+class Runtime(_ShardDirKeying):
+    """All execution policy for one pipeline, in one frozen object.
+
+    Every field defaults to ``None``, meaning "defer to the next layer
+    of the resolution order" (``REPRO_*`` env override, then the
+    library default).  Invalid values fail at construction with
+    :class:`ConfigError`, so a typo surfaces where the ``Runtime`` is
+    built rather than deep inside pool or kernel setup.
+
+    Fields
+    ------
+    backend:
+        Sampling/cascade kernel engine — ``"batch"`` (vectorized,
+        default) or ``"python"`` (reference loops).
+    model:
+        Diffusion model(s): ``"ic"`` (default) / ``"lt"``, or a
+        per-piece sequence for heterogeneous multiplex campaigns.
+    workers:
+        Parallel-runtime fan-out: ``"serial"``/``0`` pin the serial
+        path, ``"auto"`` sizes the pool to the machine, a positive int
+        fixes the pool size.  ``None`` defers to ``REPRO_WORKERS``
+        (else serial) like every other field.
+    executor:
+        Pool flavour — ``"thread"`` (default) or ``"process"``.
+    store:
+        Sample-store layer — ``"memory"`` (default), ``"disk"``, or a
+        pre-constructed :class:`~repro.sampling.store.SampleStore`.
+        Names build a fresh store per generated collection; an
+        *instance* is single-use (one generation — a second one fails
+        loudly with :class:`~repro.exceptions.StoreError` instead of
+        serving stale arrays), so pipelines that generate several
+        collections off one runtime should pass a name.
+    shard_dir:
+        Root directory for disk-store shards (``None`` = private temp).
+    max_resident_bytes:
+        Resident ceiling for disk-store managed caches.
+    seed:
+        Default RNG seed policy: used whenever an entry point is not
+        given a per-call ``seed``.  Anything accepted by
+        :func:`repro.utils.rng.as_generator`.
+    """
+
+    backend: str | None = None
+    model: object = None
+    workers: object = None
+    executor: str | None = None
+    store: object = None
+    shard_dir: str | None = None
+    max_resident_bytes: int | None = None
+    seed: object = None
+
+    def __post_init__(self) -> None:
+        _check_choice("backend", self.backend, BACKENDS)
+        object.__setattr__(self, "model", _check_model_field(self.model))
+        _check_workers_field(self.workers)
+        _check_choice("executor", self.executor, EXECUTORS)
+        _check_store_field(self.store)
+        _check_max_resident(self.max_resident_bytes)
+        if self.shard_dir is not None:
+            object.__setattr__(self, "shard_dir", os.fspath(self.shard_dir))
+
+    def replace(self, **changes) -> "Runtime":
+        """A copy with selected fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    def resolve(self, **explicit) -> "ResolvedRuntime":
+        """Resolve this runtime (see :func:`resolve_runtime`)."""
+        return resolve_runtime(self, **explicit)
+
+
+@dataclass(frozen=True)
+class ResolvedRuntime(_ShardDirKeying):
+    """A :class:`Runtime` with every layer of the order applied.
+
+    All fields are concrete: ``backend``/``executor`` are validated
+    names, ``workers`` is the resolved pool width (``0`` = the serial
+    legacy path), ``store`` is a validated name or a
+    :class:`~repro.sampling.store.SampleStore` instance.  Re-resolving
+    a ``ResolvedRuntime`` is idempotent — concrete fields never fall
+    through to the env layer again — which lets an entry point resolve
+    once and hand the result to its internal helpers.
+    """
+
+    backend: str
+    model: object
+    workers: int
+    executor: str
+    store: object
+    shard_dir: str | None
+    max_resident_bytes: int | None
+    seed: object
+
+    @property
+    def pool_width(self) -> int | None:
+        """Pool size for the parallel runtime (``None`` = serial path)."""
+        return self.workers or None
+
+    def replace(self, **changes) -> "ResolvedRuntime":
+        return replace(self, **changes)
+
+    def models_for(self, num_pieces: int) -> tuple[str, ...]:
+        """One validated diffusion-model name per piece."""
+        from repro.sampling.mrr import resolve_models
+
+        return resolve_models(self.model, num_pieces)
+
+    def single_model(self) -> str:
+        """The one diffusion model of a single-graph entry point.
+
+        Scalars (and one-element sequences) resolve as usual; a
+        longer per-piece sequence cannot describe a single influence
+        graph and fails at entry with :class:`ConfigError`.
+        """
+        model = self.model
+        if model is not None and not isinstance(model, str):
+            if len(model) != 1:
+                raise ConfigError(
+                    "this entry point runs on a single influence graph "
+                    f"and takes one diffusion model, got {model!r}"
+                )
+            model = model[0]
+        from repro.sampling.batch import check_model
+
+        return check_model(model)
+
+    def store_for_generate(self):
+        """The generate-time store: an instance, or ``None``.
+
+        ``None`` means "plain in-RAM arrays via the historical code
+        path"; a disk store (or any caller-provided store instance)
+        means "stream shards through the store".  Matches the legacy
+        per-call semantics bit-for-bit: a resolved *default* memory
+        store maps back to the historical path, while an explicitly
+        constructed :class:`MemoryStore` instance still streams.
+        """
+        from repro.sampling.store import SampleStore, resolve_store
+
+        if isinstance(self.store, SampleStore):
+            return self.store
+        resolved = resolve_store(
+            self.store,
+            shard_dir=self.shard_dir,
+            max_resident_bytes=self.max_resident_bytes,
+        )
+        return resolved if resolved.kind == "disk" else None
+
+
+#: The all-defaults runtime every entry point falls back on.
+_DEFAULT_RUNTIME = Runtime()
+
+#: The seven legacy execution kwargs, in resolution order.
+_LEGACY_KNOBS = (
+    "backend",
+    "model",
+    "workers",
+    "executor",
+    "store",
+    "shard_dir",
+    "max_resident_bytes",
+)
+
+
+def as_runtime(runtime) -> Runtime:
+    """Coerce ``None`` / :class:`Runtime` into a :class:`Runtime`."""
+    if runtime is None:
+        return _DEFAULT_RUNTIME
+    if isinstance(runtime, (Runtime, ResolvedRuntime)):
+        return runtime
+    raise ConfigError(
+        f"runtime must be a Runtime (or None), got {type(runtime).__name__}"
+    )
+
+
+def resolve_runtime(
+    runtime=None,
+    *,
+    backend=None,
+    model=None,
+    workers=None,
+    executor=None,
+    store=None,
+    shard_dir=None,
+    max_resident_bytes=None,
+    seed=None,
+    caller: str | None = None,
+    stacklevel: int = 3,
+) -> ResolvedRuntime:
+    """Apply the centralized resolution order and validate every knob.
+
+    ``runtime`` is a :class:`Runtime`, a :class:`ResolvedRuntime`
+    (idempotent pass-through plus overrides), or ``None``.  Each
+    explicit kwarg, when not ``None``, wins over the corresponding
+    runtime field; unset knobs fall through to the ``REPRO_*`` env
+    layer and finally the library default.  Every knob — including ones
+    a given entry point never exercises — is validated here, raising
+    :class:`ConfigError`, so a bad ``executor`` string fails at entry
+    even on the serial path that would historically have ignored it.
+
+    When ``caller`` is given, any non-``None`` legacy kwarg emits a
+    :class:`DeprecationWarning` naming the new ``runtime=`` spelling;
+    internal code always goes through ``runtime=`` and never warns.
+    """
+    base = as_runtime(runtime)
+    if caller is not None:
+        legacy = [
+            name
+            for name, value in zip(
+                _LEGACY_KNOBS,
+                (backend, model, workers, executor, store, shard_dir,
+                 max_resident_bytes),
+            )
+            if value is not None
+        ]
+        if legacy:
+            warnings.warn(
+                f"{caller}: the per-call execution kwargs "
+                f"({', '.join(legacy)}) are deprecated; pass "
+                f"runtime=Runtime({', '.join(f'{k}=...' for k in legacy)}) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+    # Explicit kwarg > Runtime field; env > default is applied by the
+    # check_*/resolve_* helpers of the owning modules (their module
+    # globals re-export the env defaults parsed above).
+    from repro.sampling.batch import check_backend
+    from repro.sampling.parallel import check_executor, resolve_workers
+    from repro.sampling.store import SampleStore, check_store
+
+    backend = backend if backend is not None else base.backend
+    model = model if model is not None else base.model
+    workers = workers if workers is not None else base.workers
+    executor = executor if executor is not None else base.executor
+    store = store if store is not None else base.store
+    shard_dir = shard_dir if shard_dir is not None else base.shard_dir
+    if max_resident_bytes is None:
+        max_resident_bytes = base.max_resident_bytes
+    if not isinstance(store, SampleStore):
+        store = check_store(_check_store_field(store))
+    return ResolvedRuntime(
+        backend=check_backend(backend),
+        model=_check_model_field(model),
+        workers=resolve_workers(workers) or 0,
+        executor=check_executor(executor),
+        store=store,
+        shard_dir=None if shard_dir is None else os.fspath(shard_dir),
+        max_resident_bytes=_check_max_resident(max_resident_bytes),
+        seed=seed if seed is not None else base.seed,
+    )

@@ -16,6 +16,8 @@ fixed:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.diffusion.adoption import AdoptionModel
 from repro.exceptions import SamplingError
 from repro.graph.digraph import TopicGraph
@@ -46,6 +48,7 @@ def generate_adaptive(
     initial_theta: int = 1_000,
     max_theta: int | None = None,
     seed=None,
+    runtime=None,
     backend: str | None = None,
 ) -> tuple[MRRCollection, dict]:
     """Grow an MRR collection until the probe estimate stabilises.
@@ -54,13 +57,31 @@ def generate_adaptive(
     either (a) two independent halves of the current samples estimate the
     ``probe_plan``'s utility within ``epsilon * n`` of each other, or
     (b) the Hoeffding worst-case count (or ``max_theta``) is reached.
-    ``backend`` selects the RR sampling engine for every generated
-    collection (``"batch"``/``"python"``, default batch).
+    ``runtime`` (a :class:`repro.runtime.Runtime`) carries the execution
+    policy — backend, models, workers, store — for every generated
+    collection; the per-call ``backend`` kwarg is the deprecated
+    equivalent.  A configured ``shard_dir`` is split into per-attempt
+    subdirectories so the doubling collections never collide.
 
     Returns the final collection and a diagnostics dict with the
     doubling trace — the empirical analogue of the paper's fixed-theta
     accuracy remark, testable and tunable.
     """
+    from repro.runtime import resolve_runtime
+
+    rt = resolve_runtime(
+        runtime, backend=backend, seed=seed, caller="generate_adaptive"
+    )
+    seed = rt.seed  # per-call seed > Runtime seeding policy
+    if not isinstance(seed, int):
+        # The doubling loop keys its per-attempt child streams by an
+        # integer entropy; an unseeded run draws one fresh int here
+        # (and records it in the trace) instead of failing later.
+        seed = int(np.random.default_rng().integers(0, 2**63 - 1))
+    # Shard subdirectories are keyed by the entropy, so runs with
+    # different seeds never collide in a shared shard_dir while a
+    # repeated identical run resumes/reloads its own shards.
+    rt = rt.with_shard_subdir(f"seed{seed}")
     check_fraction("epsilon", epsilon)
     check_fraction("delta", delta)
     check_positive_int("initial_theta", initial_theta)
@@ -79,10 +100,12 @@ def generate_adaptive(
         rng_a, rng_b = spawn_generators((seed, attempt), 2)
         half = max(theta // 2, 1)
         first = MRRCollection.generate(
-            graph, campaign, half, seed=rng_a, backend=backend
+            graph, campaign, half, seed=rng_a,
+            runtime=rt.with_shard_subdir(f"adaptive-{attempt}-a"),
         )
         second = MRRCollection.generate(
-            graph, campaign, half, seed=rng_b, backend=backend
+            graph, campaign, half, seed=rng_b,
+            runtime=rt.with_shard_subdir(f"adaptive-{attempt}-b"),
         )
         est_a = first.estimate(probe_plan, adoption)
         est_b = second.estimate(probe_plan, adoption)
@@ -101,12 +124,14 @@ def generate_adaptive(
             # Merge the two halves into the returned collection.
             rng_final = spawn_generators((seed, attempt, 1), 1)[0]
             final = MRRCollection.generate(
-                graph, campaign, theta, seed=rng_final, backend=backend
+                graph, campaign, theta, seed=rng_final,
+                runtime=rt.with_shard_subdir("adaptive-final"),
             )
             info = {
                 "trace": trace,
                 "converged": converged,
                 "hoeffding_ceiling": ceiling,
+                "seed": seed,
             }
             return final, info
         theta = min(theta * 2, ceiling)

@@ -31,13 +31,11 @@ roots' draws, which is where the speed comes from).
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from repro.diffusion.projection import PieceGraph
-from repro.exceptions import ParameterError, SamplingError
-from repro.utils.env import parse_env_choice
+from repro.exceptions import ConfigError, ParameterError, SamplingError
+from repro.runtime import BACKENDS, DEFAULT_BACKEND, DEFAULT_MODEL, MODELS
 from repro.utils.frontier import (
     Int64Buffer,
     frontier_edge_slots,
@@ -61,19 +59,10 @@ __all__ = [
     "simulate_lt_cascade_batch",
 ]
 
-BACKENDS = ("python", "batch")
-
-# The default backend honours the REPRO_BACKEND environment variable so
-# CI can run the whole suite under either engine (the env matrix keeps
-# the reference path from rotting).  Unset or empty means "batch"; an
-# invalid value raises ConfigError here, at entry.
-DEFAULT_BACKEND = (
-    parse_env_choice("REPRO_BACKEND", os.environ.get("REPRO_BACKEND"), BACKENDS)
-    or "batch"
-)
-
-MODELS = ("ic", "lt")
-DEFAULT_MODEL = "ic"
+# BACKENDS / MODELS and the REPRO_BACKEND-aware DEFAULT_BACKEND are
+# owned by repro.runtime (the single env-resolution site) and
+# re-exported here; this module's globals are the layer check_backend /
+# check_model consult, keeping the historical monkeypatch points.
 
 # Scratch budgets for the per-sampler (block x n) stamp array.  The
 # baseline budget (2^21 int64 cells = 16 MB) is what a sampler gets when
@@ -109,7 +98,7 @@ def check_backend(backend: str | None) -> str:
     if backend is None:
         return DEFAULT_BACKEND
     if backend not in BACKENDS:
-        raise ParameterError(
+        raise ConfigError(
             f"backend must be one of {BACKENDS}, got {backend!r}"
         )
     return backend
@@ -120,7 +109,7 @@ def check_model(model: str | None) -> str:
     if model is None:
         return DEFAULT_MODEL
     if model not in MODELS:
-        raise ParameterError(
+        raise ConfigError(
             f"model must be one of {MODELS}, got {model!r}"
         )
     return model

@@ -45,7 +45,6 @@ from repro.sampling.store import (
     SampleStore,
     ShardStore,
     _chunk_bounds,
-    resolve_store,
     store_fingerprint,
 )
 from repro.topics.distributions import Campaign
@@ -74,28 +73,6 @@ def resolve_models(model, num_pieces: int) -> tuple[str, ...]:
             f"{len(models)} diffusion models for {num_pieces} pieces"
         )
     return models
-
-
-def _resolve_store_arg(
-    store, shard_dir: str | None, max_resident_bytes: int | None
-):
-    """The generate-time store knob: a store instance, or ``None``.
-
-    ``None`` means "plain in-RAM arrays via the historical code path";
-    a :class:`ShardStore` (or any caller-provided store instance) means
-    "stream shards through the store".  Name resolution and knob
-    validation are :func:`repro.sampling.store.resolve_store`'s — this
-    wrapper only maps the resolved default memory store back to the
-    historical path (a caller-provided :class:`MemoryStore` instance
-    still streams, which is what pins the streaming machinery against
-    the legacy path in the tests).
-    """
-    if isinstance(store, SampleStore):
-        return store
-    resolved = resolve_store(
-        store, shard_dir=shard_dir, max_resident_bytes=max_resident_bytes
-    )
-    return resolved if resolved.kind == "disk" else None
 
 
 class MRRCollection:
@@ -158,6 +135,7 @@ class MRRCollection:
         *,
         seed=None,
         piece_graphs: Sequence[PieceGraph] | None = None,
+        runtime=None,
         backend: str | None = None,
         model=None,
         workers=None,
@@ -172,45 +150,42 @@ class MRRCollection:
         RR set per piece under the piece's projection.  Pass pre-computed
         ``piece_graphs`` to skip re-projection (the experiment harness
         reuses projections between the optimisation and evaluation
-        collections).  ``backend`` selects the RR sampling engine
-        (``"batch"``/``"python"``, default batch — see
-        :mod:`repro.sampling.batch`).  ``model`` selects the diffusion
-        model (``"ic"``/``"lt"``, default IC) — either one name for every
-        piece or a per-piece sequence (heterogeneous multiplex
-        campaigns).  LT pieces should be weight-normalised first
-        (:func:`repro.diffusion.threshold.normalize_lt_weights`).
+        collections).
 
-        ``workers`` selects the sampling runtime: ``None`` (default)
-        keeps the historical serial stream; ``"auto"`` or an integer
-        fans the (piece, root block) tasks out on a pool with spawned
-        per-task child streams (:mod:`repro.sampling.parallel`) —
-        collections are bit-identical for every worker count, and
-        ``executor`` picks ``"thread"`` (default) or ``"process"``
-        pools.
-
-        ``store`` selects the sample-store layer
-        (:mod:`repro.sampling.store`): ``"memory"`` (default, or the
-        ``REPRO_STORE`` env override) keeps the arrays in RAM;
-        ``"disk"`` streams each (piece, root block) shard into
-        ``shard_dir`` (a private temp directory when ``None``) as it is
-        sampled, keeping peak RAM at ``max_resident_bytes`` instead of
-        O(theta).  The disk store always samples through the block
-        decomposition, so its collections are bit-identical to
-        memory-store runs with ``workers >= 1`` — and a shard directory
-        from an interrupted run resumes from its completed shards,
-        while a finished one reloads without resampling.  A
-        pre-constructed :class:`~repro.sampling.store.SampleStore`
-        instance is also accepted.
+        All execution policy — sampling ``backend``, diffusion
+        ``model(s)``, the parallel runtime (``workers``/``executor``),
+        and the sample-store layer (``store``/``shard_dir``/
+        ``max_resident_bytes``) — lives on one
+        :class:`repro.runtime.Runtime` passed as ``runtime=`` and is
+        resolved with the centralized order (explicit kwarg > Runtime
+        field > ``REPRO_*`` env > default).  The remaining per-call
+        execution kwargs are deprecated equivalents kept for backward
+        compatibility; results are bit-identical between the two
+        spellings.  LT pieces should be weight-normalised first
+        (:func:`repro.diffusion.threshold.normalize_lt_weights`); disk
+        stores sample through the block decomposition and therefore
+        match memory-store runs with ``workers >= 1`` exactly, resume
+        interrupted shard directories, and reload finished ones.
         """
-        from repro.sampling.parallel import (
-            resolve_workers,
-            sample_piece_blocks,
-        )
+        from repro.runtime import resolve_runtime
+        from repro.sampling.parallel import sample_piece_blocks
 
+        rt = resolve_runtime(
+            runtime,
+            backend=backend,
+            model=model,
+            workers=workers,
+            executor=executor,
+            store=store,
+            shard_dir=shard_dir,
+            max_resident_bytes=max_resident_bytes,
+            seed=seed,
+            caller="MRRCollection.generate",
+        )
         theta = check_positive_int("theta", theta)
         if graph.n == 0:
             raise SamplingError("cannot sample from an empty graph")
-        rng = as_generator(seed)
+        rng = as_generator(rt.seed)
         if piece_graphs is None:
             piece_graphs = project_campaign(graph, campaign)
         elif len(piece_graphs) != campaign.num_pieces:
@@ -224,10 +199,10 @@ class MRRCollection:
             reference="the campaign graph",
             exc=SamplingError,
         )
-        models = resolve_models(model, campaign.num_pieces)
-        store_obj = _resolve_store_arg(store, shard_dir, max_resident_bytes)
+        models = resolve_models(rt.model, campaign.num_pieces)
+        store_obj = rt.store_for_generate()
         roots = rng.integers(0, graph.n, size=theta)
-        pool_width = resolve_workers(workers)
+        pool_width = rt.pool_width
         if store_obj is not None:
             return cls._generate_into_store(
                 graph.n,
@@ -235,9 +210,9 @@ class MRRCollection:
                 models,
                 roots,
                 rng,
-                backend=backend,
+                backend=rt.backend,
                 workers=pool_width or 1,
-                executor=executor,
+                executor=rt.executor,
                 store=store_obj,
             )
         if pool_width is not None:
@@ -246,9 +221,9 @@ class MRRCollection:
                 models,
                 roots,
                 rng,
-                backend=backend,
+                backend=rt.backend,
                 workers=pool_width,
-                executor=executor,
+                executor=rt.executor,
             )
             rr_ptr = [ptr for ptr, _ in pairs]
             rr_nodes = [nodes for _, nodes in pairs]
@@ -257,9 +232,9 @@ class MRRCollection:
         rr_nodes: list[np.ndarray] = []
         for pg, piece_model in zip(piece_graphs, models):
             if piece_model == "lt":
-                sampler = LinearThresholdSampler(pg, backend=backend)
+                sampler = LinearThresholdSampler(pg, backend=rt.backend)
             else:
-                sampler = ReverseReachableSampler(pg, backend=backend)
+                sampler = ReverseReachableSampler(pg, backend=rt.backend)
             ptr, nodes = sampler.sample_many(roots, rng)
             rr_ptr.append(ptr)
             rr_nodes.append(nodes)

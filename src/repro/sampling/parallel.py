@@ -37,8 +37,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
-from repro.exceptions import ParameterError, SamplingError
-from repro.utils.env import parse_env_workers
+from repro.exceptions import ConfigError, ParameterError, SamplingError
+from repro.runtime import DEFAULT_EXECUTOR, DEFAULT_WORKERS, EXECUTORS
 
 __all__ = [
     "DEFAULT_EXECUTOR",
@@ -53,8 +53,11 @@ __all__ = [
     "task_block_size",
 ]
 
-EXECUTORS = ("thread", "process")
-DEFAULT_EXECUTOR = "thread"
+# EXECUTORS / DEFAULT_EXECUTOR and the REPRO_WORKERS-aware
+# DEFAULT_WORKERS are owned by repro.runtime (the single env-resolution
+# site) and re-exported here; this module's globals are the layer
+# resolve_workers / check_executor consult, keeping the historical
+# monkeypatch points.
 
 #: Root blocks per piece aim for this many tasks so pools stay busy
 #: without drowning in per-task overhead; blocks never shrink below
@@ -66,11 +69,6 @@ _MIN_TASK_BLOCK = 256
 
 #: Rounds per Monte-Carlo task (same worker-independence argument).
 _ROUND_CHUNK = 8
-
-
-#: Suite-wide default when a call site passes ``workers=None``.  An
-#: invalid REPRO_WORKERS raises ConfigError here, at entry.
-DEFAULT_WORKERS = parse_env_workers(os.environ.get("REPRO_WORKERS"))
 
 
 def resolve_workers(workers) -> int | None:
@@ -91,14 +89,14 @@ def resolve_workers(workers) -> int | None:
     if workers == "auto":
         return os.cpu_count() or 1
     if isinstance(workers, bool) or not isinstance(workers, int):
-        raise ParameterError(
+        raise ConfigError(
             f"workers must be None, 'auto', 'serial', or an int, "
             f"got {workers!r}"
         )
     if workers == 0:
         return None
     if workers < 0:
-        raise ParameterError(f"workers must be >= 0, got {workers}")
+        raise ConfigError(f"workers must be >= 0, got {workers}")
     return workers
 
 
@@ -107,7 +105,7 @@ def check_executor(executor: str | None) -> str:
     if executor is None:
         return DEFAULT_EXECUTOR
     if executor not in EXECUTORS:
-        raise ParameterError(
+        raise ConfigError(
             f"executor must be one of {EXECUTORS}, got {executor!r}"
         )
     return executor

@@ -43,7 +43,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.exceptions import ConfigError, StoreError
-from repro.utils.env import parse_env_choice
+from repro.runtime import DEFAULT_STORE, STORES
 from repro.utils.frontier import frontier_edge_slots
 
 __all__ = [
@@ -58,15 +58,10 @@ __all__ = [
     "store_fingerprint",
 ]
 
-STORES = ("memory", "disk")
-
-#: Suite-wide default when a call site passes ``store=None``; the
-#: REPRO_STORE environment variable overrides it (CI's store axis).  An
-#: invalid value raises ConfigError here, at entry.
-DEFAULT_STORE = (
-    parse_env_choice("REPRO_STORE", os.environ.get("REPRO_STORE"), STORES)
-    or "memory"
-)
+# STORES and the REPRO_STORE-aware DEFAULT_STORE are owned by
+# repro.runtime (the single env-resolution site) and re-exported here;
+# this module's globals are the layer check_store consults, keeping the
+# historical monkeypatch points (CI's store axis).
 
 #: Resident ceiling for a ShardStore's managed caches (block LRU, index
 #: build buckets, gather chunks) when the caller does not pick one.
@@ -315,6 +310,18 @@ class MemoryStore(SampleStore):
         return store
 
     def begin(self, n, num_pieces, theta, block_size, *, fingerprint=None):
+        # A memory store has no manifest to validate a reload against:
+        # reusing a finalized instance for a second generation would
+        # silently serve the first generation's arrays under the new
+        # dimensions.  (ShardStore.begin resumes/reloads *matching*
+        # directories and rejects mismatched ones — in RAM there is
+        # nothing to resume, so any reuse is a caller bug.)
+        if self.finalized:
+            raise StoreError(
+                "this MemoryStore already holds a finalized collection "
+                "— build a fresh store (or pass store='memory') for "
+                "each generation"
+            )
         super().begin(n, num_pieces, theta, block_size, fingerprint=fingerprint)
         self._pending = [{} for _ in range(self.num_pieces)]
 
@@ -440,6 +447,11 @@ class ShardStore(SampleStore):
     """
 
     kind = "disk"
+
+    #: Coalescing reader: merge slab ranges whose file gap is at most
+    #: this many bytes, reading the gap and discarding it — one seek
+    #: plus a slightly longer sequential read beats two seeks.
+    _COALESCE_GAP_BYTES = 64 * 1024
 
     def __init__(
         self,
@@ -794,21 +806,107 @@ class ShardStore(SampleStore):
         return out
 
     def gather_index(self, piece, vertices):
+        """Coalescing slab gather: one read per merged offset run.
+
+        The naive reader seeks once per vertex; on a whole-pool scan
+        that is |pool| syscalls over a file laid out in vertex order.
+        Requested slabs are instead sorted by file offset (= vertex
+        order), adjacent-or-near ranges are merged — gaps up to
+        :data:`_COALESCE_GAP_BYTES` are read through and discarded,
+        trading a little sequential over-read for a seek — and each
+        merged run is fetched with a single ``read()``.  Results are
+        scattered back into request order, so output is byte-identical
+        to the per-vertex reader for any vertex order or multiplicity.
+
+        The merged-run buffer counts against the store's resident
+        contract: when gap read-through would push (output + buffer)
+        past :attr:`gather_chunk_bytes` the merge retries without
+        read-through (adjacent/overlapping ranges only, buffer <=
+        output), and if even that is too sparse-and-huge the gather
+        falls back to the per-vertex direct reads — bounded memory
+        first, saved seeks second.
+        """
         self._check_finalized()
         ptr = self.idx_ptr(piece)
         deg = ptr[vertices + 1] - ptr[vertices]
         total = int(deg.sum())
+        if not total:
+            return np.zeros(0, dtype=np.int64), deg
+        # Offset order == vertex order (the index file is a vertex-major
+        # CSR payload); stable sort keeps duplicates adjacent.
+        order = np.argsort(vertices, kind="stable")
+        order = order[deg[order] > 0]
+        los = ptr[vertices[order]]
+        his = los + deg[order]
+        run_hi = np.maximum.accumulate(his)
+        # The run buffer itself must respect the resident budget: with
+        # read-through it can dwarf the requested bytes on sparse
+        # pools, so retry gapless (buffer <= requested bytes, dedup
+        # only shrinks it); if the request alone is over budget — a
+        # caller bypassing iter_index_slabs' chunking — keep the
+        # historical 1x-output per-vertex reads.
+        budget = self.gather_chunk_bytes
+        runs = None
+        for gap in (max(self._COALESCE_GAP_BYTES // 8, 0), 0):
+            candidate = self._merge_runs(los, run_hi, gap)
+            if 8 * int(candidate[2][-1]) <= budget:
+                runs = candidate
+                break
+        if runs is None:
+            return self._gather_per_vertex(piece, ptr, vertices, deg, total)
+        run_lo, run_end, buf_base = runs
+        buf = np.empty(int(buf_base[-1]), dtype=np.int64)
+        fh = self._idx_file(piece)
+        view = memoryview(buf).cast("B")
+        for r in range(run_lo.size):
+            self._read_slab(
+                fh,
+                view[8 * int(buf_base[r]) : 8 * int(buf_base[r + 1])],
+                int(run_lo[r]),
+                int(run_end[r]),
+            )
+        # Scatter back into request order with one vectorized gather:
+        # per-vertex file positions (frontier_edge_slots) shifted by the
+        # owning run's file-offset -> buffer-offset delta.
+        run_of = np.searchsorted(run_lo, ptr[vertices], side="right") - 1
+        run_of = np.clip(run_of, 0, run_lo.size - 1)
+        shift = buf_base[run_of] - run_lo[run_of]
+        slot_idx, deg = frontier_edge_slots(ptr, vertices)
+        return buf[slot_idx + np.repeat(shift, deg)], deg
+
+    @staticmethod
+    def _merge_runs(los, run_hi, gap):
+        """Segment offset-sorted slabs into merged read runs.
+
+        A new run starts where the next slab lies past the previous
+        run's high-water mark by more than ``gap`` entries.
+        (Overlapping slabs — duplicate vertices — always merge, so
+        every requested slab is wholly contained in exactly one run.)
+        Returns ``(run_lo, run_end, buf_base)`` with ``buf_base`` the
+        exclusive prefix sum of run lengths.
+        """
+        starts = np.empty(los.size, dtype=bool)
+        starts[0] = True
+        np.greater(los[1:], run_hi[:-1] + gap, out=starts[1:])
+        run_first = np.flatnonzero(starts)
+        run_lo = los[run_first]
+        run_end = run_hi[np.append(run_first[1:] - 1, los.size - 1)]
+        buf_base = np.zeros(run_lo.size + 1, dtype=np.int64)
+        np.cumsum(run_end - run_lo, out=buf_base[1:])
+        return run_lo, run_end, buf_base
+
+    def _gather_per_vertex(self, piece, ptr, vertices, deg, total):
+        """The historical reader: seek + read per vertex, 1x output RAM."""
         out = np.empty(total, dtype=np.int64)
-        if total:
-            fh = self._idx_file(piece)
-            view = memoryview(out).cast("B")
-            pos = 0
-            for v, d in zip(vertices.tolist(), deg.tolist()):
-                if d == 0:
-                    continue
-                lo = int(ptr[v])
-                self._read_slab(fh, view[pos : pos + 8 * d], lo, lo + d)
-                pos += 8 * d
+        fh = self._idx_file(piece)
+        view = memoryview(out).cast("B")
+        pos = 0
+        for v, d in zip(vertices.tolist(), deg.tolist()):
+            if d == 0:
+                continue
+            lo = int(ptr[v])
+            self._read_slab(fh, view[pos : pos + 8 * d], lo, lo + d)
+            pos += 8 * d
         return out, deg
 
     def _cached_block(self, piece, block) -> tuple[np.ndarray, np.ndarray]:

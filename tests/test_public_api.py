@@ -1,8 +1,140 @@
-"""The public API surface: everything advertised in __all__ imports and works."""
+"""The public API surface: a snapshot of exports and entry signatures.
+
+Everything advertised in ``__all__`` imports and works, and — since the
+`Runtime`/`Session` redesign made the execution surface part of the
+compatibility contract — the export list and the parameter lists of the
+main entry points are pinned verbatim.  A change here is an API change:
+update the snapshot *deliberately*, in the same commit that documents
+the new surface.
+"""
 
 from __future__ import annotations
 
+import inspect
+
 import repro
+
+#: The exact export list (sorted).  Additions are append-and-sort;
+#: removals/renames are breaking changes.
+PUBLIC_EXPORTS = [
+    "AdoptionModel",
+    "AssignmentPlan",
+    "BaselineResult",
+    "BatchRRSampler",
+    "BranchAndBoundSolver",
+    "BudgetExhaustedError",
+    "Campaign",
+    "CliqueReduction",
+    "ConfigError",
+    "DatasetError",
+    "ExperimentError",
+    "GraphError",
+    "GraphFormatError",
+    "MRRCollection",
+    "MemoryStore",
+    "OIPAProblem",
+    "ParameterError",
+    "Piece",
+    "PieceGraph",
+    "ReproError",
+    "ReverseReachableSampler",
+    "Runtime",
+    "SamplingError",
+    "Session",
+    "SessionResult",
+    "ShardStore",
+    "SolverError",
+    "SolverResult",
+    "StoreError",
+    "TopicError",
+    "TopicGraph",
+    "__version__",
+    "available_solvers",
+    "brute_force_oipa",
+    "im_baseline",
+    "load_dataset",
+    "load_topic_graph",
+    "project_campaign",
+    "register_solver",
+    "resolve_runtime",
+    "save_topic_graph",
+    "simulate_adoption_utility",
+    "solve_bab",
+    "solve_bab_progressive",
+    "tim_baseline",
+    "uniform_piece",
+    "unit_piece",
+]
+
+#: Parameter-name snapshots of the execution surface.  Every entry point
+#: carries ``runtime=`` plus the (deprecated) legacy execution kwargs;
+#: dropping or reordering a name breaks callers.
+ENTRY_SIGNATURES = {
+    "MRRCollection.generate": [
+        "graph", "campaign", "theta", "seed", "piece_graphs", "runtime",
+        "backend", "model", "workers", "executor", "store", "shard_dir",
+        "max_resident_bytes",
+    ],
+    "ris_influence_maximization": [
+        "piece_graph", "k", "theta", "pool", "seed", "runtime", "backend",
+        "model", "workers", "executor", "store", "shard_dir",
+        "max_resident_bytes",
+    ],
+    "celf_greedy_im": [
+        "piece_graph", "k", "pool", "rounds", "seed", "runtime", "backend",
+        "model", "workers", "executor",
+    ],
+    "simulate_piece_spread": [
+        "piece_graph", "seeds", "rounds", "seed", "runtime", "backend",
+        "model", "workers", "executor", "pool",
+    ],
+    "simulate_adoption_utility": [
+        "piece_graphs", "plan_seed_sets", "adoption", "rounds", "seed",
+        "return_std", "runtime", "backend", "model", "workers", "executor",
+    ],
+    "generate_adaptive": [
+        "graph", "campaign", "adoption", "probe_plan", "epsilon", "delta",
+        "initial_theta", "max_theta", "seed", "runtime", "backend",
+    ],
+    "im_baseline": [
+        "problem", "mrr", "theta", "seed", "runtime", "backend",
+    ],
+    "Runtime": [
+        "backend", "model", "workers", "executor", "store", "shard_dir",
+        "max_resident_bytes", "seed",
+    ],
+    "Session.__init__": [
+        "self", "graph", "campaign", "adoption", "k", "pool",
+        "pool_fraction", "seed", "runtime",
+    ],
+    "Session.solve": [
+        "self", "method", "theta", "seed", "evaluate", "eval_theta",
+        "options",
+    ],
+}
+
+
+def _entry(name: str):
+    from repro.diffusion.simulate import (
+        simulate_adoption_utility,
+        simulate_piece_spread,
+    )
+    from repro.im.greedy import celf_greedy_im
+    from repro.im.ris import ris_influence_maximization
+    from repro.sampling.adaptive import generate_adaptive
+
+    return {
+        "MRRCollection.generate": repro.MRRCollection.generate,
+        "ris_influence_maximization": ris_influence_maximization,
+        "celf_greedy_im": celf_greedy_im,
+        "simulate_piece_spread": simulate_piece_spread,
+        "simulate_adoption_utility": simulate_adoption_utility,
+        "generate_adaptive": generate_adaptive,
+        "im_baseline": repro.im_baseline,
+        "Runtime": repro.Runtime,
+        "Session.__init__": repro.Session.__init__,
+        "Session.solve": repro.Session.solve,
+    }[name]
 
 
 def test_version():
@@ -12,6 +144,25 @@ def test_version():
 def test_all_names_resolve():
     for name in repro.__all__:
         assert hasattr(repro, name), name
+
+
+def test_export_snapshot():
+    assert sorted(repro.__all__) == PUBLIC_EXPORTS
+
+
+def test_entry_signature_snapshot():
+    for name, expected in ENTRY_SIGNATURES.items():
+        params = list(inspect.signature(_entry(name)).parameters)
+        assert params == expected, (
+            f"{name} signature drifted:\n  have {params}\n  want {expected}"
+        )
+
+
+def test_registered_solvers_snapshot():
+    assert repro.available_solvers() == (
+        "bab", "bab-p", "brute-force", "celf", "im", "local-search",
+        "ris", "tim",
+    )
 
 
 def test_quickstart_snippet():
@@ -31,6 +182,16 @@ def test_quickstart_snippet():
     assert result.utility >= 0.0
 
 
+def test_session_quickstart_snippet():
+    """The new three-line quickstart, verbatim."""
+    session = repro.Session.from_dataset(
+        "lastfm", scale=0.08, dataset_seed=99, pieces=2, k=3, seed=1
+    )
+    result = session.solve("bab-p", theta=500, max_nodes=20)
+    assert result.plan.size <= 3
+    assert result.estimate >= 0.0
+
+
 def test_plan_and_problem_types_exported():
     plan = repro.AssignmentPlan.empty(2)
     assert plan.num_pieces == 2
@@ -40,6 +201,7 @@ def test_plan_and_problem_types_exported():
 def test_exceptions_exported_and_hierarchy():
     assert issubclass(repro.SolverError, repro.ReproError)
     assert issubclass(repro.GraphFormatError, repro.GraphError)
+    assert issubclass(repro.ConfigError, repro.ParameterError)
 
 
 def test_graph_io_roundtrip_via_public_api(tmp_path):

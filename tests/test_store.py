@@ -50,7 +50,7 @@ from repro.sampling.store import (
     resolve_store,
 )
 from repro.topics.distributions import Campaign
-from repro.utils.env import parse_env_choice, parse_env_workers
+from repro.runtime import parse_env_choice, parse_env_workers
 
 THETA = 800
 
@@ -175,6 +175,50 @@ class TestKnobs:
 
 
 class TestStoreEquivalence:
+    def test_gather_budget_tiers(self, world, mem_mrr, tmp_path, monkeypatch):
+        """The coalescing gather respects the resident budget.
+
+        Gap read-through must never blow the merged-run buffer past
+        ``gather_chunk_bytes``; when even the gapless merge is over
+        budget the gather falls back to per-vertex direct reads.
+        Results are byte-identical in every tier.
+        """
+        graph, campaign = world
+        disk = MRRCollection.generate(
+            graph, campaign, THETA, seed=21,
+            store="disk", shard_dir=str(tmp_path / "shards"),
+        )
+        rng = np.random.default_rng(3)
+        sparse = np.sort(rng.choice(graph.n, size=10, replace=False))
+        want, want_deg = mem_mrr.store.gather_index(0, sparse)
+
+        reads = []
+        original = ShardStore._read_slab
+
+        def counting(self, fh, view, lo, hi):
+            reads.append(hi - lo)
+            return original(self, fh, view, lo, hi)
+
+        monkeypatch.setattr(ShardStore, "_read_slab", counting)
+        # Default budget: coalesced (few reads, possibly read-through).
+        got, got_deg = disk.store.gather_index(0, sparse)
+        np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(got_deg, want_deg)
+        assert len(reads) < sparse.size
+        # Starved budget: every tier's buffer is over, so the gather
+        # must drop to per-vertex reads — one per populated vertex,
+        # none larger than its own slab (no read-through allocation).
+        monkeypatch.setattr(
+            ShardStore, "gather_chunk_bytes", property(lambda self: 8)
+        )
+        reads.clear()
+        got, got_deg = disk.store.gather_index(0, sparse)
+        np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(got_deg, want_deg)
+        populated = int((want_deg > 0).sum())
+        assert len(reads) == populated
+        assert sum(reads) == int(want_deg.sum())
+
     def test_disk_matches_memory_arrays(self, world, mem_mrr, tmp_path):
         graph, campaign = world
         disk = MRRCollection.generate(
