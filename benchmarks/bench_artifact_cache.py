@@ -1,0 +1,135 @@
+"""Artifact-cache benchmark: warm ``Session.run`` vs cold.
+
+The acceptance gates of the staged-pipeline PR:
+
+* a warm run against a persistent on-disk :class:`DiskArtifactStore`
+  performs **zero sampling** — asserted via the stage-execution trace,
+  not timing;
+* the warm run is at least 10x faster than the cold one (the cold run
+  pays sampling + index build + solve; the warm one replays all three
+  stages from the cache and only re-executes the evaluate reduction);
+* cold, warm, and the hand-wired pre-facade pipeline produce
+  bit-identical seed sets and estimates.
+
+Measured wall-clock numbers land in
+``benchmarks/out/artifact_cache.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import write_artifact
+
+from repro.api import Session
+from repro.artifacts import resolve_artifact_store
+from repro.core.bab import solve_bab_progressive
+from repro.core.problem import OIPAProblem
+from repro.datasets.registry import load_dataset
+from repro.diffusion.adoption import AdoptionModel
+from repro.runtime import Runtime
+from repro.sampling.mrr import MRRCollection
+from repro.topics.distributions import Campaign
+
+THETA = 20_000
+SEED = 7
+K = 8
+MAX_NODES = 100
+
+
+@pytest.fixture(scope="module")
+def world():
+    bundle = load_dataset("lastfm", scale=0.5)
+    campaign = Campaign.sample_unit(3, bundle.graph.num_topics, seed=SEED)
+    return bundle.graph, campaign
+
+
+def _session(world, cache_dir: str) -> Session:
+    graph, campaign = world
+    return Session(
+        graph,
+        campaign,
+        AdoptionModel.from_ratio(0.5),
+        k=K,
+        pool_fraction=0.1,
+        seed=SEED,
+        runtime=Runtime(artifacts=cache_dir),
+    )
+
+
+def test_warm_run_ten_times_faster_and_bit_identical(
+    world, tmp_path_factory, artifact_dir
+):
+    graph, campaign = world
+    cache_dir = str(tmp_path_factory.mktemp("artifact-cache"))
+
+    # -- the hand-wired pre-facade pipeline (no cache anywhere) --------
+    adoption = AdoptionModel.from_ratio(0.5)
+    problem = OIPAProblem.with_random_pool(
+        graph, campaign, adoption, K, pool_fraction=0.1, seed=SEED
+    )
+    start = time.perf_counter()
+    mrr = MRRCollection.generate(
+        graph, campaign, THETA, seed=SEED,
+        runtime=Runtime(artifacts="off"),
+    )
+    legacy_result = solve_bab_progressive(problem, mrr, max_nodes=MAX_NODES)
+    mrr_eval = MRRCollection.generate(
+        graph, campaign, 4 * THETA, seed=SEED + 1,
+        runtime=Runtime(artifacts="off"),
+    )
+    legacy_evaluation = mrr_eval.estimate(
+        legacy_result.plan.seed_lists(), adoption
+    )
+    legacy_seconds = time.perf_counter() - start
+
+    # -- cold: populates the cache -------------------------------------
+    cold_session = _session(world, cache_dir)
+    start = time.perf_counter()
+    cold = cold_session.run("bab-p", theta=THETA, max_nodes=MAX_NODES)
+    cold_seconds = time.perf_counter() - start
+    assert cold_session.stage_trace.sampled()
+
+    # -- warm: a fresh session over the same persistent store ----------
+    warm_session = _session(world, cache_dir)
+    start = time.perf_counter()
+    warm = warm_session.run("bab-p", theta=THETA, max_nodes=MAX_NODES)
+    warm_seconds = time.perf_counter() - start
+
+    # zero sampling, all upstream stages served from the artifact store
+    trace = warm_session.stage_trace
+    assert not trace.sampled(), [e for e in trace]
+    assert trace.actions("sample") == ["hit", "hit"]  # opt + eval draws
+    assert trace.actions("index") == ["hit", "hit"]
+    assert trace.actions("solve") == ["hit"]
+
+    # bit-identical: legacy vs cold vs warm
+    assert cold.plan.seed_sets == legacy_result.plan.seed_sets
+    assert warm.plan.seed_sets == legacy_result.plan.seed_sets
+    assert cold.estimate == legacy_result.utility
+    assert warm.estimate == cold.estimate
+    assert cold.evaluation == legacy_evaluation
+    assert warm.evaluation == cold.evaluation
+
+    # the acceptance gate: >= 10x
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= 10.0, (
+        f"warm run only {speedup:.1f}x faster "
+        f"(cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s)"
+    )
+
+    stats = resolve_artifact_store(cache_dir).stats()
+    assert stats["hits"] >= 3  # two sample artifacts + one solve replay
+
+    text = (
+        "Artifact cache: cold vs warm Session.run\n"
+        f"(lastfm scale=0.5, n={graph.n}, pieces=3, theta={THETA}, "
+        f"eval theta={4 * THETA}, k={K}, bab-p max_nodes={MAX_NODES})\n"
+        f"hand-wired legacy: {legacy_seconds:8.3f} s\n"
+        f"cold  (cache put): {cold_seconds:8.3f} s\n"
+        f"warm  (cache hit): {warm_seconds:8.3f} s\n"
+        f"speedup: {speedup:5.1f}x   "
+        f"store stats: {stats}"
+    )
+    write_artifact(artifact_dir, "artifact_cache", text)

@@ -12,6 +12,9 @@ circles), defines a three-issue campaign whose pieces are topic
 *mixtures* (issues overlap: a healthcare message touches taxation), and
 contrasts the naive strategy (one message, best promoters — the TIM
 baseline) with the OIPA assignment, including per-voter exposure depth.
+The whole pipeline runs through one :class:`repro.Session`: both
+strategies share the session's optimisation samples, and both are
+scored on its independent evaluation draw.
 
 Run:
     python examples/political_campaign.py
@@ -21,15 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    AdoptionModel,
-    Campaign,
-    MRRCollection,
-    OIPAProblem,
-    Piece,
-    solve_bab_progressive,
-    tim_baseline,
-)
+from repro import AdoptionModel, Campaign, Piece, Session
 from repro.datasets import load_dataset
 from repro.utils.tables import format_table
 
@@ -51,30 +46,35 @@ def build_campaign(num_topics: int) -> Campaign:
 def main() -> None:
     print("Building the electorate network (dblp-like communities)...")
     bundle = load_dataset("dblp", scale=0.08)
-    graph = bundle.graph
-    campaign = build_campaign(graph.num_topics)
+    campaign = build_campaign(bundle.graph.num_topics)
 
     # Hard adoption regime: voters need >= 2 issues before acting.
-    adoption = AdoptionModel.from_ratio(0.3)
-    problem = OIPAProblem.with_random_pool(
-        graph, campaign, adoption, k=12, pool_fraction=0.1, seed=3
+    session = Session(
+        bundle,
+        campaign,
+        AdoptionModel.from_ratio(0.3),
+        k=12,
+        pool_fraction=0.1,
+        seed=3,
     )
-    print(f"  electorate: {graph.n} voters, {problem.pool_size} surrogates")
+    graph = session.graph
+    print(f"  electorate: {graph.n} voters, {session.problem.pool_size} surrogates")
 
-    mrr = MRRCollection.generate(graph, campaign, theta=6000, seed=4)
-    mrr_eval = MRRCollection.generate(graph, campaign, theta=20000, seed=5)
+    session.sample(6_000, seed=4)
+    session.sample_evaluation(20_000, seed=5)
 
     print("Naive strategy: all budget on the single best issue (TIM)...")
-    naive = tim_baseline(problem, mrr)
-    naive_utility = mrr_eval.estimate(naive.plan.seed_lists(), adoption)
+    naive = session.solve("tim")
+    naive_utility = session.evaluate(naive.plan)
 
     print("OIPA strategy: BAB-P assigns issues to surrogates jointly...")
-    result = solve_bab_progressive(problem, mrr, epsilon=0.5, max_nodes=300)
-    oipa_utility = mrr_eval.estimate(result.plan.seed_lists(), adoption)
+    result = session.solve("bab-p", epsilon=0.5, max_nodes=300)
+    oipa_utility = session.evaluate(result.plan)
 
     print()
+    chosen = ISSUES[naive.diagnostics["chosen_piece"]]
     rows = [
-        ["single-issue (TIM)", ISSUES[naive.chosen_piece], naive_utility],
+        ["single-issue (TIM)", chosen, naive_utility],
         ["multifaceted (OIPA)", "all three", oipa_utility],
     ]
     print(
@@ -92,6 +92,7 @@ def main() -> None:
         print(f"  {ISSUES[j]:12s} -> surrogates {sorted(seeds)}")
 
     # Exposure depth: how many voters hear 1, 2, 3 issues in expectation.
+    mrr_eval = session.mrr_eval
     counts = mrr_eval.coverage_counts(result.plan.seed_lists())
     scale = graph.n / mrr_eval.theta
     print("\nExpected exposure depth under the OIPA plan:")

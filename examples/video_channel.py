@@ -9,7 +9,10 @@ influencer accounts should push which clip.
 This script runs on the tweet-like dataset (sparse retweet graph, LDA
 topics) and demonstrates the regime where the baselines collapse: with
 five clips and a harsh conversion curve, spreading a single clip —
-however well seeded — converts almost nobody.
+however well seeded — converts almost nobody.  One
+:class:`repro.Session` carries the whole comparison: every strategy
+solves on the same shared sample collection and is scored on the same
+independent evaluation draw.
 
 Run:
     python examples/video_channel.py
@@ -17,16 +20,7 @@ Run:
 
 from __future__ import annotations
 
-from repro import (
-    AdoptionModel,
-    Campaign,
-    MRRCollection,
-    OIPAProblem,
-    im_baseline,
-    load_dataset,
-    solve_bab_progressive,
-    tim_baseline,
-)
+from repro import AdoptionModel, Campaign, Session, load_dataset
 from repro.utils.tables import format_table
 
 CLIPS = 5
@@ -41,27 +35,37 @@ def main() -> None:
     # Five clips, each about one (hashtag) topic.
     campaign = Campaign.sample_unit(CLIPS, graph.num_topics, seed=99)
     # Harsh conversion: beta/alpha = 0.3 — a user needs several clips.
-    adoption = AdoptionModel.from_ratio(0.3)
-    problem = OIPAProblem.with_random_pool(
-        graph, campaign, adoption, k=15, pool_fraction=0.1, seed=99
+    session = Session(
+        bundle,
+        campaign,
+        AdoptionModel.from_ratio(0.3),
+        k=15,
+        pool_fraction=0.1,
+        seed=99,
     )
 
     theta = 18_000  # sparse graph -> cheap samples, thin adoption density
-    mrr = MRRCollection.generate(graph, campaign, theta=theta, seed=100)
-    mrr_eval = MRRCollection.generate(graph, campaign, theta=4 * theta, seed=101)
-
-    def evaluate(plan):
-        return mrr_eval.estimate(plan.seed_lists(), adoption)
+    session.sample(theta, seed=100)
+    session.sample_evaluation(4 * theta, seed=101)
 
     print("Comparing strategies...")
-    im = im_baseline(problem, mrr, seed=1)
-    tim = tim_baseline(problem, mrr)
-    oipa = solve_bab_progressive(problem, mrr, epsilon=0.5, max_nodes=200)
+    im = session.solve("im", seed=1)
+    tim = session.solve("tim")
+    oipa = session.solve("bab-p", epsilon=0.5, max_nodes=200)
 
     rows = [
-        ["IM: one topic-blind seed set, best single clip", evaluate(im.plan)],
-        ["TIM: per-clip seeds, best single clip", evaluate(tim.plan)],
-        ["OIPA (BAB-P): clips assigned jointly", evaluate(oipa.plan)],
+        [
+            "IM: one topic-blind seed set, best single clip",
+            session.evaluate(im.plan),
+        ],
+        [
+            "TIM: per-clip seeds, best single clip",
+            session.evaluate(tim.plan),
+        ],
+        [
+            "OIPA (BAB-P): clips assigned jointly",
+            session.evaluate(oipa.plan),
+        ],
     ]
     print()
     print(

@@ -72,6 +72,13 @@ from repro.core import (
 from repro.im import BaselineResult, im_baseline, tim_baseline
 from repro.datasets import load_dataset
 from repro.runtime import Runtime, resolve_runtime
+from repro.artifacts import (
+    ArtifactStore,
+    DiskArtifactStore,
+    MemoryArtifactStore,
+    resolve_artifact_store,
+)
+from repro.pipeline import STAGES, PipelineTrace, Stage, StageEvent, stage
 from repro.api import (
     Session,
     SessionResult,
@@ -138,4 +145,14 @@ __all__ = [
     "SessionResult",
     "available_solvers",
     "register_solver",
+    # artifacts + pipeline
+    "ArtifactStore",
+    "MemoryArtifactStore",
+    "DiskArtifactStore",
+    "resolve_artifact_store",
+    "STAGES",
+    "Stage",
+    "stage",
+    "StageEvent",
+    "PipelineTrace",
 ]

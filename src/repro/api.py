@@ -30,11 +30,14 @@ exactly the same primitives with exactly the same seeds (pinned in
 
 from __future__ import annotations
 
+import hashlib
 import inspect
+import json
 import uuid
 from dataclasses import dataclass
 from types import MappingProxyType
 
+from repro.artifacts import ArtifactKey
 from repro.core.bab import solve_bab, solve_bab_progressive
 from repro.core.brute_force import brute_force_oipa
 from repro.core.local_search import local_search
@@ -49,6 +52,7 @@ from repro.exceptions import ConfigError, SolverError
 from repro.graph.digraph import TopicGraph
 from repro.im.baselines import _best_single_piece_plan, im_baseline, tim_baseline
 from repro.im.greedy import celf_greedy_im
+from repro.pipeline import PipelineTrace
 from repro.runtime import Runtime, as_runtime, resolve_runtime
 from repro.sampling.mrr import MRRCollection, resolve_models
 from repro.topics.distributions import Campaign
@@ -67,6 +71,12 @@ __all__ = [
 
 _SOLVERS: dict[str, object] = {}
 
+#: Solvers whose results may be served from the artifact cache.  A
+#: cacheable solver must be a pure function of (problem, collection,
+#: options, effective seed) — the built-ins qualify; user solvers opt
+#: in via ``register_solver(..., cacheable=True)``.
+_CACHEABLE_SOLVERS: set[str] = set()
+
 
 def _normalize_method(name: str) -> str:
     if not isinstance(name, str) or not name.strip():
@@ -74,7 +84,9 @@ def _normalize_method(name: str) -> str:
     return name.strip().lower().replace("_", "-")
 
 
-def register_solver(name: str, fn=None, *, overwrite: bool = False):
+def register_solver(
+    name: str, fn=None, *, overwrite: bool = False, cacheable: bool = False
+):
     """Register a solver under ``name`` (usable as a decorator).
 
     A solver is ``fn(session, **options) -> (plan, estimate,
@@ -84,6 +96,11 @@ def register_solver(name: str, fn=None, *, overwrite: bool = False):
     :class:`~repro.core.plan.AssignmentPlan`, its estimate on that
     collection, and a diagnostics mapping.  Registration is the whole
     extension surface — no entry-point signature grows.
+
+    ``cacheable=True`` declares the solver a pure function of its
+    inputs, letting the artifact cache replay its (plan, estimate,
+    diagnostics) for identical keys; leave it off (the default) for
+    solvers with hidden state or unseeded randomness.
     """
 
     def decorate(solver):
@@ -94,6 +111,10 @@ def register_solver(name: str, fn=None, *, overwrite: bool = False):
                 "(pass overwrite=True to replace it)"
             )
         _SOLVERS[key] = solver
+        if cacheable:
+            _CACHEABLE_SOLVERS.add(key)
+        else:
+            _CACHEABLE_SOLVERS.discard(key)
         return solver
 
     return decorate(fn) if fn is not None else decorate
@@ -198,6 +219,8 @@ class Session:
         self._mrr: MRRCollection | None = None
         self._mrr_eval: MRRCollection | None = None
         self._eval_seed = None  # the draw the eval collection used
+        self._trace = PipelineTrace()
+        self._mrr_key: ArtifactKey | None = None  # sample-stage artifact
 
     @classmethod
     def from_dataset(
@@ -300,6 +323,20 @@ class Session:
         """The independent evaluation collection, if generated."""
         return self._mrr_eval
 
+    @property
+    def stage_trace(self) -> PipelineTrace:
+        """The pipeline-stage execution trace of this session.
+
+        Every stage execution appends a
+        :class:`~repro.pipeline.StageEvent` recording whether the stage
+        ran or was served from the artifact cache;
+        :meth:`~repro.pipeline.PipelineTrace.sampled` is the "did a
+        warm run really skip sampling" check.  :meth:`run` clears the
+        trace first, so after a ``run`` the trace covers exactly that
+        invocation.
+        """
+        return self._trace
+
     def _role_runtime(self, role: str, theta: int, seed):
         """The session runtime with a per-collection shard subdir.
 
@@ -329,13 +366,15 @@ class Session:
         hand-wired ``MRRCollection.generate(..., seed=...)`` call would
         use, which is what keeps facade and legacy paths bit-identical.
         """
-        self._mrr = MRRCollection.generate(
+        self._mrr, events, self._mrr_key = MRRCollection.generate_traced(
             self.graph,
             self.campaign,
             theta,
             piece_graphs=self.piece_graphs,
             runtime=self._role_runtime("opt", theta, seed),
         )
+        for stage, action in events:
+            self._trace.record(stage, action, "opt")
         return self._mrr
 
     def sample_evaluation(self, theta: int, *, seed=None) -> MRRCollection:
@@ -347,13 +386,15 @@ class Session:
         """
         if seed is None and isinstance(self.seed, int):
             seed = self.seed + 1
-        self._mrr_eval = MRRCollection.generate(
+        self._mrr_eval, events, _eval_key = MRRCollection.generate_traced(
             self.graph,
             self.campaign,
             theta,
             piece_graphs=self.piece_graphs,
             runtime=self._role_runtime("eval", theta, seed),
         )
+        for stage, action in events:
+            self._trace.record(stage, action, "eval")
         self._eval_seed = seed
         return self._mrr_eval
 
@@ -404,7 +445,10 @@ class Session:
             and "seed" in inspect.signature(solver).parameters
         ):
             options.setdefault("seed", seed)
-        plan, estimate, diagnostics = solver(self, **options)
+        plan, estimate, diagnostics, action = self._solve_stage(
+            key, solver, options
+        )
+        self._trace.record("solve", action, key)
         evaluation = None
         if evaluate:
             evaluation = self.evaluate(plan, theta=eval_theta)
@@ -415,6 +459,104 @@ class Session:
             evaluation=evaluation,
             diagnostics=MappingProxyType(dict(diagnostics)),
         )
+
+    def run(
+        self,
+        method: str = "bab-p",
+        *,
+        theta: int | None = None,
+        seed=None,
+        eval_theta: int | None = None,
+        **options,
+    ) -> SessionResult:
+        """One full pipeline pass: plan → sample → index → solve → evaluate.
+
+        Equivalent to ``solve(method, theta=..., evaluate=True)`` but
+        framed as the staged pipeline: the :attr:`stage_trace` is reset
+        first and afterwards covers exactly this invocation, recording
+        for each stage whether it ran or was served from the artifact
+        cache — a warm ``run`` against an artifact store performs zero
+        sampling (``session.stage_trace.sampled()`` is ``False``) and
+        returns results bit-identical to the cold one.
+        """
+        self._trace.clear()
+        self._trace.record("plan", "run", "problem")
+        return self.solve(
+            method,
+            theta=theta,
+            seed=seed,
+            evaluate=True,
+            eval_theta=eval_theta,
+            **options,
+        )
+
+    def _solve_cache_key(self, method_key: str, options: dict):
+        """The solve-stage artifact (store, key), or ``(None, None)``.
+
+        Cacheable only when the whole causal chain is pinned: a
+        cache-served-able solver, a sample collection that itself came
+        through the artifact layer (its key digest is the upstream
+        link), an integer session seed (the randomised baselines
+        default to it), and JSON-able options.
+        """
+        if method_key not in _CACHEABLE_SOLVERS or self._mrr_key is None:
+            return None, None
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            return None, None
+        rt = resolve_runtime(self.runtime, seed=self.seed)
+        art_store = rt.artifact_store()
+        if art_store is None:
+            return None, None
+        try:
+            options_token = json.dumps(options, sort_keys=True)
+        except (TypeError, ValueError):
+            return None, None
+        pool_digest = hashlib.sha256(self.problem.pool.tobytes()).hexdigest()
+        adoption = self.adoption
+        key = ArtifactKey(
+            graph=self.graph.fingerprint(),
+            campaign=self.campaign.fingerprint(),
+            runtime=rt.cache_key(),
+            stage="solve",
+            extra=(
+                f"mrr={self._mrr_key.digest[:16]}",
+                f"method={method_key}",
+                f"k={self.k}",
+                f"pool={pool_digest[:16]}",
+                f"adoption={adoption.alpha!r},{adoption.beta!r},"
+                f"{adoption.zero_if_unreached}",
+                f"options={options_token}",
+            ),
+        )
+        return art_store, key
+
+    def _solve_stage(self, method_key: str, solver, options: dict):
+        """Run one solver through the artifact cache (when eligible)."""
+        art_store, solve_key = self._solve_cache_key(method_key, options)
+        if solve_key is not None:
+            hit = art_store.get(solve_key)
+            if hit is not None:
+                plan = AssignmentPlan(hit.meta["seed_sets"])
+                return (
+                    plan,
+                    float(hit.meta["estimate"]),
+                    dict(hit.meta["diagnostics"]),
+                    "hit",
+                )
+        plan, estimate, diagnostics = solver(self, **options)
+        if solve_key is not None:
+            meta = {
+                "seed_sets": plan.seed_lists(),
+                "estimate": float(estimate),
+                "diagnostics": dict(diagnostics),
+            }
+            try:
+                json.dumps(meta)
+            except (TypeError, ValueError):
+                pass  # non-JSON diagnostics: run fine, just never cached
+            else:
+                art_store.put(solve_key, meta)
+        return plan, estimate, diagnostics, "run"
 
     def estimate(self, plan) -> float:
         """AU estimate of ``plan`` on the optimisation collection."""
@@ -440,9 +582,13 @@ class Session:
             or (seed is not None and seed != self._eval_seed)
         ):
             self.sample_evaluation(theta, seed=seed)
-        return self._mrr_eval.estimate(
+        score = self._mrr_eval.estimate(
             _plan_of(plan).seed_lists(), self.adoption
         )
+        # Scoring a plan on an existing collection is a cheap segmented
+        # reduction — always executed, so the trace records a run.
+        self._trace.record("evaluate", "run", f"theta={theta}")
+        return score
 
     def simulate(
         self,
@@ -494,14 +640,14 @@ def _plan_of(plan) -> AssignmentPlan:
 # --------------------------------------------------------------------------
 
 
-@register_solver("bab")
+@register_solver("bab", cacheable=True)
 def _solve_bab(session: Session, **options):
     """The paper's BAB: branch-and-bound, greedy bound (Algorithm 2)."""
     result = solve_bab(session.problem, session.mrr, **options)
     return result.plan, result.utility, _bab_diagnostics(result)
 
 
-@register_solver("bab-p")
+@register_solver("bab-p", cacheable=True)
 def _solve_bab_progressive(session: Session, **options):
     """The paper's BAB-P: progressive bound (Algorithm 3)."""
     result = solve_bab_progressive(session.problem, session.mrr, **options)
@@ -521,14 +667,14 @@ def _bab_diagnostics(result) -> dict:
     }
 
 
-@register_solver("brute-force")
+@register_solver("brute-force", cacheable=True)
 def _solve_brute_force(session: Session, **options):
     """Exhaustive enumeration (small instances; the exactness oracle)."""
     plan, utility = brute_force_oipa(session.problem, session.mrr, **options)
     return plan, utility, {}
 
 
-@register_solver("local-search")
+@register_solver("local-search", cacheable=True)
 def _solve_local_search(session: Session, *, start=None, **options):
     """Greedy fill + first-improvement exchange search.
 
@@ -582,11 +728,11 @@ def _ris_solver(session: Session, *, seed=None, **options):
     }
 
 
-register_solver("ris", _ris_solver)
-register_solver("im", _ris_solver)
+register_solver("ris", _ris_solver, cacheable=True)
+register_solver("im", _ris_solver, cacheable=True)
 
 
-@register_solver("tim")
+@register_solver("tim", cacheable=True)
 def _solve_tim(session: Session, **options):
     """Per-piece topic-aware RIS seeds, best single piece (TIM)."""
     result = tim_baseline(session.problem, session.mrr, **options)
@@ -597,7 +743,7 @@ def _solve_tim(session: Session, **options):
     }
 
 
-@register_solver("celf")
+@register_solver("celf", cacheable=True)
 def _solve_celf(session: Session, *, rounds: int = 100, seed=None, **options):
     """Simulation-based CELF greedy on the flattened graph.
 

@@ -1,0 +1,348 @@
+"""Content-addressed artifact cache behind the staged pipeline.
+
+Every expensive product of the pipeline — a sampled RR collection, its
+inverted index, a solved seed-set plan — is cached under an
+:class:`ArtifactKey` built from *what produced it*: the graph content
+fingerprint, the campaign fingerprint, the cache-relevant slice of the
+resolved runtime (:meth:`ResolvedRuntime.cache_key`), the stage name,
+and stage-specific extras (theta, solver options, ...).  Identical
+inputs therefore hit the cache instead of resampling, and two solvers
+over the same campaign share one sampled collection.
+
+Two backends:
+
+- :class:`MemoryArtifactStore` — a per-process dict; ``"memory"``
+  resolves to one shared process-global instance so separate Sessions
+  in one interpreter share artifacts.
+- :class:`DiskArtifactStore` — an on-disk object store under
+  ``root/objects/<digest[:2]>/<digest>/``.  Array payloads live in
+  ``arrays.npz``; directory payloads (out-of-core shard collections)
+  live in the object directory itself.  ``meta.json`` is written last
+  and atomically, so a half-written object is simply a miss — this
+  generalizes :class:`ShardStore`'s resume fingerprint to every stage.
+
+The store keeps persistent hit/miss/put counters in ``stats.json`` so
+a warm CI pass can assert that the cache actually served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigError, StoreError
+
+__all__ = [
+    "Artifact",
+    "ArtifactKey",
+    "ArtifactStore",
+    "DiskArtifactStore",
+    "MemoryArtifactStore",
+    "piece_graphs_digest",
+    "resolve_artifact_store",
+]
+
+_META = "meta.json"
+_ARRAYS = "arrays.npz"
+_STATS = "stats.json"
+_FORMAT = 1
+
+
+def piece_graphs_digest(piece_graphs: Sequence) -> str:
+    """Digest of projected per-piece graphs (sha256 hex).
+
+    Sampling consumes the *projected* piece graphs, not the topic graph
+    directly — LT pieces are weight-normalised, and callers may pass
+    custom projections — so sample keys hash the actual structures that
+    the samplers walk.
+    """
+    h = hashlib.sha256()
+    h.update(f"pieces:v1:l={len(piece_graphs)}:".encode())
+    for pg in piece_graphs:
+        h.update(f"n={pg.n}:".encode())
+        h.update(pg.out_ptr.tobytes())
+        h.update(pg.out_dst.tobytes())
+        h.update(pg.out_prob.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """What produced an artifact: the full causal input set, hashed.
+
+    ``extra`` carries stage-specific discriminators (theta, method,
+    solver options, ...) as ``"name=value"`` strings.
+    """
+
+    graph: str
+    campaign: str
+    runtime: str
+    stage: str
+    extra: tuple[str, ...] = ()
+
+    @property
+    def token(self) -> str:
+        """Human-readable key string (also what gets hashed)."""
+        parts = [
+            f"v{_FORMAT}",
+            f"graph={self.graph}",
+            f"campaign={self.campaign}",
+            f"runtime={self.runtime}",
+            f"stage={self.stage}",
+        ]
+        parts.extend(self.extra)
+        return ":".join(parts)
+
+    @property
+    def digest(self) -> str:
+        """Content address of this key (sha256 hex of :attr:`token`)."""
+        return hashlib.sha256(self.token.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A cached stage product: metadata, arrays, and/or a directory."""
+
+    key: ArtifactKey
+    meta: Mapping[str, object]
+    arrays: Mapping[str, np.ndarray] = field(default_factory=dict)
+    path: str | None = None
+
+
+class ArtifactStore:
+    """Maps :class:`ArtifactKey` → cached stage product.
+
+    Subclasses implement ``get``/``put``.  Stores that can host
+    directory payloads (shard collections) set ``hosts_directories``
+    and implement ``stage_dir``/``commit``: the producer writes into
+    ``stage_dir(key)`` and the artifact only becomes visible once
+    ``commit`` lands its metadata, so interrupted work is a plain miss.
+    """
+
+    kind = "abstract"
+    hosts_directories = False
+
+    def get(self, key: ArtifactKey) -> Artifact | None:
+        raise NotImplementedError
+
+    def put(
+        self,
+        key: ArtifactKey,
+        meta: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray] | None = None,
+    ) -> Artifact:
+        raise NotImplementedError
+
+    def stage_dir(self, key: ArtifactKey) -> str:
+        raise StoreError(
+            f"{type(self).__name__} cannot host directory artifacts"
+        )
+
+    def commit(self, key: ArtifactKey, meta: Mapping[str, object]) -> Artifact:
+        raise StoreError(
+            f"{type(self).__name__} cannot host directory artifacts"
+        )
+
+    def stats(self) -> dict[str, int]:
+        raise NotImplementedError
+
+
+class MemoryArtifactStore(ArtifactStore):
+    """In-process artifact cache: a dict keyed by the key digest."""
+
+    kind = "memory"
+    hosts_directories = False
+
+    def __init__(self) -> None:
+        self._objects: dict[str, Artifact] = {}
+        self._stats = {"hits": 0, "misses": 0, "puts": 0}
+
+    def get(self, key: ArtifactKey) -> Artifact | None:
+        found = self._objects.get(key.digest)
+        if found is None:
+            self._stats["misses"] += 1
+            return None
+        self._stats["hits"] += 1
+        return found
+
+    def put(self, key, meta, arrays=None):
+        artifact = Artifact(
+            key=key,
+            meta=dict(meta),
+            arrays={k: np.asarray(v) for k, v in dict(arrays or {}).items()},
+        )
+        self._objects[key.digest] = artifact
+        self._stats["puts"] += 1
+        return artifact
+
+    def stats(self) -> dict[str, int]:
+        return dict(self._stats)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class DiskArtifactStore(ArtifactStore):
+    """On-disk content-addressed artifact cache.
+
+    Layout::
+
+        root/
+          stats.json
+          objects/<digest[:2]>/<digest>/
+            meta.json        # commit marker — written last, atomically
+            arrays.npz       # array payloads (absent for directory payloads)
+            ...              # directory payloads write siblings here
+
+    ``meta.json`` records the full key token, so a digest collision or
+    a stale directory from an older key scheme is detected and treated
+    as a miss rather than served.
+    """
+
+    kind = "disk"
+    hosts_directories = True
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+
+    # -- layout ---------------------------------------------------------
+
+    def _object_dir(self, key: ArtifactKey) -> str:
+        digest = key.digest
+        return os.path.join(self.root, "objects", digest[:2], digest)
+
+    # -- stats ----------------------------------------------------------
+
+    def _bump(self, field_name: str) -> None:
+        path = os.path.join(self.root, _STATS)
+        stats = self.stats()
+        stats[field_name] = stats.get(field_name, 0) + 1
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(stats, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def stats(self) -> dict[str, int]:
+        path = os.path.join(self.root, _STATS)
+        try:
+            with open(path) as fh:
+                stats = json.load(fh)
+        except (OSError, ValueError):
+            stats = {}
+        return {
+            "hits": int(stats.get("hits", 0)),
+            "misses": int(stats.get("misses", 0)),
+            "puts": int(stats.get("puts", 0)),
+        }
+
+    # -- read -----------------------------------------------------------
+
+    def get(self, key: ArtifactKey) -> Artifact | None:
+        obj_dir = self._object_dir(key)
+        meta_path = os.path.join(obj_dir, _META)
+        try:
+            with open(meta_path) as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            self._bump("misses")
+            return None
+        if meta.get("token") != key.token:
+            # digest prefix collision or stale key scheme — not ours
+            self._bump("misses")
+            return None
+        arrays: dict[str, np.ndarray] = {}
+        arrays_path = os.path.join(obj_dir, _ARRAYS)
+        if os.path.exists(arrays_path):
+            with np.load(arrays_path) as payload:
+                arrays = {name: payload[name] for name in payload.files}
+        self._bump("hits")
+        return Artifact(key=key, meta=meta, arrays=arrays, path=obj_dir)
+
+    # -- write ----------------------------------------------------------
+
+    def put(self, key, meta, arrays=None):
+        obj_dir = self._object_dir(key)
+        os.makedirs(obj_dir, exist_ok=True)
+        if arrays:
+            arrays = {k: np.asarray(v) for k, v in dict(arrays).items()}
+            fd, tmp = tempfile.mkstemp(dir=obj_dir, suffix=".npz.tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, **arrays)
+                os.replace(tmp, os.path.join(obj_dir, _ARRAYS))
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        return self.commit(key, meta)
+
+    def stage_dir(self, key: ArtifactKey) -> str:
+        """Directory a producer may write a directory payload into."""
+        obj_dir = self._object_dir(key)
+        os.makedirs(obj_dir, exist_ok=True)
+        return obj_dir
+
+    def commit(self, key: ArtifactKey, meta: Mapping[str, object]) -> Artifact:
+        """Land ``meta.json`` last, making the artifact visible."""
+        obj_dir = self._object_dir(key)
+        os.makedirs(obj_dir, exist_ok=True)
+        full_meta = dict(meta)
+        full_meta["token"] = key.token
+        fd, tmp = tempfile.mkstemp(dir=obj_dir, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(full_meta, fh)
+            os.replace(tmp, os.path.join(obj_dir, _META))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._bump("puts")
+        return Artifact(key=key, meta=full_meta, arrays={}, path=obj_dir)
+
+
+_MEMORY_SINGLETON: MemoryArtifactStore | None = None
+_DISK_INSTANCES: dict[str, DiskArtifactStore] = {}
+
+
+def resolve_artifact_store(spec) -> ArtifactStore | None:
+    """Resolve an ``artifacts`` spec to a store instance (or None).
+
+    - ``None`` / ``"off"`` → no caching.
+    - ``"memory"`` → the shared process-global in-memory store.
+    - a path string → a :class:`DiskArtifactStore` rooted there (one
+      instance per resolved path, so stats accumulate coherently).
+    - an :class:`ArtifactStore` instance → itself.
+    """
+    global _MEMORY_SINGLETON
+    if spec is None or spec == "off":
+        return None
+    if isinstance(spec, ArtifactStore):
+        return spec
+    if spec == "memory":
+        if _MEMORY_SINGLETON is None:
+            _MEMORY_SINGLETON = MemoryArtifactStore()
+        return _MEMORY_SINGLETON
+    if isinstance(spec, (str, os.PathLike)):
+        root = os.path.abspath(os.fspath(spec))
+        store = _DISK_INSTANCES.get(root)
+        if store is None:
+            store = DiskArtifactStore(root)
+            _DISK_INSTANCES[root] = store
+        return store
+    raise ConfigError(
+        "artifacts must be None, 'off', 'memory', a directory path, or an "
+        f"ArtifactStore instance, got {spec!r}"
+    )

@@ -141,6 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
         "index builds (default: 256); requires --store disk",
     )
     parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="PATH",
+        help="content-addressed artifact cache directory "
+        "(repro.artifacts): sweep cells sharing a (graph, campaign, "
+        "theta) reuse one sampled collection across the solver/k axes "
+        "and across invocations; 'memory' caches in-process, 'off' "
+        "disables (default: the REPRO_ARTIFACTS env override, else off)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -199,6 +209,8 @@ def main(argv: list[str] | None = None) -> int:
             overrides["max_resident_bytes"] = (
                 args.max_resident_mb * 1024 * 1024
             )
+    if args.artifact_dir is not None:
+        overrides["artifacts"] = args.artifact_dir
     if overrides:
         profile = profile.with_overrides(**overrides)
 

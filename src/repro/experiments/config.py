@@ -91,6 +91,12 @@ class ExperimentProfile:
     max_resident_bytes: int | None = None
     #: Pool flavour for the parallel runtime (``"thread"``/``"process"``).
     executor: str | None = None
+    #: Content-addressed artifact cache (``repro.artifacts``): ``None``
+    #: defers to ``REPRO_ARTIFACTS``, ``"memory"`` caches in-process, a
+    #: path caches on disk so sweep cells sharing a (graph, campaign,
+    #: theta) reuse one sampled collection across the solver/k axes —
+    #: and across harness invocations.
+    artifacts: str | None = None
     #: One :class:`repro.runtime.Runtime` carrying the whole execution
     #: policy.  The per-knob fields above remain as declarative/CLI
     #: overlays: any that are set override the corresponding ``runtime``
@@ -118,6 +124,7 @@ class ExperimentProfile:
                 "store",
                 "shard_dir",
                 "max_resident_bytes",
+                "artifacts",
             )
             if getattr(self, name) is not None
         }

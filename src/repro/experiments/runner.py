@@ -141,6 +141,14 @@ def prepare_instance(
     cell_rt = profile.resolved_runtime()
     if models is not None:
         cell_rt = cell_rt.replace(model=models)
+    # The sampling seeds are *integers* drawn from the cell's spawned
+    # streams (not the Generator objects themselves): equally
+    # deterministic per cell, but content-addressable — so sweep cells
+    # sharing a (graph, campaign, theta) reuse one sampled collection
+    # through the artifact cache across the solver/k axes and across
+    # harness invocations.
+    seed_opt = int(rng_opt.integers(2**63))
+    seed_eval = int(rng_eval.integers(2**63))
 
     def role_runtime(role: str):
         # The optimisation and evaluation collections of one cell (and
@@ -155,7 +163,7 @@ def prepare_instance(
             graph,
             campaign,
             opt_theta,
-            seed=rng_opt,
+            seed=seed_opt,
             piece_graphs=piece_graphs,
             runtime=role_runtime("opt"),
         )
@@ -163,7 +171,7 @@ def prepare_instance(
             graph,
             campaign,
             eval_theta,
-            seed=rng_eval,
+            seed=seed_eval,
             piece_graphs=piece_graphs,
             runtime=role_runtime("eval"),
         )

@@ -26,6 +26,7 @@ Monte-Carlo samplers.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -99,6 +100,7 @@ class TopicGraph:
         "in_ptr",
         "in_src",
         "in_edge",
+        "_fingerprint",
     )
 
     def __init__(
@@ -120,6 +122,7 @@ class TopicGraph:
         self.tp_probs = np.ascontiguousarray(tp_probs, dtype=np.float64)
         self._validate()
         self.in_ptr, self.in_src, self.in_edge = self._build_reverse_csr()
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -331,6 +334,37 @@ class TopicGraph:
     def _check_vertex(self, v: int) -> None:
         if not (0 <= v < self.n):
             raise GraphError(f"vertex {v} outside [0, {self.n})")
+
+    # ------------------------------------------------------------------
+    # content identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of this graph (sha256 hex).
+
+        Hashes the canonical CSR arrays — vertex/topic counts, the
+        source-major adjacency, and the per-edge sparse topic vectors.
+        Both constructors sort edges into the canonical order first, so
+        two graphs built from the same edges in *any* input order have
+        the same fingerprint, while changing a single edge, endpoint, or
+        topic probability changes it.  This is the graph component of
+        every artifact-cache key and shard-store fingerprint.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(
+                f"topicgraph:v1:n={self.n}:topics={self.num_topics}:".encode()
+            )
+            for arr in (
+                self.out_ptr,
+                self.out_dst,
+                self.tp_ptr,
+                self.tp_topics,
+                self.tp_probs,
+            ):
+                h.update(arr.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # piece projection

@@ -1,0 +1,145 @@
+"""The staged execution pipeline behind :class:`repro.api.Session`.
+
+The paper's RIS/MRR machinery is naturally staged::
+
+    plan ──► sample ──► index ──► solve ──► evaluate
+
+``plan`` fixes the problem instance (graph + campaign + adoption +
+candidate pool), ``sample`` draws the theta root sets and their MRR/RR
+sets per piece (Alg. 2), ``index`` builds the per-piece inverted
+indexes the coverage oracles query, ``solve`` runs a registered solver
+to a seed-set plan, and ``evaluate`` scores the plan on an independent
+draw.  Each stage consumes and produces an :class:`~repro.artifacts.Artifact`
+addressed by a deterministic fingerprint of everything upstream of it,
+so identical inputs reuse the cached product instead of recomputing —
+see :mod:`repro.artifacts` for the key scheme and the stores.
+
+This module owns the stage vocabulary and the execution trace a
+``Session`` records: every stage execution appends a
+:class:`StageEvent` saying whether the stage *ran* or was served as a
+cache *hit*, which is how tests (and the warm-cache benchmark) assert
+"a warm run performed zero sampling" without poking at sampler
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "STAGES",
+    "PipelineTrace",
+    "Stage",
+    "StageEvent",
+    "stage",
+]
+
+#: Canonical stage order of one Session.run.
+STAGES = ("plan", "sample", "index", "solve", "evaluate")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: its name and artifact dataflow."""
+
+    name: str
+    consumes: tuple[str, ...]
+    produces: str
+    description: str
+
+
+_STAGES = {
+    "plan": Stage(
+        name="plan",
+        consumes=(),
+        produces="problem",
+        description=(
+            "fix the problem instance: graph, campaign, adoption "
+            "model, budget k, candidate pool"
+        ),
+    ),
+    "sample": Stage(
+        name="sample",
+        consumes=("problem",),
+        produces="rr-sets",
+        description=(
+            "draw theta shared roots and one RR set per (root, piece)"
+        ),
+    ),
+    "index": Stage(
+        name="index",
+        consumes=("rr-sets",),
+        produces="inverted-index",
+        description=(
+            "build the per-piece vertex -> sample-ids inverted indexes"
+        ),
+    ),
+    "solve": Stage(
+        name="solve",
+        consumes=("problem", "inverted-index"),
+        produces="seed-sets",
+        description="run a registered solver to an assignment plan",
+    ),
+    "evaluate": Stage(
+        name="evaluate",
+        consumes=("seed-sets",),
+        produces="utility",
+        description=(
+            "score the plan on an independent evaluation draw"
+        ),
+    ),
+}
+
+
+def stage(name: str) -> Stage:
+    """Look up a pipeline stage by name."""
+    try:
+        return _STAGES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; stages are {STAGES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One stage execution: did it run, or was it served from cache?"""
+
+    stage: str
+    action: str  # "run" | "hit"
+    detail: str = ""
+
+
+@dataclass
+class PipelineTrace:
+    """Ordered record of stage executions for one Session lifetime."""
+
+    events: list[StageEvent] = field(default_factory=list)
+
+    def record(self, stage_name: str, action: str, detail: str = "") -> None:
+        if stage_name not in STAGES:
+            raise KeyError(f"unknown stage {stage_name!r}; stages are {STAGES}")
+        if action not in ("run", "hit"):
+            raise ValueError(f"action must be 'run' or 'hit', got {action!r}")
+        self.events.append(StageEvent(stage_name, action, detail))
+
+    def actions(self, stage_name: str) -> list[str]:
+        """Actions recorded for one stage, in execution order."""
+        return [e.action for e in self.events if e.stage == stage_name]
+
+    def ran(self, stage_name: str) -> bool:
+        """Did this stage actually execute (vs. only cache hits)?"""
+        return "run" in self.actions(stage_name)
+
+    def sampled(self) -> bool:
+        """Did any sampling work happen (the warm-run zero check)?"""
+        return self.ran("sample")
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -44,6 +44,7 @@ from repro.exceptions import ConfigError
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_ARTIFACTS",
     "DEFAULT_BACKEND",
     "DEFAULT_EXECUTOR",
     "DEFAULT_MODEL",
@@ -55,6 +56,7 @@ __all__ = [
     "ResolvedRuntime",
     "Runtime",
     "as_runtime",
+    "parse_env_artifacts",
     "parse_env_choice",
     "parse_env_workers",
     "resolve_runtime",
@@ -119,6 +121,17 @@ def parse_env_workers(text: str | None):
     return value
 
 
+def parse_env_artifacts(text: str | None):
+    """Parse ``REPRO_ARTIFACTS``: off / memory / an artifact directory.
+
+    Returns ``None`` (caching off — the default), ``"memory"``, or the
+    directory path for an on-disk :class:`~repro.artifacts.DiskArtifactStore`.
+    """
+    if not text or text == "off":
+        return None
+    return text
+
+
 # The env layer of the resolution order — the ONLY place in the tree
 # that reads the REPRO_* variables.  An invalid value raises ConfigError
 # here, at import, naming the variable; unset/empty means "library
@@ -134,6 +147,7 @@ DEFAULT_STORE = (
     parse_env_choice("REPRO_STORE", os.environ.get("REPRO_STORE"), STORES)
     or "memory"
 )
+DEFAULT_ARTIFACTS = parse_env_artifacts(os.environ.get("REPRO_ARTIFACTS"))
 
 
 # --------------------------------------------------------------------------
@@ -193,6 +207,24 @@ def _check_store_field(store):
     raise ConfigError(
         f"store must be one of {STORES} or a SampleStore instance, "
         f"got {store!r}"
+    )
+
+
+def _check_artifacts_field(artifacts):
+    """Validate the ``artifacts`` field: off/memory/path/instance/None."""
+    if artifacts is None or artifacts in ("memory", "off"):
+        return artifacts
+    if isinstance(artifacts, (str, os.PathLike)):
+        return os.fspath(artifacts)
+    # A pre-constructed ArtifactStore instance; imported lazily to keep
+    # this module a leaf.
+    from repro.artifacts import ArtifactStore
+
+    if isinstance(artifacts, ArtifactStore):
+        return artifacts
+    raise ConfigError(
+        "artifacts must be None, 'off', 'memory', a directory path, or "
+        f"an ArtifactStore instance, got {artifacts!r}"
     )
 
 
@@ -268,6 +300,12 @@ class Runtime(_ShardDirKeying):
         Root directory for disk-store shards (``None`` = private temp).
     max_resident_bytes:
         Resident ceiling for disk-store managed caches.
+    artifacts:
+        Content-addressed artifact cache — ``"memory"`` (process-wide
+        dict), a directory path (on-disk store, survives processes),
+        a pre-constructed :class:`~repro.artifacts.ArtifactStore`, or
+        ``"off"`` to force caching off even when ``REPRO_ARTIFACTS``
+        is set.  ``None`` defers to ``REPRO_ARTIFACTS`` (else off).
     seed:
         Default RNG seed policy: used whenever an entry point is not
         given a per-call ``seed``.  Anything accepted by
@@ -281,6 +319,7 @@ class Runtime(_ShardDirKeying):
     store: object = None
     shard_dir: str | None = None
     max_resident_bytes: int | None = None
+    artifacts: object = None
     seed: object = None
 
     def __post_init__(self) -> None:
@@ -290,6 +329,9 @@ class Runtime(_ShardDirKeying):
         _check_choice("executor", self.executor, EXECUTORS)
         _check_store_field(self.store)
         _check_max_resident(self.max_resident_bytes)
+        object.__setattr__(
+            self, "artifacts", _check_artifacts_field(self.artifacts)
+        )
         if self.shard_dir is not None:
             object.__setattr__(self, "shard_dir", os.fspath(self.shard_dir))
 
@@ -322,6 +364,7 @@ class ResolvedRuntime(_ShardDirKeying):
     store: object
     shard_dir: str | None
     max_resident_bytes: int | None
+    artifacts: object
     seed: object
 
     @property
@@ -356,6 +399,34 @@ class ResolvedRuntime(_ShardDirKeying):
         from repro.sampling.batch import check_model
 
         return check_model(model)
+
+    def cache_key(self) -> str:
+        """The cache-relevant slice of this runtime, as a stable string.
+
+        Only knobs that can change *results* participate: ``backend``
+        (kernel engine), ``model`` (diffusion semantics), and ``seed``
+        (the draw).  ``workers``/``executor`` are excluded because the
+        parallel runtime is bit-identical across pool sizes and pool
+        flavours, and ``store``/``shard_dir``/``max_resident_bytes``
+        because the memory and disk stores hold the same collection —
+        so a sweep may vary any of those and still share artifacts.
+        A non-integer seed is an unreproducible draw and keys as such;
+        callers gate cache *writes* on reproducibility separately.
+        """
+        model = self.model if self.model is not None else DEFAULT_MODEL
+        if not isinstance(model, str):
+            model = ",".join(model)
+        if isinstance(self.seed, int) and not isinstance(self.seed, bool):
+            seed = str(self.seed)
+        else:
+            seed = "unreproducible"
+        return f"backend={self.backend}:model={model}:seed={seed}"
+
+    def artifact_store(self):
+        """The resolved artifact store instance, or ``None`` (off)."""
+        from repro.artifacts import resolve_artifact_store
+
+        return resolve_artifact_store(self.artifacts)
 
     def store_for_generate(self):
         """The generate-time store: an instance, or ``None``.
@@ -415,6 +486,7 @@ def resolve_runtime(
     store=None,
     shard_dir=None,
     max_resident_bytes=None,
+    artifacts=None,
     seed=None,
     caller: str | None = None,
     stacklevel: int = 3,
@@ -469,6 +541,17 @@ def resolve_runtime(
     shard_dir = shard_dir if shard_dir is not None else base.shard_dir
     if max_resident_bytes is None:
         max_resident_bytes = base.max_resident_bytes
+    if artifacts is None:
+        artifacts = getattr(base, "artifacts", None)
+    if artifacts is None:
+        # Module global, read at call time so tests can monkeypatch the
+        # env layer off without touching os.environ.
+        artifacts = DEFAULT_ARTIFACTS
+    # NB: an explicit "off" stays "off" in the resolved field (it only
+    # becomes None inside artifact_store()) — normalising it here would
+    # let the REPRO_ARTIFACTS default leak back in when a resolved
+    # runtime is re-resolved downstream.
+    artifacts = _check_artifacts_field(artifacts)
     if not isinstance(store, SampleStore):
         store = check_store(_check_store_field(store))
     return ResolvedRuntime(
@@ -479,5 +562,6 @@ def resolve_runtime(
         store=store,
         shard_dir=None if shard_dir is None else os.fspath(shard_dir),
         max_resident_bytes=_check_max_resident(max_resident_bytes),
+        artifacts=artifacts,
         seed=seed if seed is not None else base.seed,
     )

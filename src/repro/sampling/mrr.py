@@ -29,10 +29,12 @@ of gathering a whole candidate pool's slabs at once.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.artifacts import ArtifactKey, piece_graphs_digest
 from repro.diffusion.adoption import AdoptionModel
 from repro.diffusion.projection import PieceGraph, project_campaign
 from repro.diffusion.threshold import LinearThresholdSampler
@@ -166,6 +168,60 @@ class MRRCollection:
         stores sample through the block decomposition and therefore
         match memory-store runs with ``workers >= 1`` exactly, resume
         interrupted shard directories, and reload finished ones.
+
+        When the resolved runtime carries an artifact store
+        (``Runtime(artifacts=...)`` / ``REPRO_ARTIFACTS``) and the
+        generation is reproducible — integer seed, no caller-owned
+        shard directory or store instance — the sampled collection is
+        served from / written to the content-addressed cache; cached
+        results are bit-identical to a fresh generation.
+        """
+        collection, _events, _key = cls.generate_traced(
+            graph,
+            campaign,
+            theta,
+            seed=seed,
+            piece_graphs=piece_graphs,
+            runtime=runtime,
+            backend=backend,
+            model=model,
+            workers=workers,
+            executor=executor,
+            store=store,
+            shard_dir=shard_dir,
+            max_resident_bytes=max_resident_bytes,
+            _stacklevel=4,
+        )
+        return collection
+
+    @classmethod
+    def generate_traced(
+        cls,
+        graph: TopicGraph,
+        campaign: Campaign,
+        theta: int,
+        *,
+        seed=None,
+        piece_graphs: Sequence[PieceGraph] | None = None,
+        runtime=None,
+        backend: str | None = None,
+        model=None,
+        workers=None,
+        executor: str | None = None,
+        store=None,
+        shard_dir: str | None = None,
+        max_resident_bytes: int | None = None,
+        _stacklevel: int = 3,
+    ) -> tuple["MRRCollection", list[tuple[str, str]], ArtifactKey | None]:
+        """:meth:`generate` plus its pipeline trace and artifact key.
+
+        Returns ``(collection, events, key)`` where ``events`` is a
+        list of ``(stage, action)`` pairs over the ``sample`` / ``index``
+        stages (``action`` is ``"run"`` or ``"hit"``), and ``key`` is
+        the sample-stage :class:`~repro.artifacts.ArtifactKey` when the
+        generation was cache-eligible, else ``None``.  The Session
+        records the events on its pipeline trace and folds the key
+        digest into downstream solve-stage keys.
         """
         from repro.runtime import resolve_runtime
         from repro.sampling.parallel import sample_piece_blocks
@@ -181,6 +237,7 @@ class MRRCollection:
             max_resident_bytes=max_resident_bytes,
             seed=seed,
             caller="MRRCollection.generate",
+            stacklevel=_stacklevel,
         )
         theta = check_positive_int("theta", theta)
         if graph.n == 0:
@@ -199,14 +256,74 @@ class MRRCollection:
             reference="the campaign graph",
             exc=SamplingError,
         )
+        piece_graphs = list(piece_graphs)
         models = resolve_models(rt.model, campaign.num_pieces)
+        graph_fp = graph.fingerprint()
+        pieces_fp = piece_graphs_digest(piece_graphs)
         store_obj = rt.store_for_generate()
-        roots = rng.integers(0, graph.n, size=theta)
+
+        # -- content-addressed cache -----------------------------------
+        # Eligible only when the draw is reproducible (integer seed) and
+        # the caller did not pin where samples live: an explicit
+        # shard_dir or store *instance* is caller-owned state the cache
+        # must not alias, and a directory payload (out-of-core shards)
+        # needs a store that can host directories.
+        art_store = rt.artifact_store()
+        reproducible = isinstance(rt.seed, int) and not isinstance(
+            rt.seed, bool
+        )
+        cacheable = (
+            art_store is not None
+            and reproducible
+            and rt.shard_dir is None
+            and not isinstance(rt.store, SampleStore)
+            and (store_obj is None or art_store.hosts_directories)
+        )
         pool_width = rt.pool_width
+        # The two sampling decompositions draw from differently-spawned
+        # child streams: the historical serial loop (in-RAM target, no
+        # pool) and the (piece, root block) decomposition (any pool
+        # size, and always the disk store).  Each is deterministic, but
+        # they are NOT bit-identical to each other, so the key must
+        # record which one produced the samples — while every pool
+        # *size* of the blocked stream still shares one artifact.
+        stream = (
+            "serial"
+            if store_obj is None and pool_width is None
+            else "blocked"
+        )
+        key = None
+        if cacheable:
+            key = ArtifactKey(
+                graph=graph_fp,
+                campaign=campaign.fingerprint(),
+                runtime=rt.cache_key(),
+                stage="sample",
+                extra=(
+                    f"theta={theta}",
+                    f"pieces={pieces_fp[:16]}",
+                    f"stream={stream}",
+                ),
+            )
+            hit = art_store.get(key)
+            if hit is not None:
+                return cls._from_artifact(hit, rt, store_obj)
+
+        events = [("sample", "run"), ("index", "run")]
         if store_obj is not None:
-            return cls._generate_into_store(
+            if cacheable:
+                # Host the shard directory inside the artifact object:
+                # the artifact only becomes visible once commit() lands
+                # the metadata after finalize, and an interrupted
+                # generation resumes through the shard manifest.
+                shards_dir = os.path.join(art_store.stage_dir(key), "shards")
+                store_obj = ShardStore(
+                    shards_dir, max_resident_bytes=rt.max_resident_bytes
+                )
+            roots = rng.integers(0, graph.n, size=theta)
+            collection = cls._generate_into_store(
                 graph.n,
-                list(piece_graphs),
+                piece_graphs,
                 models,
                 roots,
                 rng,
@@ -214,10 +331,24 @@ class MRRCollection:
                 workers=pool_width or 1,
                 executor=rt.executor,
                 store=store_obj,
+                graph_fingerprint=graph_fp,
+                pieces_fingerprint=pieces_fp,
             )
+            if cacheable:
+                art_store.commit(
+                    key,
+                    {
+                        "format": "shards",
+                        "n": graph.n,
+                        "theta": theta,
+                        "num_pieces": campaign.num_pieces,
+                    },
+                )
+            return collection, events, key
+        roots = rng.integers(0, graph.n, size=theta)
         if pool_width is not None:
             pairs = sample_piece_blocks(
-                list(piece_graphs),
+                piece_graphs,
                 models,
                 roots,
                 rng,
@@ -227,18 +358,125 @@ class MRRCollection:
             )
             rr_ptr = [ptr for ptr, _ in pairs]
             rr_nodes = [nodes for _, nodes in pairs]
-            return cls(graph.n, roots, rr_ptr, rr_nodes)
-        rr_ptr: list[np.ndarray] = []
-        rr_nodes: list[np.ndarray] = []
-        for pg, piece_model in zip(piece_graphs, models):
-            if piece_model == "lt":
-                sampler = LinearThresholdSampler(pg, backend=rt.backend)
+        else:
+            rr_ptr: list[np.ndarray] = []
+            rr_nodes: list[np.ndarray] = []
+            for pg, piece_model in zip(piece_graphs, models):
+                if piece_model == "lt":
+                    sampler = LinearThresholdSampler(pg, backend=rt.backend)
+                else:
+                    sampler = ReverseReachableSampler(pg, backend=rt.backend)
+                ptr, nodes = sampler.sample_many(roots, rng)
+                rr_ptr.append(ptr)
+                rr_nodes.append(nodes)
+        collection = cls(graph.n, roots, rr_ptr, rr_nodes)
+        if cacheable:
+            arrays = {"roots": collection.roots}
+            for j in range(collection.num_pieces):
+                ptr, nodes = collection.store.rr_arrays(j)
+                idx_ptr, idx_samples = collection.store.index_arrays(j)
+                arrays[f"rr_ptr{j}"] = ptr
+                arrays[f"rr_nodes{j}"] = nodes
+                arrays[f"idx_ptr{j}"] = idx_ptr
+                arrays[f"idx_samples{j}"] = idx_samples
+            art_store.put(
+                key,
+                {
+                    "format": "arrays",
+                    "n": graph.n,
+                    "theta": theta,
+                    "num_pieces": campaign.num_pieces,
+                },
+                arrays,
+            )
+        return collection, events, key
+
+    @classmethod
+    def _from_artifact(cls, hit, rt, store_obj):
+        """Rebuild a collection from a cached sample artifact.
+
+        Two payload formats, crossed with two requested store targets:
+        ``"arrays"`` carries the finalized CSR + inverted-index arrays
+        (a true hit for both the sample and index stages when the
+        target is in-RAM), ``"shards"`` is a finished
+        :class:`ShardStore` directory hosted inside the artifact object
+        (reopened in place for a disk target — zero materialisation).
+        The two cross-format paths convert: shards are materialised
+        into RAM with their prebuilt indexes, and arrays are re-streamed
+        into a shard store (which rebuilds indexes — the one path where
+        the index stage runs on a hit).
+        """
+        from repro.sampling.parallel import task_block_size
+
+        meta = hit.meta
+        n = int(meta["n"])
+        theta = int(meta["theta"])
+        num_pieces = int(meta["num_pieces"])
+        key = hit.key
+        if meta.get("format") == "shards":
+            shards_dir = os.path.join(hit.path, "shards")
+            shard = ShardStore.open(
+                shards_dir, max_resident_bytes=rt.max_resident_bytes
+            )
+            if store_obj is None or not isinstance(store_obj, ShardStore):
+                # memory target: materialise, indexes included
+                collection = cls(
+                    n,
+                    shard.load_roots(),
+                    store=MemoryStore.from_finalized_arrays(
+                        n,
+                        [shard.rr_arrays(j)[0] for j in range(num_pieces)],
+                        [shard.rr_arrays(j)[1] for j in range(num_pieces)],
+                        [shard.index_arrays(j)[0] for j in range(num_pieces)],
+                        [shard.index_arrays(j)[1] for j in range(num_pieces)],
+                    ),
+                )
+                shard.close()
             else:
-                sampler = ReverseReachableSampler(pg, backend=rt.backend)
-            ptr, nodes = sampler.sample_many(roots, rng)
-            rr_ptr.append(ptr)
-            rr_nodes.append(nodes)
-        return cls(graph.n, roots, rr_ptr, rr_nodes)
+                collection = cls.from_store(shard)
+            return collection, [("sample", "hit"), ("index", "hit")], key
+        arrays = hit.arrays
+        roots = np.asarray(arrays["roots"], dtype=np.int64)
+        if store_obj is not None:
+            # disk target from an arrays payload: re-stream the cached
+            # blocks through the shard store (rebuilds indexes).
+            store_obj.begin(
+                n, num_pieces, theta, task_block_size(theta),
+                fingerprint=str(meta.get("token", ""))[:128] or None,
+            )
+            if isinstance(store_obj, ShardStore):
+                store_obj.save_roots(roots)
+            if not store_obj.finalized:
+                block = store_obj.block_size
+                for j in range(num_pieces):
+                    ptr = np.asarray(arrays[f"rr_ptr{j}"], dtype=np.int64)
+                    nodes = np.asarray(arrays[f"rr_nodes{j}"], dtype=np.int64)
+                    for b in range(store_obj.num_blocks):
+                        lo = b * block
+                        hi = min(lo + block, theta)
+                        if store_obj.has_block(j, b):
+                            continue
+                        store_obj.put_block(
+                            j,
+                            b,
+                            ptr[lo : hi + 1] - ptr[lo],
+                            nodes[ptr[lo] : ptr[hi]],
+                        )
+                store_obj.finalize()
+            collection = cls(n, roots, store=store_obj)
+            return collection, [("sample", "hit"), ("index", "run")], key
+        collection = cls(
+            n,
+            roots,
+            store=MemoryStore.from_finalized_arrays(
+                n,
+                [arrays[f"rr_ptr{j}"] for j in range(num_pieces)],
+                [arrays[f"rr_nodes{j}"] for j in range(num_pieces)],
+                [arrays[f"idx_ptr{j}"] for j in range(num_pieces)],
+                [arrays[f"idx_samples{j}"] for j in range(num_pieces)],
+            ),
+        )
+        return collection, [("sample", "hit"), ("index", "hit")], key
 
     @classmethod
     def _generate_into_store(
@@ -253,6 +491,8 @@ class MRRCollection:
         workers: int,
         executor,
         store: SampleStore,
+        graph_fingerprint: str | None = None,
+        pieces_fingerprint: str | None = None,
     ) -> "MRRCollection":
         """Stream (piece, root block) shards into ``store`` as sampled.
 
@@ -274,7 +514,14 @@ class MRRCollection:
             len(piece_graphs),
             theta,
             task_block_size(theta),
-            fingerprint=store_fingerprint(n, roots, models, backend),
+            fingerprint=store_fingerprint(
+                n,
+                roots,
+                models,
+                backend,
+                graph=graph_fingerprint,
+                pieces=pieces_fingerprint,
+            ),
         )
         if isinstance(store, ShardStore):
             store.save_roots(roots)

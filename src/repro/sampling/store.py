@@ -107,25 +107,46 @@ def resolve_store(
     return MemoryStore()
 
 
-def store_fingerprint(n: int, roots: np.ndarray, models, backend) -> str:
+def store_fingerprint(
+    n: int,
+    roots: np.ndarray,
+    models,
+    backend,
+    *,
+    graph: str | None = None,
+    pieces: str | None = None,
+) -> str:
     """Identity of one generation run, recorded in shard manifests.
 
-    Two runs produce identical shards iff their graph size, root draw,
+    Two runs produce identical shards iff their graph, root draw,
     per-piece diffusion models, and sampling backend agree — the
     fingerprint captures exactly that, so resuming against a shard
     directory from a *different* run fails loudly instead of silently
     mixing samples.  The backend is recorded *resolved* (``None`` means
     the ``REPRO_BACKEND`` default), so a directory written under one
     env default cannot be reloaded under another.
+
+    ``graph``/``pieces`` are the content fingerprints of the topic
+    graph and the projected piece graphs.  The root draw depends only
+    on ``(seed, n)``, so without them a shard directory sampled from a
+    *different graph or campaign of the same size* would resume
+    cleanly and silently serve the wrong samples; generation always
+    passes both, while callers that only know the dimensions may omit
+    them (the segments are then absent and never compared).
     """
     from repro.sampling.batch import check_backend
 
     roots = np.asarray(roots, dtype=np.int64)
     crc = zlib.crc32(roots.tobytes())
-    return (
+    fingerprint = (
         f"v{_FORMAT}:n={int(n)}:theta={roots.size}:roots={crc:08x}"
         f":models={','.join(models)}:backend={check_backend(backend)}"
     )
+    if graph is not None:
+        fingerprint += f":graph={graph[:16]}"
+    if pieces is not None:
+        fingerprint += f":pieces={pieces[:16]}"
+    return fingerprint
 
 
 def _chunk_bounds(cum_weights: np.ndarray, budget: int) -> list[int]:
@@ -306,6 +327,28 @@ class MemoryStore(SampleStore):
         store._rr_ptr = list(rr_ptr)
         store._rr_nodes = list(rr_nodes)
         store._build_indexes()
+        store.finalized = True
+        return store
+
+    @classmethod
+    def from_finalized_arrays(
+        cls, n, rr_ptr, rr_nodes, idx_ptr, idx_samples
+    ) -> "MemoryStore":
+        """Wrap a fully-built collection, inverted indexes included.
+
+        The artifact-cache hit path: a cached sample artifact carries
+        the finalized indexes, so reloading skips both sampling *and*
+        the index build (the argsort is the expensive half at scale).
+        """
+        store = cls()
+        theta = int(rr_ptr[0].size - 1)
+        store.begin(n, len(rr_ptr), max(theta, 1), max(theta, 1))
+        store.theta = theta
+        store._pending = []
+        store._rr_ptr = list(rr_ptr)
+        store._rr_nodes = list(rr_nodes)
+        store._idx_ptr = list(idx_ptr)
+        store._idx_samples = list(idx_samples)
         store.finalized = True
         return store
 

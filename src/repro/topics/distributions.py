@@ -10,6 +10,7 @@ which :meth:`Campaign.sample_unit` reproduces.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -144,6 +145,23 @@ class Campaign:
     def vectors(self) -> list[np.ndarray]:
         """Topic vectors of every piece, in piece order."""
         return [p.vector for p in self.pieces]
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of this campaign (sha256 hex).
+
+        Hashes the piece count, topic dimensionality, and every piece's
+        normalised topic vector, in piece order.  Piece *names* are
+        deliberately excluded — they are labels, not inputs to sampling
+        or solving — so renaming a piece does not invalidate cached
+        artifacts (see CACHING.md).
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"campaign:v1:l={self.num_pieces}:topics={self.num_topics}:".encode()
+        )
+        for piece in self.pieces:
+            h.update(piece.vector.tobytes())
+        return h.hexdigest()
 
     def __len__(self) -> int:
         return len(self.pieces)

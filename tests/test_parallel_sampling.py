@@ -33,6 +33,7 @@ from repro.graph.generators import (
 )
 from repro.im.greedy import celf_greedy_im
 from repro.im.ris import ris_influence_maximization
+import repro.runtime as runtime_mod
 from repro.sampling import parallel
 from repro.sampling.mrr import MRRCollection
 from repro.sampling.parallel import (
@@ -42,6 +43,17 @@ from repro.sampling.parallel import (
     task_block_size,
 )
 from repro.topics.distributions import Campaign
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_artifact_cache(monkeypatch):
+    """Neutralise any ``REPRO_ARTIFACTS`` ambient default.
+
+    These tests assert sampler-internal behaviour (worker failure
+    propagation, pool fan-out); a warm artifact cache would skip the
+    sampling these assertions instrument.
+    """
+    monkeypatch.setattr(runtime_mod, "DEFAULT_ARTIFACTS", None)
 
 
 @pytest.fixture(scope="module")

@@ -18,6 +18,7 @@ import repro
 #: removals/renames are breaking changes.
 PUBLIC_EXPORTS = [
     "AdoptionModel",
+    "ArtifactStore",
     "AssignmentPlan",
     "BaselineResult",
     "BatchRRSampler",
@@ -27,24 +28,30 @@ PUBLIC_EXPORTS = [
     "CliqueReduction",
     "ConfigError",
     "DatasetError",
+    "DiskArtifactStore",
     "ExperimentError",
     "GraphError",
     "GraphFormatError",
     "MRRCollection",
+    "MemoryArtifactStore",
     "MemoryStore",
     "OIPAProblem",
     "ParameterError",
     "Piece",
     "PieceGraph",
+    "PipelineTrace",
     "ReproError",
     "ReverseReachableSampler",
     "Runtime",
+    "STAGES",
     "SamplingError",
     "Session",
     "SessionResult",
     "ShardStore",
     "SolverError",
     "SolverResult",
+    "Stage",
+    "StageEvent",
     "StoreError",
     "TopicError",
     "TopicGraph",
@@ -56,11 +63,13 @@ PUBLIC_EXPORTS = [
     "load_topic_graph",
     "project_campaign",
     "register_solver",
+    "resolve_artifact_store",
     "resolve_runtime",
     "save_topic_graph",
     "simulate_adoption_utility",
     "solve_bab",
     "solve_bab_progressive",
+    "stage",
     "tim_baseline",
     "uniform_piece",
     "unit_piece",
@@ -101,7 +110,7 @@ ENTRY_SIGNATURES = {
     ],
     "Runtime": [
         "backend", "model", "workers", "executor", "store", "shard_dir",
-        "max_resident_bytes", "seed",
+        "max_resident_bytes", "artifacts", "seed",
     ],
     "Session.__init__": [
         "self", "graph", "campaign", "adoption", "k", "pool",

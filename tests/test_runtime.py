@@ -22,6 +22,7 @@ import numpy as np
 import pytest
 
 import repro
+import repro.runtime as runtime_mod
 import repro.sampling.batch as batch_mod
 import repro.sampling.parallel as parallel_mod
 import repro.sampling.store as store_mod
@@ -38,6 +39,18 @@ from repro.runtime import ResolvedRuntime, Runtime, resolve_runtime
 from repro.sampling.adaptive import generate_adaptive
 from repro.sampling.mrr import MRRCollection
 from repro.sampling.store import MemoryStore
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_artifact_cache(monkeypatch):
+    """Neutralise any ``REPRO_ARTIFACTS`` ambient default.
+
+    These tests spy on sampler internals (call counts, spawned
+    streams); an ambient artifact cache would serve repeat generations
+    from the store and starve the spies.  Explicit ``artifacts=`` knobs
+    under test still work — only the env-derived default is cleared.
+    """
+    monkeypatch.setattr(runtime_mod, "DEFAULT_ARTIFACTS", None)
 
 
 @pytest.fixture()

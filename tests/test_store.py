@@ -393,6 +393,45 @@ class TestShardRoundTrip:
         )
         _assert_collections_equal(first, again)
 
+    def test_mismatched_graph_rejected_on_reload(self, world, tmp_path):
+        """A shard dir from a *different graph of the same size* must not
+        resume.  The root draw depends only on (seed, n), so before the
+        graph content fingerprint joined the manifest identity this
+        reloaded cleanly and silently served the wrong samples."""
+        graph, campaign = world
+        shard_dir = str(tmp_path / "shards")
+        MRRCollection.generate(
+            graph, campaign, THETA, seed=21, store="disk", shard_dir=shard_dir
+        )
+        src, dst = preferential_attachment_digraph(80, 3, seed=77)
+        other_graph = build_topic_graph(
+            80, src, dst, 4, topics_per_edge=2.0, prob_mean=0.2, seed=78
+        )
+        with pytest.raises(StoreError) as err:
+            MRRCollection.generate(
+                other_graph, campaign, THETA, seed=21,
+                store="disk", shard_dir=shard_dir,
+            )
+        # the error names both identities: the resident and the expected
+        message = str(err.value)
+        assert f"graph={graph.fingerprint()[:16]}" in message
+        assert f"graph={other_graph.fingerprint()[:16]}" in message
+
+    def test_mismatched_campaign_rejected_on_reload(self, world, tmp_path):
+        """Same graph, different campaign: the projected piece graphs
+        differ, so the pieces fingerprint must reject the resume."""
+        graph, campaign = world
+        shard_dir = str(tmp_path / "shards")
+        MRRCollection.generate(
+            graph, campaign, THETA, seed=21, store="disk", shard_dir=shard_dir
+        )
+        other_campaign = Campaign.sample_unit(3, 4, seed=99)
+        with pytest.raises(StoreError, match="different collection"):
+            MRRCollection.generate(
+                graph, other_campaign, THETA, seed=21,
+                store="disk", shard_dir=shard_dir,
+            )
+
     def test_open_requires_manifest_and_index(self, tmp_path, world):
         graph, campaign = world
         with pytest.raises(StoreError):
