@@ -1,0 +1,149 @@
+"""Influence-service benchmark: sustained request rate + job latency.
+
+The acceptance gates of the influence-as-a-service PR:
+
+* a warm repeated campaign, submitted over HTTP, completes with **zero
+  sampling** — asserted via the job's stage trace, not timing — and
+  returns seed sets bit-identical to the cold submission;
+* the service sustains a burst of light requests (``/metrics`` polls
+  and job-status reads) while workers chew on jobs, reported as QPS
+  with p50/p99 latency;
+* warm job turnaround is far below cold turnaround (the cold job pays
+  sampling + index + solve; the warm one replays all three from the
+  shared artifact cache).
+
+Measured numbers land in ``benchmarks/out/service.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+import urllib.request
+
+import pytest
+from conftest import write_artifact
+
+from repro.runtime import Runtime
+from repro.service import JobQueue, create_server
+
+THETA = 20_000
+SEED = 7
+POLL_REQUESTS = 400
+
+SPEC = {
+    "dataset": "lastfm",
+    "scale": 0.5,
+    "theta": THETA,
+    "k": 8,
+    "seed": SEED,
+    "method": "bab-p",
+    "options": {"max_nodes": 100},
+}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    cache = str(tmp_path_factory.mktemp("service-cache"))
+    queue = JobQueue(workers=2, runtime=Runtime(artifacts=cache))
+    server = create_server(queue)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=10)
+
+
+def _get(server, path: str):
+    with urllib.request.urlopen(server.url + path, timeout=60) as resp:
+        return json.loads(resp.read())
+
+
+def _post_job(server, payload: dict) -> str:
+    req = urllib.request.Request(
+        server.url + "/v1/jobs",
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return json.loads(resp.read())["id"]
+
+
+def _run_job(server, payload: dict) -> tuple[float, dict]:
+    """Submit over HTTP, wait off-wire, fetch the result over HTTP."""
+    start = time.perf_counter()
+    job_id = _post_job(server, payload)
+    server.queue.wait(job_id, timeout=600)
+    result = _get(server, f"/v1/jobs/{job_id}/result")
+    elapsed = time.perf_counter() - start
+    assert result["state"] == "done", result
+    return elapsed, result
+
+
+def test_service_cold_warm_and_request_rate(service, artifact_dir):
+    # -- cold vs warm job turnaround -----------------------------------
+    cold_s, cold = _run_job(service, SPEC)
+    warm_s, warm = _run_job(service, SPEC)
+
+    def sampled(job) -> bool:
+        return any(
+            e["stage"] == "sample" and e["action"] == "run"
+            for e in job["trace"]
+        )
+
+    assert sampled(cold), "cold job should have drawn samples"
+    assert not sampled(warm), "warm job must perform zero sampling"
+    assert warm["result"]["seed_sets"] == cold["result"]["seed_sets"]
+    assert warm["result"]["estimate"] == cold["result"]["estimate"]
+    assert warm_s < cold_s
+
+    metrics = _get(service, "/metrics")
+    assert metrics["cache"]["hits"] > 0
+    assert metrics["jobs"]["done"] == 2
+
+    # -- sustained light-request throughput under a running job --------
+    # a fresh (different-theta) job keeps the workers busy while the
+    # request path — which never samples — is hammered
+    busy_id = _post_job(service, {**SPEC, "theta": THETA + 1000})
+    latencies = []
+    burst_start = time.perf_counter()
+    for i in range(POLL_REQUESTS):
+        path = "/metrics" if i % 2 else f"/v1/jobs/{busy_id}"
+        t0 = time.perf_counter()
+        _get(service, path)
+        latencies.append(time.perf_counter() - t0)
+    burst = time.perf_counter() - burst_start
+    service.queue.wait(busy_id, timeout=600)
+
+    qps = POLL_REQUESTS / burst
+    p50 = statistics.median(latencies) * 1e3
+    p99 = statistics.quantiles(latencies, n=100)[98] * 1e3
+    assert qps > 50, f"request path too slow: {qps:.0f} qps"
+    assert p99 < 250, f"p99 {p99:.1f} ms — request path is doing real work"
+
+    stage_lines = [
+        f"  {e['stage']:<9s} {e['action']:<4s} {e['seconds']*1e3:9.1f} ms"
+        for e in cold["trace"]
+    ]
+    write_artifact(
+        artifact_dir,
+        "service",
+        "\n".join(
+            [
+                "influence service (lastfm x0.5, theta=20k, bab-p, "
+                "2 workers)",
+                f"cold job turnaround  {cold_s:8.2f} s",
+                f"warm job turnaround  {warm_s:8.2f} s   "
+                f"({cold_s / warm_s:5.1f}x, zero sampling, "
+                "bit-identical seeds)",
+                f"light requests       {qps:8.0f} qps over "
+                f"{POLL_REQUESTS} requests",
+                f"latency p50 / p99    {p50:8.2f} / {p99:.2f} ms",
+                "cold stage trace:",
+                *stage_lines,
+            ]
+        ),
+    )

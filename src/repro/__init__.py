@@ -41,6 +41,7 @@ from repro.exceptions import (
     ReproError,
     SamplingError,
     SolverError,
+    StoreBusyError,
     StoreError,
     TopicError,
 )
@@ -85,6 +86,14 @@ from repro.api import (
     available_solvers,
     register_solver,
 )
+from repro.service import (
+    InfluenceServer,
+    JobQueue,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    create_server,
+)
 
 __version__ = "1.1.0"
 
@@ -99,6 +108,7 @@ __all__ = [
     "ConfigError",
     "SamplingError",
     "StoreError",
+    "StoreBusyError",
     "SolverError",
     "BudgetExhaustedError",
     "DatasetError",
@@ -155,4 +165,11 @@ __all__ = [
     "stage",
     "StageEvent",
     "PipelineTrace",
+    # influence service
+    "InfluenceServer",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "create_server",
 ]

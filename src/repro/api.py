@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import time
 import uuid
 from dataclasses import dataclass
 from types import MappingProxyType
@@ -366,6 +367,7 @@ class Session:
         hand-wired ``MRRCollection.generate(..., seed=...)`` call would
         use, which is what keeps facade and legacy paths bit-identical.
         """
+        start = time.perf_counter()
         self._mrr, events, self._mrr_key = MRRCollection.generate_traced(
             self.graph,
             self.campaign,
@@ -373,8 +375,13 @@ class Session:
             piece_graphs=self.piece_graphs,
             runtime=self._role_runtime("opt", theta, seed),
         )
-        for stage, action in events:
-            self._trace.record(stage, action, "opt")
+        elapsed = time.perf_counter() - start
+        for i, (stage, action) in enumerate(events):
+            # the generate call is timed as a whole; its wall-clock is
+            # attributed to the first stage it reports (sample)
+            self._trace.record(
+                stage, action, "opt", seconds=elapsed if i == 0 else 0.0
+            )
         return self._mrr
 
     def sample_evaluation(self, theta: int, *, seed=None) -> MRRCollection:
@@ -386,6 +393,7 @@ class Session:
         """
         if seed is None and isinstance(self.seed, int):
             seed = self.seed + 1
+        start = time.perf_counter()
         self._mrr_eval, events, _eval_key = MRRCollection.generate_traced(
             self.graph,
             self.campaign,
@@ -393,8 +401,11 @@ class Session:
             piece_graphs=self.piece_graphs,
             runtime=self._role_runtime("eval", theta, seed),
         )
-        for stage, action in events:
-            self._trace.record(stage, action, "eval")
+        elapsed = time.perf_counter() - start
+        for i, (stage, action) in enumerate(events):
+            self._trace.record(
+                stage, action, "eval", seconds=elapsed if i == 0 else 0.0
+            )
         self._eval_seed = seed
         return self._mrr_eval
 
@@ -445,10 +456,13 @@ class Session:
             and "seed" in inspect.signature(solver).parameters
         ):
             options.setdefault("seed", seed)
+        start = time.perf_counter()
         plan, estimate, diagnostics, action = self._solve_stage(
             key, solver, options
         )
-        self._trace.record("solve", action, key)
+        self._trace.record(
+            "solve", action, key, seconds=time.perf_counter() - start
+        )
         evaluation = None
         if evaluate:
             evaluation = self.evaluate(plan, theta=eval_theta)
@@ -582,12 +596,18 @@ class Session:
             or (seed is not None and seed != self._eval_seed)
         ):
             self.sample_evaluation(theta, seed=seed)
+        start = time.perf_counter()
         score = self._mrr_eval.estimate(
             _plan_of(plan).seed_lists(), self.adoption
         )
         # Scoring a plan on an existing collection is a cheap segmented
         # reduction — always executed, so the trace records a run.
-        self._trace.record("evaluate", "run", f"theta={theta}")
+        self._trace.record(
+            "evaluate",
+            "run",
+            f"theta={theta}",
+            seconds=time.perf_counter() - start,
+        )
         return score
 
     def simulate(

@@ -17,12 +17,18 @@ Two backends:
 - :class:`DiskArtifactStore` — an on-disk object store under
   ``root/objects/<digest[:2]>/<digest>/``.  Array payloads live in
   ``arrays.npz``; directory payloads (out-of-core shard collections)
-  live in the object directory itself.  ``meta.json`` is written last
-  and atomically, so a half-written object is simply a miss — this
-  generalizes :class:`ShardStore`'s resume fingerprint to every stage.
+  live in the object directory itself.  Producers build every object in
+  a private staging directory under ``root/tmp/`` and the commit is one
+  atomic directory rename, so concurrent workers missing the same key
+  (the cold-start stampede) each build privately and the duplicate
+  commit is a benign no-op — a half-written object can never be read as
+  a hit because it is never visible under ``objects/`` at all.
 
-The store keeps persistent hit/miss/put counters in ``stats.json`` so
-a warm CI pass can assert that the cache actually served.
+The store keeps persistent hit/miss/put counters; each process writes
+its own delta file under ``root/stats.d/`` (atomically, no shared
+read-modify-write), and :meth:`DiskArtifactStore.stats` merges the
+deltas — so N workers hammering one store lose no counts, and a
+truncated legacy ``stats.json`` reads as empty instead of raising.
 """
 
 from __future__ import annotations
@@ -30,7 +36,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
+import uuid
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -51,7 +59,10 @@ __all__ = [
 _META = "meta.json"
 _ARRAYS = "arrays.npz"
 _STATS = "stats.json"
+_STATS_DIR = "stats.d"
+_STAGING_DIR = "tmp"
 _FORMAT = 1
+_STAT_FIELDS = ("hits", "misses", "puts")
 
 
 def piece_graphs_digest(piece_graphs: Sequence) -> str:
@@ -194,15 +205,23 @@ class DiskArtifactStore(ArtifactStore):
     Layout::
 
         root/
-          stats.json
+          stats.json         # legacy base counters (read, never written)
+          stats.d/           # one delta file per writer process
+          tmp/               # private staging dirs, renamed into place
           objects/<digest[:2]>/<digest>/
-            meta.json        # commit marker — written last, atomically
+            meta.json        # records the full key token
             arrays.npz       # array payloads (absent for directory payloads)
             ...              # directory payloads write siblings here
 
     ``meta.json`` records the full key token, so a digest collision or
     a stale directory from an older key scheme is detected and treated
     as a miss rather than served.
+
+    Multi-process contract: any number of processes may share one root.
+    Objects become visible only through an atomic directory rename out
+    of ``tmp/`` (a losing racer's commit is a benign no-op), and each
+    writer owns a private counter file under ``stats.d/`` so counter
+    updates are never a shared read-modify-write.
     """
 
     kind = "disk"
@@ -211,6 +230,18 @@ class DiskArtifactStore(ArtifactStore):
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = os.fspath(root)
         os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+        os.makedirs(os.path.join(self.root, _STATS_DIR), exist_ok=True)
+        os.makedirs(os.path.join(self.root, _STAGING_DIR), exist_ok=True)
+        # This writer's private counter deltas (see stats()).
+        self._delta = dict.fromkeys(_STAT_FIELDS, 0)
+        self._delta_path = os.path.join(
+            self.root,
+            _STATS_DIR,
+            f"{os.getpid()}-{uuid.uuid4().hex[:8]}.json",
+        )
+        # Staging dirs handed out by stage_dir(), keyed by key digest,
+        # consumed by commit().
+        self._staging: dict[str, str] = {}
 
     # -- layout ---------------------------------------------------------
 
@@ -218,34 +249,61 @@ class DiskArtifactStore(ArtifactStore):
         digest = key.digest
         return os.path.join(self.root, "objects", digest[:2], digest)
 
+    def _new_staging_dir(self) -> str:
+        return tempfile.mkdtemp(
+            dir=os.path.join(self.root, _STAGING_DIR), prefix="stage-"
+        )
+
     # -- stats ----------------------------------------------------------
 
     def _bump(self, field_name: str) -> None:
-        path = os.path.join(self.root, _STATS)
-        stats = self.stats()
-        stats[field_name] = stats.get(field_name, 0) + 1
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        """Count one event — private delta file, no shared writes.
+
+        The historical implementation read ``stats.json``, incremented,
+        and wrote it back; with several processes sharing a root that
+        read-modify-write lost updates.  Each writer now owns one file
+        under ``stats.d/`` rewritten atomically with *its own* totals,
+        and readers merge.
+        """
+        self._delta[field_name] += 1
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.join(self.root, _STATS_DIR), suffix=".tmp"
+        )
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(stats, fh)
-            os.replace(tmp, path)
+                json.dump(self._delta, fh)
+            os.replace(tmp, self._delta_path)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
 
-    def stats(self) -> dict[str, int]:
-        path = os.path.join(self.root, _STATS)
+    @staticmethod
+    def _read_counters(path: str) -> dict:
+        """Tolerant counter read: truncated/missing/partial == empty."""
         try:
             with open(path) as fh:
                 stats = json.load(fh)
         except (OSError, ValueError):
-            stats = {}
-        return {
-            "hits": int(stats.get("hits", 0)),
-            "misses": int(stats.get("misses", 0)),
-            "puts": int(stats.get("puts", 0)),
-        }
+            return {}
+        return stats if isinstance(stats, dict) else {}
+
+    def stats(self) -> dict[str, int]:
+        """Store-wide counters: legacy base plus every writer's deltas."""
+        totals = self._read_counters(os.path.join(self.root, _STATS))
+        merged = {f: int(totals.get(f, 0)) for f in _STAT_FIELDS}
+        stats_dir = os.path.join(self.root, _STATS_DIR)
+        try:
+            names = sorted(os.listdir(stats_dir))
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            delta = self._read_counters(os.path.join(stats_dir, name))
+            for f in _STAT_FIELDS:
+                merged[f] += int(delta.get(f, 0))
+        return merged
 
     # -- read -----------------------------------------------------------
 
@@ -273,42 +331,84 @@ class DiskArtifactStore(ArtifactStore):
     # -- write ----------------------------------------------------------
 
     def put(self, key, meta, arrays=None):
-        obj_dir = self._object_dir(key)
-        os.makedirs(obj_dir, exist_ok=True)
+        staging = self._staging.get(key.digest)
+        if staging is None:
+            staging = self.stage_dir(key)
         if arrays:
             arrays = {k: np.asarray(v) for k, v in dict(arrays).items()}
-            fd, tmp = tempfile.mkstemp(dir=obj_dir, suffix=".npz.tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    np.savez(fh, **arrays)
-                os.replace(tmp, os.path.join(obj_dir, _ARRAYS))
-            except BaseException:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-                raise
+            with open(os.path.join(staging, _ARRAYS), "wb") as fh:
+                np.savez(fh, **arrays)
         return self.commit(key, meta)
 
     def stage_dir(self, key: ArtifactKey) -> str:
-        """Directory a producer may write a directory payload into."""
-        obj_dir = self._object_dir(key)
-        os.makedirs(obj_dir, exist_ok=True)
-        return obj_dir
+        """A *private* staging directory for one producer's payload.
+
+        Every call hands out a fresh directory under ``root/tmp/``, so
+        two workers building the same key never share scratch files
+        (the stampede used to tear each other's index-build buckets);
+        :meth:`commit` renames the whole staging directory into place
+        atomically.
+        """
+        staging = self._new_staging_dir()
+        self._staging[key.digest] = staging
+        return staging
+
+    def _committed_token_matches(self, obj_dir: str, key: ArtifactKey) -> bool:
+        meta = self._read_counters(os.path.join(obj_dir, _META))
+        return meta.get("token") == key.token
 
     def commit(self, key: ArtifactKey, meta: Mapping[str, object]) -> Artifact:
-        """Land ``meta.json`` last, making the artifact visible."""
-        obj_dir = self._object_dir(key)
-        os.makedirs(obj_dir, exist_ok=True)
+        """Atomically publish the staged payload under ``objects/``.
+
+        Writes ``meta.json`` into the staging directory, then renames
+        the directory into its content address — one atomic operation,
+        so readers only ever see absent or complete objects.  When the
+        destination already exists:
+
+        - a matching token means another worker committed the same key
+          first; identical keys produce identical payloads, so the
+          duplicate commit is a benign no-op (the staging copy is
+          discarded);
+        - a mismatched/unreadable token is a stale object from an older
+          key scheme occupying our address: it is swapped out (renamed
+          aside, then deleted) and the new object swapped in.
+        """
+        staging = self._staging.pop(key.digest, None)
+        if staging is None or not os.path.isdir(staging):
+            staging = self._new_staging_dir()
         full_meta = dict(meta)
         full_meta["token"] = key.token
-        fd, tmp = tempfile.mkstemp(dir=obj_dir, suffix=".json.tmp")
+        with open(os.path.join(staging, _META), "w") as fh:
+            json.dump(full_meta, fh)
+        obj_dir = self._object_dir(key)
+        os.makedirs(os.path.dirname(obj_dir), exist_ok=True)
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(full_meta, fh)
-            os.replace(tmp, os.path.join(obj_dir, _META))
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+            os.rename(staging, obj_dir)
+        except OSError:
+            if self._committed_token_matches(obj_dir, key):
+                # concurrent winner with the same key: benign duplicate
+                shutil.rmtree(staging, ignore_errors=True)
+            else:
+                # stale occupant (older key scheme / torn legacy write):
+                # swap it aside, move ours in, then drop the old one.
+                aside = self._new_staging_dir()
+                try:
+                    os.rename(obj_dir, os.path.join(aside, "old"))
+                except OSError:
+                    pass  # someone else already swapped it
+                try:
+                    os.rename(staging, obj_dir)
+                except OSError:
+                    if not self._committed_token_matches(obj_dir, key):
+                        shutil.rmtree(aside, ignore_errors=True)
+                        raise StoreError(
+                            f"cannot commit artifact {key.digest[:16]}: "
+                            f"{obj_dir} is occupied by an object that is "
+                            "neither this key nor replaceable — remove it "
+                            "or point REPRO_ARTIFACTS at a fresh directory"
+                        )
+                    shutil.rmtree(staging, ignore_errors=True)
+                shutil.rmtree(aside, ignore_errors=True)
         self._bump("puts")
         return Artifact(key=key, meta=full_meta, arrays={}, path=obj_dir)
 

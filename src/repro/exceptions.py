@@ -21,6 +21,7 @@ __all__ = [
     "ConfigError",
     "SamplingError",
     "StoreError",
+    "StoreBusyError",
     "SolverError",
     "BudgetExhaustedError",
     "DatasetError",
@@ -81,6 +82,19 @@ class StoreError(SamplingError):
     (:mod:`repro.sampling.store`) when a shard directory's manifest does
     not match the requested collection, a shard file is missing or
     unreadable, or a store is used before it is finalized.
+    """
+
+
+class StoreBusyError(StoreError):
+    """A store is incomplete but *retryable* — not corrupted.
+
+    Raised when a shard directory carries a matching manifest but no
+    finalize marker yet: another worker is (or was) still writing it.
+    Unlike its parent :class:`StoreError` — which signals a mismatched
+    or genuinely corrupted store that must be removed — a busy store
+    can be retried, resumed, or simply regenerated elsewhere; the
+    artifact-cache hit path treats it as a miss instead of failing the
+    request.
     """
 
 

@@ -103,11 +103,17 @@ def stage(name: str) -> Stage:
 
 @dataclass(frozen=True)
 class StageEvent:
-    """One stage execution: did it run, or was it served from cache?"""
+    """One stage execution: did it run, or was it served from cache?
+
+    ``seconds`` is the measured wall-clock of the execution when the
+    recorder timed it (``0.0`` when untimed) — the influence service
+    surfaces these per-job so clients can see where a job's time went.
+    """
 
     stage: str
     action: str  # "run" | "hit"
     detail: str = ""
+    seconds: float = 0.0
 
 
 @dataclass
@@ -116,12 +122,21 @@ class PipelineTrace:
 
     events: list[StageEvent] = field(default_factory=list)
 
-    def record(self, stage_name: str, action: str, detail: str = "") -> None:
+    def record(
+        self,
+        stage_name: str,
+        action: str,
+        detail: str = "",
+        *,
+        seconds: float = 0.0,
+    ) -> None:
         if stage_name not in STAGES:
             raise KeyError(f"unknown stage {stage_name!r}; stages are {STAGES}")
         if action not in ("run", "hit"):
             raise ValueError(f"action must be 'run' or 'hit', got {action!r}")
-        self.events.append(StageEvent(stage_name, action, detail))
+        self.events.append(
+            StageEvent(stage_name, action, detail, float(seconds))
+        )
 
     def actions(self, stage_name: str) -> list[str]:
         """Actions recorded for one stage, in execution order."""

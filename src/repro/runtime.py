@@ -48,6 +48,8 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_EXECUTOR",
     "DEFAULT_MODEL",
+    "DEFAULT_SERVICE_WORKERS",
+    "DEFAULT_SPOOL_DIR",
     "DEFAULT_STORE",
     "DEFAULT_WORKERS",
     "EXECUTORS",
@@ -58,6 +60,7 @@ __all__ = [
     "as_runtime",
     "parse_env_artifacts",
     "parse_env_choice",
+    "parse_env_positive_int",
     "parse_env_workers",
     "resolve_runtime",
 ]
@@ -121,6 +124,21 @@ def parse_env_workers(text: str | None):
     return value
 
 
+def parse_env_positive_int(name: str, text: str | None) -> int | None:
+    """Parse a positive-integer env knob; ``None``/empty means unset."""
+    if not text:
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise ConfigError(
+            f"{name} must be a positive integer, got {text!r}"
+        )
+    return value
+
+
 def parse_env_artifacts(text: str | None):
     """Parse ``REPRO_ARTIFACTS``: off / memory / an artifact directory.
 
@@ -148,6 +166,17 @@ DEFAULT_STORE = (
     or "memory"
 )
 DEFAULT_ARTIFACTS = parse_env_artifacts(os.environ.get("REPRO_ARTIFACTS"))
+
+# Influence-service knobs (repro.service): worker-pool width of a
+# JobQueue and the job-spool directory.  Parsed here — the single
+# REPRO_* site — and consumed by repro.service as its env layer.
+DEFAULT_SERVICE_WORKERS = (
+    parse_env_positive_int(
+        "REPRO_SERVICE_WORKERS", os.environ.get("REPRO_SERVICE_WORKERS")
+    )
+    or 2
+)
+DEFAULT_SPOOL_DIR = os.environ.get("REPRO_SPOOL") or None
 
 
 # --------------------------------------------------------------------------

@@ -38,7 +38,7 @@ from repro.artifacts import ArtifactKey, piece_graphs_digest
 from repro.diffusion.adoption import AdoptionModel
 from repro.diffusion.projection import PieceGraph, project_campaign
 from repro.diffusion.threshold import LinearThresholdSampler
-from repro.exceptions import SamplingError, StoreError
+from repro.exceptions import SamplingError, StoreBusyError, StoreError
 from repro.graph.digraph import TopicGraph
 from repro.sampling.batch import check_model
 from repro.sampling.rr import ReverseReachableSampler
@@ -307,15 +307,26 @@ class MRRCollection:
             )
             hit = art_store.get(key)
             if hit is not None:
-                return cls._from_artifact(hit, rt, store_obj)
+                try:
+                    return cls._from_artifact(hit, rt, store_obj)
+                except StoreBusyError:
+                    # The cached shard directory is incomplete — a
+                    # pre-rename-atomic layout, or a concurrent writer
+                    # against a shared spool.  Retryable, not corrupt:
+                    # treat it as a miss and regenerate privately (the
+                    # duplicate commit below is a benign no-op).
+                    pass
 
         events = [("sample", "run"), ("index", "run")]
         if store_obj is not None:
             if cacheable:
-                # Host the shard directory inside the artifact object:
-                # the artifact only becomes visible once commit() lands
-                # the metadata after finalize, and an interrupted
-                # generation resumes through the shard manifest.
+                # Host the shard directory inside the artifact object.
+                # stage_dir() hands out a *private* staging directory
+                # and commit() publishes it with one atomic rename, so
+                # concurrent workers missing this key each generate
+                # privately and the loser's commit is a benign no-op —
+                # never two producers interleaving bucket files in one
+                # directory.
                 shards_dir = os.path.join(art_store.stage_dir(key), "shards")
                 store_obj = ShardStore(
                     shards_dir, max_resident_bytes=rt.max_resident_bytes
@@ -335,7 +346,7 @@ class MRRCollection:
                 pieces_fingerprint=pieces_fp,
             )
             if cacheable:
-                art_store.commit(
+                artifact = art_store.commit(
                     key,
                     {
                         "format": "shards",
@@ -344,6 +355,11 @@ class MRRCollection:
                         "num_pieces": campaign.num_pieces,
                     },
                 )
+                # The staging directory just moved to its content
+                # address (or lost the commit race to an identical
+                # twin): repoint the live store at the published copy.
+                store_obj.close()
+                store_obj.shard_dir = os.path.join(artifact.path, "shards")
             return collection, events, key
         roots = rng.integers(0, graph.n, size=theta)
         if pool_width is not None:

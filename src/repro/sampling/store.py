@@ -42,7 +42,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.exceptions import ConfigError, StoreError
+from repro.exceptions import ConfigError, StoreBusyError, StoreError
 from repro.runtime import DEFAULT_STORE, STORES
 from repro.utils.frontier import frontier_edge_slots
 
@@ -769,9 +769,25 @@ class ShardStore(SampleStore):
             fingerprint=manifest.get("fingerprint"),
         )
         if not store.finalized:
-            raise StoreError(
-                f"shard dir {shard_dir} is not finalized (or its index "
-                f"files are missing) — regenerate the collection"
+            if manifest.get("finalized"):
+                # The commit marker is there but the index files are
+                # not: the payload was deleted or torn after finalize —
+                # genuine corruption, not a retryable in-progress write.
+                raise StoreError(
+                    f"shard dir {shard_dir} is marked finalized but its "
+                    f"index files are missing — the directory is "
+                    f"corrupted; remove it and regenerate"
+                )
+            # The manifest matches but carries no finalize marker yet:
+            # another worker is — or was — still writing.  This is
+            # incomplete, not corrupt: retry later, resume the
+            # generation against the same directory, or regenerate
+            # elsewhere.  (Mismatched manifests and torn shard/index
+            # files keep raising the parent StoreError.)
+            raise StoreBusyError(
+                f"shard dir {shard_dir} is incomplete — no finalize "
+                f"marker yet (a concurrent generation may still be "
+                f"writing); retry, resume, or regenerate"
             )
         return store
 

@@ -1,0 +1,33 @@
+"""Influence-as-a-service: a job API over the :class:`repro.api.Session`.
+
+The pipeline behind one :meth:`Session.run` call — plan, sample, index,
+solve, evaluate — takes seconds to minutes; a synchronous API would
+hold an HTTP connection (and a client) hostage for all of it.  This
+package wraps the pipeline in a small, stdlib-only service instead:
+
+- :class:`JobSpec` / :class:`JobRecord` — one campaign request and its
+  lifecycle, as plain JSON.
+- :class:`JobStore` — the crash-safe on-disk job spool.
+- :class:`JobQueue` — thread workers executing specs off the request
+  path, with single-flight coalescing of identical concurrent specs.
+- :func:`create_server` / :class:`InfluenceServer` — the HTTP front
+  (``python -m repro.service`` runs one).
+
+All workers — and all *processes* pointed at the same artifact
+directory — share one content-addressed cache, so a campaign computed
+once is served warm everywhere with zero sampling; see ``SERVICE.md``.
+"""
+
+from repro.service.http import InfluenceServer, create_server
+from repro.service.jobs import JobRecord, JobSpec, JobStore
+from repro.service.queue import JobQueue, execute_spec
+
+__all__ = [
+    "InfluenceServer",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "create_server",
+    "execute_spec",
+]

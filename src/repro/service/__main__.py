@@ -1,0 +1,84 @@
+"""``python -m repro.service`` — run the influence service.
+
+Example::
+
+    python -m repro.service --port 8080 --workers 4 \
+        --artifact-dir /var/cache/repro --spool /var/spool/repro
+
+Unset flags fall back to the ``REPRO_SERVICE_WORKERS`` /
+``REPRO_ARTIFACTS`` / ``REPRO_SPOOL`` environment knobs (parsed in
+:mod:`repro.runtime`, like every other ``REPRO_*`` variable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.runtime import Runtime
+from repro.service.http import create_server
+from repro.service.queue import JobQueue
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Influence-maximisation job service (stdlib HTTP).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8008,
+        help="bind port, 0 for ephemeral (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="job worker threads (default: REPRO_SERVICE_WORKERS or 2)",
+    )
+    parser.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="shared artifact cache directory (default: REPRO_ARTIFACTS)",
+    )
+    parser.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="job-record spool directory (default: REPRO_SPOOL)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    runtime = (
+        Runtime(artifacts=args.artifact_dir)
+        if args.artifact_dir is not None
+        else None
+    )
+    kwargs = {"workers": args.workers, "runtime": runtime}
+    if args.spool is not None:
+        kwargs["spool_dir"] = args.spool
+    queue = JobQueue(**kwargs)
+    server = create_server(queue, host=args.host, port=args.port)
+    cache = (
+        getattr(queue.artifact_store, "root", "memory")
+        if queue.artifact_store is not None
+        else "off"
+    )
+    print(
+        f"repro.service listening on {server.url} "
+        f"(workers={queue.workers}, cache={cache}, "
+        f"spool={queue.store.spool_dir or 'off'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        queue.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -240,8 +240,8 @@ class TestDiskArtifactStore:
     def test_token_mismatch_is_a_miss(self, tmp_path):
         store = DiskArtifactStore(str(tmp_path))
         key = _mk_key()
-        store.put(key, {"n": 4})
-        meta_path = os.path.join(store.stage_dir(key), "meta.json")
+        committed = store.put(key, {"n": 4})
+        meta_path = os.path.join(committed.path, "meta.json")
         with open(meta_path) as fh:
             meta = json.load(fh)
         meta["token"] = "v0:something-older"
@@ -255,12 +255,62 @@ class TestDiskArtifactStore:
         stage = store.stage_dir(key)
         with open(os.path.join(stage, "partial.bin"), "wb") as fh:
             fh.write(b"\x00" * 16)
-        assert store.get(key) is None  # no meta.json — never committed
-        store.commit(key, {"format": "shards"})
+        assert store.get(key) is None  # never committed — not visible
+        committed = store.commit(key, {"format": "shards"})
         hit = store.get(key)
         assert hit is not None
         assert hit.meta["format"] == "shards"
-        assert hit.path == stage
+        # the staging dir was renamed into the content address, payload
+        # included — staged work is never visible before the commit
+        assert hit.path == committed.path
+        assert not os.path.exists(stage)
+        assert os.path.exists(os.path.join(hit.path, "partial.bin"))
+
+    def test_duplicate_commit_is_benign(self, tmp_path):
+        """Two racers committing one key: loser is a no-op, no torn dir."""
+        store = DiskArtifactStore(str(tmp_path))
+        key = _mk_key()
+        a = store.stage_dir(key)
+        with open(os.path.join(a, "payload.bin"), "wb") as fh:
+            fh.write(b"A" * 8)
+        first = store.commit(key, {"who": "a"})
+        # a second producer staged before the first committed
+        b = store.stage_dir(key)
+        with open(os.path.join(b, "payload.bin"), "wb") as fh:
+            fh.write(b"B" * 8)
+        second = store.commit(key, {"who": "b"})
+        assert second.path == first.path
+        hit = store.get(key)
+        assert hit is not None and hit.meta["who"] == "a"  # winner kept
+        assert not os.path.exists(b)  # loser's staging discarded
+
+    def test_stale_occupant_is_replaced(self, tmp_path):
+        """A stale object under an older token is swapped out on commit."""
+        store = DiskArtifactStore(str(tmp_path))
+        key = _mk_key()
+        committed = store.put(key, {"n": 4})
+        meta_path = os.path.join(committed.path, "meta.json")
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+        meta["token"] = "v0:something-older"
+        with open(meta_path, "w") as fh:
+            json.dump(meta, fh)
+        assert store.get(key) is None  # stale occupant — miss
+        store.put(key, {"n": 5})
+        hit = store.get(key)
+        assert hit is not None and hit.meta["n"] == 5
+
+    def test_truncated_stats_reads_as_empty(self, tmp_path):
+        root = str(tmp_path / "cache")
+        store = DiskArtifactStore(root)
+        store.get(_mk_key())  # one miss
+        # torn legacy base + a torn delta file must both read as empty
+        with open(os.path.join(root, "stats.json"), "w") as fh:
+            fh.write('{"hits": 1')  # truncated mid-write
+        with open(os.path.join(root, "stats.d", "dead.json"), "w") as fh:
+            fh.write('{"mis')
+        stats = store.stats()
+        assert stats == {"hits": 0, "misses": 1, "puts": 0}
 
 
 class TestResolveArtifactStore:

@@ -32,6 +32,11 @@ PUBLIC_EXPORTS = [
     "ExperimentError",
     "GraphError",
     "GraphFormatError",
+    "InfluenceServer",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
     "MRRCollection",
     "MemoryArtifactStore",
     "MemoryStore",
@@ -52,12 +57,14 @@ PUBLIC_EXPORTS = [
     "SolverResult",
     "Stage",
     "StageEvent",
+    "StoreBusyError",
     "StoreError",
     "TopicError",
     "TopicGraph",
     "__version__",
     "available_solvers",
     "brute_force_oipa",
+    "create_server",
     "im_baseline",
     "load_dataset",
     "load_topic_graph",
