@@ -111,7 +111,7 @@ def _best_time(sampler, roots, repeats=5) -> float:
     return best
 
 
-def test_batch_speedup_target(worlds, artifact_dir):
+def test_batch_speedup_target(worlds, artifact_dir, kernel_bench):
     """The acceptance bar: >= 5x over the reference loop at n=2000."""
     rows = []
     speedups = {}
@@ -122,6 +122,12 @@ def test_batch_speedup_target(worlds, artifact_dir):
         engine = BatchRRSampler(pg)
         batch_s = _best_time(engine, roots)
         speedups[n] = python_s / batch_s
+        if n == LARGEST:
+            kernel_bench("rr_sample_many", "python", python_s, theta=THETA, n=n)
+            kernel_bench(
+                "rr_sample_many", "batch", batch_s,
+                speedup=speedups[n], theta=THETA, n=n,
+            )
         rows.append(
             [
                 n,
@@ -162,7 +168,7 @@ def test_lt_sample_many_backend(benchmark, worlds, lt_worlds, n, backend):
     assert ptr[-1] >= roots.size  # every walk holds at least its root
 
 
-def test_lt_batch_speedup_target(worlds, lt_worlds, artifact_dir):
+def test_lt_batch_speedup_target(worlds, lt_worlds, artifact_dir, kernel_bench):
     """The LT acceptance bar: >= 5x over the reference walk at n=2000."""
     rows = []
     speedups = {}
@@ -175,6 +181,12 @@ def test_lt_batch_speedup_target(worlds, lt_worlds, artifact_dir):
         engine = BatchLTSampler(pg)
         batch_s = _best_time(engine, roots)
         speedups[n] = python_s / batch_s
+        if n == LARGEST:
+            kernel_bench("lt_sample_many", "python", python_s, theta=THETA, n=n)
+            kernel_bench(
+                "lt_sample_many", "batch", batch_s,
+                speedup=speedups[n], theta=THETA, n=n,
+            )
         rows.append(
             [
                 n,
@@ -207,7 +219,7 @@ def _loop_gains(mrr, piece, pool, covered):
     )
 
 
-def test_coverage_gain_speedup_target(worlds, artifact_dir):
+def test_coverage_gain_speedup_target(worlds, artifact_dir, kernel_bench):
     """The coverage bar: the vectorized marginal-gain kernel is >= 5x
     faster than the per-candidate loop at n=2000, with equal output."""
     graph, campaign, piece_graphs, roots = worlds[LARGEST]
@@ -232,6 +244,10 @@ def test_coverage_gain_speedup_target(worlds, artifact_dir):
         vec_s = min(vec_s, time.perf_counter() - start)
     assert np.array_equal(loop, vec)
     speedup = loop_s / vec_s
+    kernel_bench("coverage_gains", "python", loop_s, theta=mrr.theta)
+    kernel_bench(
+        "coverage_gains", "batch", vec_s, speedup=speedup, theta=mrr.theta
+    )
     text = format_table(
         ["n", "theta", "loop (ms)", "kernel (ms)", "speedup"],
         [[graph.n, mrr.theta, loop_s * 1e3, vec_s * 1e3, speedup]],

@@ -1,2 +1,9 @@
 from setuptools import setup
-setup()
+
+setup(
+    extras_require={
+        # the compiled kernel tier behind backend="native"; the library
+        # is fully functional (and bit-identical, slower) without it
+        "native": ["numba>=0.58"],
+    },
+)

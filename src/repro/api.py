@@ -56,6 +56,7 @@ from repro.im.greedy import celf_greedy_im
 from repro.pipeline import PipelineTrace
 from repro.runtime import Runtime, as_runtime, resolve_runtime
 from repro.sampling.mrr import MRRCollection, resolve_models
+from repro.sampling.parallel import check_executor, make_pool
 from repro.topics.distributions import Campaign
 
 __all__ = [
@@ -222,6 +223,10 @@ class Session:
         self._eval_seed = None  # the draw the eval collection used
         self._trace = PipelineTrace()
         self._mrr_key: ArtifactKey | None = None  # sample-stage artifact
+        #: (executor kind, width, executor) — the warm sampling pool,
+        #: built on first parallel sample() and reused across
+        #: collections; see :meth:`close`.
+        self._pool: tuple[str, int, object] | None = None
 
     @classmethod
     def from_dataset(
@@ -360,6 +365,62 @@ class Session:
             parts.append(f"run{uuid.uuid4().hex[:12]}")
         return rt.with_shard_subdir("-".join(parts))
 
+    def _sampling_pool(self, rt):
+        """The warm worker pool for ``rt``'s parallel runtime, or ``None``.
+
+        Built on the first parallel sample and reused by every later
+        collection (opt and eval alike) instead of respawning workers
+        per call — the pool construction cost, and for process pools
+        the interpreter + import warm-up, is paid once per session.  A
+        held pool is replaced when the runtime asks for a different
+        executor kind or width, or when a previous failure broke or
+        shut it down; :meth:`close` (or the context manager) releases
+        it.  Serial runtimes (``workers`` 0/1) never build one.
+        """
+        width = rt.pool_width
+        if width is None or width <= 1:
+            return None
+        kind = check_executor(rt.executor)
+        if self._pool is not None:
+            held_kind, held_width, held = self._pool
+            dead = (
+                getattr(held, "_broken", False)
+                or getattr(held, "_shutdown", False)
+                or getattr(held, "_shutdown_thread", False)
+            )
+            if held_kind == kind and held_width == width and not dead:
+                return held
+            self._close_pool()
+        held = make_pool(width, executor=kind)
+        if held is not None:
+            self._pool = (kind, width, held)
+        return held
+
+    def _close_pool(self) -> None:
+        """Shut down the held warm pool, if any (idempotent)."""
+        if self._pool is None:
+            return
+        _kind, _width, held = self._pool
+        self._pool = None
+        held.shutdown(wait=True, cancel_futures=True)
+
+    def close(self) -> None:
+        """Release session resources: the warm sampling pool.
+
+        Idempotent; the session remains usable afterwards (the next
+        parallel sample simply builds a fresh pool).  ``Session`` is
+        also a context manager — ``with Session(...) as s:`` closes on
+        exit even when the block raises.
+        """
+        self._close_pool()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     def sample(self, theta: int, *, seed=None) -> MRRCollection:
         """Generate (and share) the optimisation MRR collection.
 
@@ -367,20 +428,33 @@ class Session:
         hand-wired ``MRRCollection.generate(..., seed=...)`` call would
         use, which is what keeps facade and legacy paths bit-identical.
         """
+        rt = self._role_runtime("opt", theta, seed)
         start = time.perf_counter()
-        self._mrr, events, self._mrr_key = MRRCollection.generate_traced(
-            self.graph,
-            self.campaign,
-            theta,
-            piece_graphs=self.piece_graphs,
-            runtime=self._role_runtime("opt", theta, seed),
-        )
+        try:
+            self._mrr, events, self._mrr_key = MRRCollection.generate_traced(
+                self.graph,
+                self.campaign,
+                theta,
+                piece_graphs=self.piece_graphs,
+                runtime=rt,
+                pool=self._sampling_pool(rt),
+            )
+        except BaseException:
+            # a failed generation may leave the pool with cancelled or
+            # broken workers — release it so the next call starts clean
+            self._close_pool()
+            raise
         elapsed = time.perf_counter() - start
-        for i, (stage, action) in enumerate(events):
+        for i, event in enumerate(events):
             # the generate call is timed as a whole; its wall-clock is
             # attributed to the first stage it reports (sample)
+            stage, action = event
             self._trace.record(
-                stage, action, "opt", seconds=elapsed if i == 0 else 0.0
+                stage,
+                action,
+                "opt",
+                seconds=elapsed if i == 0 else 0.0,
+                extra=getattr(event, "extra", None),
             )
         return self._mrr
 
@@ -393,18 +467,29 @@ class Session:
         """
         if seed is None and isinstance(self.seed, int):
             seed = self.seed + 1
+        rt = self._role_runtime("eval", theta, seed)
         start = time.perf_counter()
-        self._mrr_eval, events, _eval_key = MRRCollection.generate_traced(
-            self.graph,
-            self.campaign,
-            theta,
-            piece_graphs=self.piece_graphs,
-            runtime=self._role_runtime("eval", theta, seed),
-        )
+        try:
+            self._mrr_eval, events, _eval_key = MRRCollection.generate_traced(
+                self.graph,
+                self.campaign,
+                theta,
+                piece_graphs=self.piece_graphs,
+                runtime=rt,
+                pool=self._sampling_pool(rt),
+            )
+        except BaseException:
+            self._close_pool()
+            raise
         elapsed = time.perf_counter() - start
-        for i, (stage, action) in enumerate(events):
+        for i, event in enumerate(events):
+            stage, action = event
             self._trace.record(
-                stage, action, "eval", seconds=elapsed if i == 0 else 0.0
+                stage,
+                action,
+                "eval",
+                seconds=elapsed if i == 0 else 0.0,
+                extra=getattr(event, "extra", None),
             )
         self._eval_seed = seed
         return self._mrr_eval

@@ -28,6 +28,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import native as _native
+from repro.native import kernels as _nk
+
 __all__ = [
     "COUNT_DTYPE",
     "CowCounts",
@@ -58,9 +61,17 @@ def _bit_masks(bits: np.ndarray) -> np.ndarray:
 
 
 def popcount(words: np.ndarray) -> int:
-    """Total number of set bits across ``words`` (uint64)."""
+    """Total number of set bits across ``words`` (uint64).
+
+    With the compiled tier live this is one word-at-a-time SWAR loop
+    (no ``bitwise_count`` intermediate array); the count is exact
+    either way, so the kernel is used whenever it is compiled,
+    independent of the backend knob.
+    """
     if words.size == 0:
         return 0
+    if _native.compiled():
+        return int(_nk.popcount_words(words))
     if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
         return int(np.bitwise_count(words).sum())
     return int(np.unpackbits(words.view(np.uint8)).sum())

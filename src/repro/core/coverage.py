@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import native as _native
 from repro.core.bitset import (
     COUNT_DTYPE,
     CowCounts,
@@ -42,6 +43,7 @@ from repro.core.bitset import (
 from repro.core.plan import AssignmentPlan
 from repro.diffusion.adoption import AdoptionModel
 from repro.exceptions import SolverError
+from repro.native import kernels as _nk
 from repro.sampling.mrr import MRRCollection
 from repro.utils.frontier import segment_sums
 
@@ -84,6 +86,13 @@ def coverage_gains(
         piece, vertices, exc=SolverError
     ):
         if samples.size == 0:
+            continue
+        if packed and _native.compiled():
+            # Fused bit-test + segmented count: no intermediate mask or
+            # gather arrays; the counts are integer-exact either way.
+            _nk.uncovered_segment_counts(
+                covered.words, samples, deg, gains[lo:hi]
+            )
             continue
         hit = covered.test(samples) if packed else covered[samples]
         gains[lo:hi] = segment_sums(~hit, deg)

@@ -43,17 +43,19 @@ def simulate_cascade(
     to activate each out-neighbour, succeeding with the edge's projected
     probability (Sec. III-A).  Returns a boolean array of length ``n``.
 
-    ``backend="batch"`` (the default) routes through the vectorized
-    frontier-at-a-time kernel of :mod:`repro.sampling.batch`;
-    ``backend="python"`` runs the per-vertex reference loop below.  The
-    two consume the rng stream identically, so for the same seeded
-    ``rng`` the activation masks are bit-for-bit equal.
+    ``backend="batch"`` (the default) and ``backend="native"`` route
+    through the vectorized frontier-at-a-time kernel of
+    :mod:`repro.sampling.batch` (single forward trials are not a
+    compiled hot loop); ``backend="python"`` runs the per-vertex
+    reference loop below.  The variants consume the rng stream
+    identically, so for the same seeded ``rng`` the activation masks
+    are bit-for-bit equal.
     """
     # Imported lazily: repro.sampling pulls in this module through the
     # diffusion package, so a module-level import would be circular.
     from repro.sampling.batch import check_backend, simulate_cascade_batch
 
-    if check_backend(backend) == "batch":
+    if check_backend(backend) != "python":
         return simulate_cascade_batch(piece_graph, seeds, rng)
     n = piece_graph.n
     active = np.zeros(n, dtype=bool)

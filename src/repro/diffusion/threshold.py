@@ -89,8 +89,10 @@ def simulate_lt_cascade(
     callers validate the immutable graph once and hoist the check out
     of their trial loops.
 
-    ``backend="batch"`` (the default) routes through the vectorized
-    frontier-at-a-time kernel of :mod:`repro.sampling.batch`;
+    ``backend="batch"`` (the default) and ``backend="native"`` route
+    through the vectorized frontier-at-a-time kernel of
+    :mod:`repro.sampling.batch` (the forward cascade has no separate
+    compiled form — RR sampling is the hot loop, not single trials);
     ``backend="python"`` runs the per-vertex reference loop below.  Both
     consume the rng stream identically (one ``rng.random(n)`` threshold
     draw), but internal pressure bookkeeping differs in two harmless
@@ -108,7 +110,7 @@ def simulate_lt_cascade(
         simulate_lt_cascade_batch,
     )
 
-    if check_backend(backend) == "batch":
+    if check_backend(backend) != "python":
         return simulate_lt_cascade_batch(
             piece_graph, seeds, rng, check_weights=check_weights
         )
@@ -157,8 +159,10 @@ class LinearThresholdSampler:
     Drop-in compatible with :class:`repro.sampling.rr.
     ReverseReachableSampler` (same ``sample`` / ``sample_many`` API,
     including the ``backend`` knob: ``"batch"`` routes ``sample_many``
-    through :class:`repro.sampling.batch.BatchLTSampler`, ``"python"``
-    keeps the per-walk reference loop below).
+    through :class:`repro.sampling.batch.BatchLTSampler`, ``"native"``
+    through the compiled :class:`repro.sampling.batch.NativeLTSampler`
+    (bit-identical to batch), ``"python"`` keeps the per-walk reference
+    loop below).
     """
 
     __slots__ = ("_graph", "_mark", "_stamp", "_backend", "_batch")
@@ -175,7 +179,8 @@ class LinearThresholdSampler:
         check_lt_feasible(piece_graph)
         self._graph = piece_graph
         self._backend = check_backend(backend)
-        self._batch = None
+        # Engine cache keyed by engine class — see ReverseReachableSampler.
+        self._batch = {}
         self._mark = np.zeros(piece_graph.n, dtype=np.int64)
         self._stamp = 0
 
@@ -189,12 +194,14 @@ class LinearThresholdSampler:
         """Which sampling engine ``sample_many`` routes through."""
         return self._backend
 
-    def _batch_engine(self):
-        from repro.sampling.batch import BatchLTSampler
+    def _batch_engine(self, backend: str):
+        from repro.sampling.batch import BatchLTSampler, NativeLTSampler
 
-        if self._batch is None:
-            self._batch = BatchLTSampler(self._graph)
-        return self._batch
+        cls = NativeLTSampler if backend == "native" else BatchLTSampler
+        engine = self._batch.get(cls)
+        if engine is None:
+            engine = self._batch[cls] = cls(self._graph)
+        return engine
 
     def sample(self, root: int, rng) -> np.ndarray:
         n = self._graph.n
@@ -240,14 +247,14 @@ class LinearThresholdSampler:
         """CSR-flattened batch form, mirroring the IC sampler.
 
         ``backend`` overrides the sampler's configured engine for this
-        call (``"batch"``/``"python"``).
+        call (``"batch"``/``"native"``/``"python"``).
         """
         from repro.sampling.batch import check_backend
 
         backend = self._backend if backend is None else check_backend(backend)
         roots = np.asarray(roots, dtype=np.int64)
-        if backend == "batch":
-            return self._batch_engine().sample_many(roots, rng)
+        if backend != "python":
+            return self._batch_engine(backend).sample_many(roots, rng)
         ptr = np.zeros(len(roots) + 1, dtype=np.int64)
         nodes = Int64Buffer(2 * len(roots) + 16)
         for i, root in enumerate(roots):

@@ -1,0 +1,105 @@
+"""The compiled kernel tier: Numba detection and the ``njit`` shim.
+
+``backend="native"`` promises the hot loops of the reproduction — RR/LT
+frontier expansion, bitset popcount / marginal-gain scans, and the
+sample-store index scatters — as compiled typed loops instead of
+NumPy dispatch chains.  This package owns the policy around that
+promise:
+
+* **Detection.**  Numba is an *optional* dependency
+  (``pip install repro-oipa[native]``).  :func:`compiled` reports
+  whether the compiled tier is actually available; it is the single
+  flag every dispatch site consults, and tests monkeypatch
+  ``repro.native.COMPILED`` to exercise both sides without installing
+  or uninstalling anything.
+* **Graceful fallback.**  When Numba is not importable,
+  ``check_backend("native")`` resolves to ``"batch"`` and
+  :func:`warn_fallback_once` emits one :class:`RuntimeWarning` per
+  process — the run proceeds on the NumPy kernels, bit-identical by
+  the tier contract, just slower.
+* **The shim.**  :data:`njit` is Numba's decorator when available and
+  the identity function otherwise, so the kernels in
+  :mod:`repro.native.kernels` are importable — and unit-testable, as
+  plain Python loops — on machines without a compiler.  Every kernel
+  is written in the nopython subset *and* replicates its NumPy
+  counterpart's arithmetic exactly (same draw order, same sequential
+  float accumulation, integer-exact scatters), which is what makes
+  ``native`` bit-identical to ``batch`` whether or not it actually
+  compiled.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = [
+    "COMPILED",
+    "NUMBA_AVAILABLE",
+    "compiled",
+    "njit",
+    "reset_fallback_warning",
+    "warn_fallback_once",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _numba_njit
+
+    def njit(*args, **kwargs):
+        """``numba.njit`` with on-disk caching on by default."""
+        kwargs.setdefault("cache", True)
+        return _numba_njit(*args, **kwargs)
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # the shim: kernels run as plain Python loops
+
+    def njit(*args, **kwargs):
+        """Identity decorator standing in for ``numba.njit``."""
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+    NUMBA_AVAILABLE = False
+
+#: Is the compiled tier live?  Initialised from the import probe;
+#: monkeypatched by tests to force either side of every dispatch
+#: (the kernels themselves behave identically either way — compiling
+#: only changes their speed, never their output).
+COMPILED = NUMBA_AVAILABLE
+
+
+def compiled() -> bool:
+    """Whether ``backend="native"`` has a compiler behind it.
+
+    Read at call time (never cached by consumers) so monkeypatching
+    :data:`COMPILED` flips every dispatch site at once.
+    """
+    return COMPILED
+
+
+_warned_fallback = False
+
+
+def warn_fallback_once() -> None:
+    """One :class:`RuntimeWarning` per process for the native→batch fall."""
+    global _warned_fallback
+    if _warned_fallback:
+        return
+    _warned_fallback = True
+    warnings.warn(
+        'backend="native" requested but numba is not importable; '
+        'falling back to the "batch" NumPy kernels (bit-identical, '
+        "slower).  Install the compiled tier with "
+        "`pip install repro-oipa[native]`.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def reset_fallback_warning() -> None:
+    """Re-arm :func:`warn_fallback_once` (tests only)."""
+    global _warned_fallback
+    _warned_fallback = False

@@ -31,6 +31,7 @@ __all__ = [
     "PipelineTrace",
     "Stage",
     "StageEvent",
+    "TraceEvent",
     "stage",
 ]
 
@@ -101,6 +102,25 @@ def stage(name: str) -> Stage:
         ) from None
 
 
+class TraceEvent(tuple):
+    """A ``(stage, action)`` pair carrying optional structured extras.
+
+    Generation internals report their stage events as plain 2-tuples —
+    an API pinned by callers doing ``("sample", "run") in events`` and
+    ``for stage, action in events``.  This subclass keeps both working
+    while letting a producer attach machine-readable measurements (the
+    sample stage's effective block geometry, say) that the Session
+    forwards into :attr:`StageEvent.extra`; consumers read it with
+    ``getattr(event, "extra", {})`` so plain tuples remain valid
+    events.
+    """
+
+    def __new__(cls, stage: str, action: str, extra=None) -> "TraceEvent":
+        self = tuple.__new__(cls, (stage, action))
+        self.extra = dict(extra) if extra else {}
+        return self
+
+
 @dataclass(frozen=True)
 class StageEvent:
     """One stage execution: did it run, or was it served from cache?
@@ -108,12 +128,16 @@ class StageEvent:
     ``seconds`` is the measured wall-clock of the execution when the
     recorder timed it (``0.0`` when untimed) — the influence service
     surfaces these per-job so clients can see where a job's time went.
+    ``extra`` holds stage-specific measurements (e.g. the sample
+    stage's ``task_block`` / ``block_roots`` geometry) and is empty for
+    stages that report none.
     """
 
     stage: str
     action: str  # "run" | "hit"
     detail: str = ""
     seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -129,13 +153,16 @@ class PipelineTrace:
         detail: str = "",
         *,
         seconds: float = 0.0,
+        extra: dict | None = None,
     ) -> None:
         if stage_name not in STAGES:
             raise KeyError(f"unknown stage {stage_name!r}; stages are {STAGES}")
         if action not in ("run", "hit"):
             raise ValueError(f"action must be 'run' or 'hit', got {action!r}")
         self.events.append(
-            StageEvent(stage_name, action, detail, float(seconds))
+            StageEvent(
+                stage_name, action, detail, float(seconds), dict(extra or {})
+            )
         )
 
     def actions(self, stage_name: str) -> list[str]:

@@ -70,7 +70,7 @@ __all__ = [
 # of defining their own, so one registry feeds validation everywhere.
 # --------------------------------------------------------------------------
 
-BACKENDS = ("python", "batch")
+BACKENDS = ("python", "batch", "native")
 MODELS = ("ic", "lt")
 EXECUTORS = ("thread", "process")
 STORES = ("memory", "disk")
@@ -306,7 +306,10 @@ class Runtime(_ShardDirKeying):
     ------
     backend:
         Sampling/cascade kernel engine — ``"batch"`` (vectorized,
-        default) or ``"python"`` (reference loops).
+        default), ``"python"`` (reference loops), or ``"native"``
+        (Numba-compiled tier; falls back to ``"batch"`` with a
+        one-time warning when Numba is not importable — see
+        :mod:`repro.native`).
     model:
         Diffusion model(s): ``"ic"`` (default) / ``"lt"``, or a
         per-piece sequence for heterogeneous multiplex campaigns.
@@ -439,9 +442,16 @@ class ResolvedRuntime(_ShardDirKeying):
         flavours, and ``store``/``shard_dir``/``max_resident_bytes``
         because the memory and disk stores hold the same collection —
         so a sweep may vary any of those and still share artifacts.
-        A non-integer seed is an unreproducible draw and keys as such;
-        callers gate cache *writes* on reproducibility separately.
+        ``"native"`` keys as ``"batch"``: the compiled tier is
+        bit-identical to the batch kernels by contract (same draw
+        order, same float accumulation — see :mod:`repro.native`), so
+        the two engines share sample artifacts; ``"python"`` stays a
+        distinct key because its multi-root realisations legitimately
+        differ.  A non-integer seed is an unreproducible draw and keys
+        as such; callers gate cache *writes* on reproducibility
+        separately.
         """
+        backend = "batch" if self.backend == "native" else self.backend
         model = self.model if self.model is not None else DEFAULT_MODEL
         if not isinstance(model, str):
             model = ",".join(model)
@@ -449,7 +459,7 @@ class ResolvedRuntime(_ShardDirKeying):
             seed = str(self.seed)
         else:
             seed = "unreproducible"
-        return f"backend={self.backend}:model={model}:seed={seed}"
+        return f"backend={backend}:model={model}:seed={seed}"
 
     def artifact_store(self):
         """The resolved artifact store instance, or ``None`` (off)."""

@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import native as _native
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import ConfigError, ParameterError, SamplingError
+from repro.native import kernels as _nk
 from repro.runtime import BACKENDS, DEFAULT_BACKEND, DEFAULT_MODEL, MODELS
 from repro.utils.frontier import (
     Int64Buffer,
@@ -51,7 +53,10 @@ __all__ = [
     "DEFAULT_MODEL",
     "BatchLTSampler",
     "BatchRRSampler",
+    "NativeLTSampler",
+    "NativeRRSampler",
     "adaptive_block_size",
+    "canonical_backend",
     "check_backend",
     "check_lt_feasible",
     "check_model",
@@ -74,6 +79,9 @@ _SCRATCH_CELLS = 1 << 21
 _MAX_SCRATCH_CELLS = 1 << 23
 _MAX_BLOCK = 4096
 
+# Shared "level produced nothing" sentinel (never written to).
+_EMPTY = np.zeros(0, dtype=np.int64)
+
 
 def adaptive_block_size(n: int, num_roots: int) -> int:
     """Roots per kernel pass, adapted to the batch actually requested.
@@ -94,14 +102,36 @@ def adaptive_block_size(n: int, num_roots: int) -> int:
 
 
 def check_backend(backend: str | None) -> str:
-    """Normalise a backend choice; ``None`` means the default."""
+    """Normalise a backend choice; ``None`` means the default.
+
+    ``"native"`` resolves to itself only when the compiled tier is
+    actually available (:func:`repro.native.compiled`); otherwise it
+    degrades to ``"batch"`` — bit-identical by the tier contract —
+    with one :class:`RuntimeWarning` per process.
+    """
     if backend is None:
-        return DEFAULT_BACKEND
+        backend = DEFAULT_BACKEND
     if backend not in BACKENDS:
         raise ConfigError(
             f"backend must be one of {BACKENDS}, got {backend!r}"
         )
+    if backend == "native" and not _native.compiled():
+        _native.warn_fallback_once()
+        return "batch"
     return backend
+
+
+def canonical_backend(backend: str | None) -> str:
+    """The backend name as recorded in cache keys and fingerprints.
+
+    ``"native"`` canonicalises to ``"batch"``: the two engines are
+    bit-identical by contract (see :mod:`repro.native`), so sample
+    artifacts and shard directories written under either are
+    interchangeable.  ``"python"`` stays distinct — its multi-root
+    block realisations legitimately differ from the batch engine's.
+    """
+    backend = check_backend(backend)
+    return "batch" if backend == "native" else backend
 
 
 def check_model(model: str | None) -> str:
@@ -188,6 +218,99 @@ class _BlockedSampler:
                 self._stamp = 0
         return self._mark
 
+    # -- the engine hooks ------------------------------------------------
+    #
+    # The block driver below owns everything draw-stream-relevant: block
+    # slicing, stamp lifecycle, *when* uniforms are drawn and how many.
+    # Engines only say how a level advances, which is what lets the
+    # native tier swap in fused typed loops while provably consuming the
+    # exact same rng stream as the NumPy engines.
+
+    def _prepare_level(self, level_v, level_r):
+        """Size the level: return ``(draw_count, ctx)``.
+
+        ``draw_count`` uniforms are drawn by the driver (0 ends the
+        block before any draw); ``ctx`` is handed to
+        :meth:`_advance_level` unchanged.
+        """
+        raise NotImplementedError
+
+    def _advance_level(self, ctx, draws, mark, stamp):
+        """Consume the level's ``draws``; return ``(next_v, next_r)``.
+
+        Newly reached (vertex, root slot) pairs, already stamped into
+        ``mark``; empty arrays end the block.
+        """
+        raise NotImplementedError
+
+    def _assemble_block(self, found_v, found_r, b, total):
+        """Group a block's finds by root slot, discovery order kept.
+
+        ``found_v``/``found_r`` are the per-level arrays (``total``
+        entries overall); returns ``(block_v, block_sizes)`` with
+        ``block_v`` holding root 0's set, then root 1's, … and
+        ``block_sizes`` the ``b`` per-root counts.
+        """
+        if len(found_v) > 1:
+            block_v = np.concatenate(found_v)
+            block_r = np.concatenate(found_r)
+            order = np.argsort(block_r, kind="stable")
+            block_v, block_r = block_v[order], block_r[order]
+        else:
+            block_v, block_r = found_v[0], found_r[0]
+        return block_v, np.bincount(block_r, minlength=b)
+
+    def sample_many(self, roots, rng) -> tuple[np.ndarray, np.ndarray]:
+        """Draw RR sets for every root; return them CSR-flattened.
+
+        Returns ``(ptr, nodes)`` with ``ptr`` of length ``len(roots)+1``;
+        the ``i``-th RR set is ``nodes[ptr[i]:ptr[i+1]]``, root first,
+        then members in discovery order (BFS levels for the IC engines,
+        walk order for LT).
+        """
+        n = self._graph.n
+        roots = np.ascontiguousarray(np.asarray(roots, dtype=np.int64))
+        if roots.ndim != 1:
+            raise SamplingError(
+                f"roots must be one-dimensional, got shape {roots.shape}"
+            )
+        check_index_array("root", roots, n, exc=SamplingError)
+        mark = self._ensure_scratch(roots.size)
+        sizes = np.zeros(roots.size, dtype=np.int64)
+        out = Int64Buffer(2 * roots.size + 16)
+        for start in range(0, roots.size, self._block):
+            block_roots = roots[start : start + self._block]
+            b = block_roots.size
+            self._stamp += 1
+            stamp = self._stamp
+            slots = np.arange(b, dtype=np.int64)
+            mark[slots * n + block_roots] = stamp
+            level_v, level_r = block_roots, slots
+            found_v = [block_roots]
+            found_r = [slots]
+            total = b
+            while level_v.size:
+                count, ctx = self._prepare_level(level_v, level_r)
+                if count == 0:
+                    break
+                draws = rng.random(count)
+                level_v, level_r = self._advance_level(
+                    ctx, draws, mark, stamp
+                )
+                if level_v.size == 0:
+                    break
+                found_v.append(level_v)
+                found_r.append(level_r)
+                total += level_v.size
+            block_v, block_sizes = self._assemble_block(
+                found_v, found_r, b, total
+            )
+            sizes[start : start + b] = block_sizes
+            out.extend(block_v)
+        ptr = np.zeros(roots.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=ptr[1:])
+        return ptr, out.to_array()
+
 
 class BatchRRSampler(_BlockedSampler):
     """RR-set sampler drawing a whole block of roots per kernel pass.
@@ -210,68 +333,27 @@ class BatchRRSampler(_BlockedSampler):
         )
         return nodes
 
-    def sample_many(self, roots, rng) -> tuple[np.ndarray, np.ndarray]:
-        """Draw RR sets for every root; return them CSR-flattened.
+    def _prepare_level(self, level_v, level_r):
+        edge_idx, deg = frontier_edge_slots(self._graph.in_ptr, level_v)
+        return edge_idx.size, (edge_idx, deg, level_r)
 
-        Returns ``(ptr, nodes)`` with ``ptr`` of length ``len(roots)+1``;
-        the ``i``-th RR set is ``nodes[ptr[i]:ptr[i+1]]``, root first,
-        then members in discovery (level) order.
-        """
+    def _advance_level(self, ctx, draws, mark, stamp):
+        edge_idx, deg, level_r = ctx
         n = self._graph.n
-        roots = np.ascontiguousarray(np.asarray(roots, dtype=np.int64))
-        if roots.ndim != 1:
-            raise SamplingError(
-                f"roots must be one-dimensional, got shape {roots.shape}"
-            )
-        check_index_array("root", roots, n, exc=SamplingError)
-        in_ptr = self._graph.in_ptr
-        in_src = self._graph.in_src
-        in_prob = self._graph.in_prob
-        mark = self._ensure_scratch(roots.size)
-        sizes = np.zeros(roots.size, dtype=np.int64)
-        out = Int64Buffer(2 * roots.size + 16)
-        for start in range(0, roots.size, self._block):
-            block_roots = roots[start : start + self._block]
-            b = block_roots.size
-            self._stamp += 1
-            stamp = self._stamp
-            slots = np.arange(b, dtype=np.int64)
-            mark[slots * n + block_roots] = stamp
-            level_v, level_r = block_roots, slots
-            found_v = [block_roots]
-            found_r = [slots]
-            while level_v.size:
-                edge_idx, deg = frontier_edge_slots(in_ptr, level_v)
-                if edge_idx.size == 0:
-                    break
-                draws = rng.random(edge_idx.size)
-                hit = draws < in_prob[edge_idx]
-                if not hit.any():
-                    break
-                cand_v = in_src[edge_idx[hit]]
-                cand_r = np.repeat(level_r, deg)[hit]
-                key = cand_r * n + cand_v
-                fresh = mark[key] != stamp
-                if not fresh.any():
-                    break
-                key = stable_unique(key[fresh])
-                mark[key] = stamp
-                level_r = key // n
-                level_v = key - level_r * n
-                found_v.append(level_v)
-                found_r.append(level_r)
-            if len(found_v) > 1:
-                block_v = np.concatenate(found_v)
-                block_r = np.concatenate(found_r)
-                order = np.argsort(block_r, kind="stable")
-                block_v, block_r = block_v[order], block_r[order]
-            else:
-                block_v, block_r = found_v[0], found_r[0]
-            sizes[start : start + b] = np.bincount(block_r, minlength=b)
-            out.extend(block_v)
-        ptr = np.zeros(roots.size + 1, dtype=np.int64)
-        np.cumsum(sizes, out=ptr[1:])
-        return ptr, out.to_array()
+        hit = draws < self._graph.in_prob[edge_idx]
+        if not hit.any():
+            return _EMPTY, _EMPTY
+        cand_v = self._graph.in_src[edge_idx[hit]]
+        cand_r = np.repeat(level_r, deg)[hit]
+        key = cand_r * n + cand_v
+        fresh = mark[key] != stamp
+        if not fresh.any():
+            return _EMPTY, _EMPTY
+        key = stable_unique(key[fresh])
+        mark[key] = stamp
+        next_r = key // n
+        next_v = key - next_r * n
+        return next_v, next_r
 
 
 def simulate_cascade_batch(
@@ -351,83 +433,115 @@ class BatchLTSampler(_BlockedSampler):
         )
         return nodes
 
-    def sample_many(self, roots, rng) -> tuple[np.ndarray, np.ndarray]:
-        """Draw LT RR sets for every root; return them CSR-flattened.
-
-        Returns ``(ptr, nodes)`` with ``ptr`` of length ``len(roots)+1``;
-        the ``i``-th RR set is ``nodes[ptr[i]:ptr[i+1]]``, root first,
-        then predecessors in walk order.
-        """
-        n = self._graph.n
-        roots = np.ascontiguousarray(np.asarray(roots, dtype=np.int64))
-        if roots.ndim != 1:
-            raise SamplingError(
-                f"roots must be one-dimensional, got shape {roots.shape}"
-            )
-        check_index_array("root", roots, n, exc=SamplingError)
+    def _prepare_level(self, cur_v, cur_r):
         in_ptr = self._graph.in_ptr
-        in_src = self._graph.in_src
-        in_prob = self._graph.in_prob
-        mark = self._ensure_scratch(roots.size)
-        sizes = np.zeros(roots.size, dtype=np.int64)
-        out = Int64Buffer(2 * roots.size + 16)
-        for start in range(0, roots.size, self._block):
-            block_roots = roots[start : start + self._block]
-            b = block_roots.size
-            self._stamp += 1
-            stamp = self._stamp
-            slots = np.arange(b, dtype=np.int64)
-            mark[slots * n + block_roots] = stamp
-            cur_v, cur_r = block_roots, slots
-            found_v = [block_roots]
-            found_r = [slots]
-            while cur_v.size:
-                deg = in_ptr[cur_v + 1] - in_ptr[cur_v]
-                alive = deg > 0
-                if not alive.all():
-                    # Walks at in-degree-0 vertices stop without a draw,
-                    # exactly like the reference loop's early break.
-                    cur_v, cur_r, deg = cur_v[alive], cur_r[alive], deg[alive]
-                if cur_v.size == 0:
-                    break
-                draws = rng.random(cur_v.size)
-                edge_idx, _ = frontier_edge_slots(in_ptr, cur_v)
-                cum = np.cumsum(in_prob[edge_idx])
-                starts = np.cumsum(deg) - deg
-                base = np.where(starts > 0, cum[starts - 1], 0.0)
-                local = cum - np.repeat(base, deg)
-                # local is nondecreasing per segment, so {local > draw}
-                # is a suffix: its size gives the chosen slot directly.
-                above = (local > np.repeat(draws, deg)).astype(np.int64)
-                counts = np.add.reduceat(above, starts)
-                live = counts > 0  # else the "no live incoming edge" mass
-                if not live.any():
-                    break
-                chosen = starts[live] + (deg[live] - counts[live])
-                nxt = in_src[edge_idx[chosen]]
-                nxt_r = cur_r[live]
-                key = nxt_r * n + nxt
-                fresh = mark[key] != stamp  # walked into a cycle: stop
-                if not fresh.all():
-                    nxt, nxt_r, key = nxt[fresh], nxt_r[fresh], key[fresh]
-                if nxt.size == 0:
-                    break
-                mark[key] = stamp
-                found_v.append(nxt)
-                found_r.append(nxt_r)
-                cur_v, cur_r = nxt, nxt_r
-            if len(found_v) > 1:
-                block_v = np.concatenate(found_v)
-                block_r = np.concatenate(found_r)
-                order = np.argsort(block_r, kind="stable")
-                block_v, block_r = block_v[order], block_r[order]
-            else:
-                block_v, block_r = found_v[0], found_r[0]
-            sizes[start : start + b] = np.bincount(block_r, minlength=b)
-            out.extend(block_v)
-        ptr = np.zeros(roots.size + 1, dtype=np.int64)
-        np.cumsum(sizes, out=ptr[1:])
-        return ptr, out.to_array()
+        deg = in_ptr[cur_v + 1] - in_ptr[cur_v]
+        alive = deg > 0
+        if not alive.all():
+            # Walks at in-degree-0 vertices stop without a draw,
+            # exactly like the reference loop's early break.
+            cur_v, cur_r, deg = cur_v[alive], cur_r[alive], deg[alive]
+        return cur_v.size, (cur_v, cur_r, deg)
+
+    def _advance_level(self, ctx, draws, mark, stamp):
+        cur_v, cur_r, deg = ctx
+        n = self._graph.n
+        edge_idx, _ = frontier_edge_slots(self._graph.in_ptr, cur_v)
+        cum = np.cumsum(self._graph.in_prob[edge_idx])
+        starts = np.cumsum(deg) - deg
+        base = np.where(starts > 0, cum[starts - 1], 0.0)
+        local = cum - np.repeat(base, deg)
+        # local is nondecreasing per segment, so {local > draw}
+        # is a suffix: its size gives the chosen slot directly.
+        above = (local > np.repeat(draws, deg)).astype(np.int64)
+        counts = np.add.reduceat(above, starts)
+        live = counts > 0  # else the "no live incoming edge" mass
+        if not live.any():
+            return _EMPTY, _EMPTY
+        chosen = starts[live] + (deg[live] - counts[live])
+        nxt = self._graph.in_src[edge_idx[chosen]]
+        nxt_r = cur_r[live]
+        key = nxt_r * n + nxt
+        fresh = mark[key] != stamp  # walked into a cycle: stop
+        if not fresh.all():
+            nxt, nxt_r, key = nxt[fresh], nxt_r[fresh], key[fresh]
+        if nxt.size:
+            mark[key] = stamp
+        return nxt, nxt_r
+
+
+class _NativeScatter:
+    """Kernel-backed block assembly shared by the native engines."""
+
+    __slots__ = ()
+
+    def _assemble_block(self, found_v, found_r, b, total):
+        if len(found_v) == 1:
+            # Roots only: one entry per slot, already in slot order.
+            return found_v[0], np.ones(b, dtype=np.int64)
+        block_v = np.concatenate(found_v)
+        block_r = np.concatenate(found_r)
+        sizes = np.zeros(b, dtype=np.int64)
+        out = np.empty(total, dtype=np.int64)
+        _nk.scatter_by_root(block_v, block_r, b, sizes, out)
+        return out, sizes
+
+
+class NativeRRSampler(_NativeScatter, BatchRRSampler):
+    """The compiled IC engine: one typed loop per frontier expansion.
+
+    Same block driver, stamp scratch, and — crucially — draw stream as
+    :class:`BatchRRSampler`: the driver still draws one uniform per
+    reverse-slab edge of the frontier, in the same order.  The per-level
+    mask/gather/dedupe NumPy chain and the per-block stable argsort are
+    replaced by :func:`repro.native.kernels.rr_expand_level` and
+    :func:`~repro.native.kernels.scatter_by_root`, which replicate them
+    exactly (first-occurrence dedupe == ``stable_unique``; counting
+    scatter == stable argsort), so output is bit-for-bit the batch
+    engine's whether or not Numba actually compiled the loops.
+    """
+
+    __slots__ = ()
+
+    def _prepare_level(self, level_v, level_r):
+        in_ptr = self._graph.in_ptr
+        count = int(np.sum(in_ptr[level_v + 1] - in_ptr[level_v]))
+        return count, (level_v, level_r)
+
+    def _advance_level(self, ctx, draws, mark, stamp):
+        level_v, level_r = ctx
+        g = self._graph
+        next_v = np.empty(draws.size, dtype=np.int64)
+        next_r = np.empty(draws.size, dtype=np.int64)
+        k = _nk.rr_expand_level(
+            g.in_ptr, g.in_src, g.in_prob, level_v, level_r,
+            draws, mark, stamp, g.n, next_v, next_r,
+        )
+        return next_v[:k], next_r[:k]
+
+
+class NativeLTSampler(_NativeScatter, BatchLTSampler):
+    """The compiled LT engine: one typed loop per walk step.
+
+    Inherits :class:`BatchLTSampler`'s live-walk filter (so the draw
+    stream is identical — dead walks never draw) and replaces the
+    global-cumsum inverse-CDF chain with
+    :func:`repro.native.kernels.lt_walk_step`, whose running accumulator
+    reproduces ``np.cumsum``'s sequential rounding bit-for-bit.
+    """
+
+    __slots__ = ()
+
+    def _advance_level(self, ctx, draws, mark, stamp):
+        cur_v, cur_r, _deg = ctx
+        g = self._graph
+        next_v = np.empty(cur_v.size, dtype=np.int64)
+        next_r = np.empty(cur_v.size, dtype=np.int64)
+        k = _nk.lt_walk_step(
+            g.in_ptr, g.in_src, g.in_prob, cur_v, cur_r,
+            draws, mark, stamp, g.n, next_v, next_r,
+        )
+        return next_v[:k], next_r[:k]
 
 
 def simulate_lt_cascade_batch(

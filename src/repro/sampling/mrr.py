@@ -211,6 +211,7 @@ class MRRCollection:
         store=None,
         shard_dir: str | None = None,
         max_resident_bytes: int | None = None,
+        pool=None,
         _stacklevel: int = 3,
     ) -> tuple["MRRCollection", list[tuple[str, str]], ArtifactKey | None]:
         """:meth:`generate` plus its pipeline trace and artifact key.
@@ -221,10 +222,23 @@ class MRRCollection:
         the sample-stage :class:`~repro.artifacts.ArtifactKey` when the
         generation was cache-eligible, else ``None``.  The Session
         records the events on its pipeline trace and folds the key
-        digest into downstream solve-stage keys.
+        digest into downstream solve-stage keys.  A freshly-sampled
+        ``("sample", "run")`` event is a
+        :class:`~repro.pipeline.TraceEvent` whose ``extra`` reports the
+        effective block geometry (the adaptive kernel block and the
+        per-task root block).
+
+        ``pool`` lends a caller-owned executor to the blocked sampling
+        stream (the Session's warm pool); ownership and shutdown stay
+        with the caller.
         """
+        from repro.pipeline import TraceEvent
         from repro.runtime import resolve_runtime
-        from repro.sampling.parallel import sample_piece_blocks
+        from repro.sampling.batch import adaptive_block_size, check_backend
+        from repro.sampling.parallel import (
+            sample_piece_blocks,
+            task_block_size,
+        )
 
         rt = resolve_runtime(
             runtime,
@@ -317,7 +331,27 @@ class MRRCollection:
                     # duplicate commit below is a benign no-op).
                     pass
 
-        events = [("sample", "run"), ("index", "run")]
+        # The sample stage's effective block geometry (the ISSUE'd trace
+        # gap): the per-task root block of the (piece, block)
+        # decomposition — theta itself on the serial path — and the
+        # (roots, n) kernel block adaptive sizing actually picks for it.
+        task_block = theta if stream == "serial" else task_block_size(theta)
+        events = [
+            TraceEvent(
+                "sample",
+                "run",
+                {
+                    "stream": stream,
+                    "backend": check_backend(rt.backend),
+                    "task_block": int(task_block),
+                    "block_roots": adaptive_block_size(
+                        graph.n, min(task_block, theta)
+                    ),
+                    "block_n": int(graph.n),
+                },
+            ),
+            ("index", "run"),
+        ]
         if store_obj is not None:
             if cacheable:
                 # Host the shard directory inside the artifact object.
@@ -344,6 +378,7 @@ class MRRCollection:
                 store=store_obj,
                 graph_fingerprint=graph_fp,
                 pieces_fingerprint=pieces_fp,
+                pool=pool,
             )
             if cacheable:
                 artifact = art_store.commit(
@@ -371,6 +406,7 @@ class MRRCollection:
                 backend=rt.backend,
                 workers=pool_width,
                 executor=rt.executor,
+                pool=pool,
             )
             rr_ptr = [ptr for ptr, _ in pairs]
             rr_nodes = [nodes for _, nodes in pairs]
@@ -509,6 +545,7 @@ class MRRCollection:
         store: SampleStore,
         graph_fingerprint: str | None = None,
         pieces_fingerprint: str | None = None,
+        pool=None,
     ) -> "MRRCollection":
         """Stream (piece, root block) shards into ``store`` as sampled.
 
@@ -551,6 +588,7 @@ class MRRCollection:
                 workers=workers,
                 executor=executor,
                 skip=store.has_block,
+                pool=pool,
             ):
                 store.put_block(piece, block, ptr, nodes)
             store.finalize()

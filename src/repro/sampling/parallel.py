@@ -233,12 +233,26 @@ def _sample_task(args):
 
     Module-level (not a closure) so the process executor can pickle it;
     imports are deferred to dodge the sampling <-> diffusion cycle.
+
+    With a 6th element — a shared-memory slot spec from
+    :class:`repro.sampling.shm.SharedSlabPool` — the CSR pair is
+    written into the slot and only a token crosses the result queue;
+    the tagged ``("arr", ptr, nodes)`` form is the per-task fallback
+    when the block does not fit (or shm is unavailable in the worker).
     """
-    piece_graph, model, backend, roots, seed = args
+    piece_graph, model, backend, roots, seed = args[:5]
     from repro.utils.rng import as_generator
 
     sampler = _cached_sampler(piece_graph, model, backend)
-    return sampler.sample_many(roots, as_generator(seed))
+    ptr, nodes = sampler.sample_many(roots, as_generator(seed))
+    if len(args) > 5:
+        from repro.sampling.shm import write_block
+
+        token = write_block(args[5], ptr, nodes)
+        if token is not None:
+            return token
+        return ("arr", ptr, nodes)
+    return ptr, nodes
 
 
 def stream_piece_blocks(
@@ -251,6 +265,7 @@ def stream_piece_blocks(
     workers: int,
     executor: str | None = None,
     skip=None,
+    pool=None,
 ):
     """Yield every (piece, root block) result in task order, as sampled.
 
@@ -267,6 +282,14 @@ def stream_piece_blocks(
     skipped tasks are neither sampled nor yielded, but still consume
     their spawned seed — which is what lets a resumed shard store rerun
     only its missing blocks and land on the same collection.
+
+    ``pool`` lends a pre-built executor (see :func:`make_pool`) — the
+    warm-pool path: pending futures are still cancelled on exit, but
+    shutdown stays with the caller.  On a process pool, block results
+    travel through a :class:`repro.sampling.shm.SharedSlabPool` sized
+    to the in-flight window instead of being pickled, with a per-task
+    pickled fallback (see :mod:`repro.sampling.shm`) — the transport
+    never changes the bytes, only how they cross the process boundary.
     """
     if len(piece_graphs) != len(models):
         raise SamplingError(
@@ -303,9 +326,19 @@ def stream_piece_blocks(
             ptr, nodes = _sample_task(args)
             yield j, b, ptr, nodes
         return
-    pool = make_pool(width, executor=executor)
+    owned = pool is None
+    if owned:
+        pool = make_pool(width, executor=executor)
+    slab_pool = None
+    if isinstance(pool, ProcessPoolExecutor):
+        from repro.sampling import shm as _shm
+
+        slab_pool = _shm.SharedSlabPool.create(
+            2 * width, _shm.slab_slot_bytes(block)
+        )
     pending: deque = deque()
     iterator = iter(todo)
+    submit_index = 0
     try:
         while True:
             while len(pending) < 2 * width:
@@ -313,16 +346,29 @@ def stream_piece_blocks(
                 if item is None:
                     break
                 coords, args = item
+                if slab_pool is not None:
+                    args = args + (slab_pool.slot_spec(submit_index),)
+                submit_index += 1
                 pending.append((coords, pool.submit(_sample_task, args)))
             if not pending:
                 break
             (j, b), future = pending.popleft()
-            ptr, nodes = future.result()
+            result = future.result()
+            if slab_pool is not None:
+                if result[0] == "shm":
+                    ptr, nodes = slab_pool.read(result)
+                else:  # ("arr", ptr, nodes) — the pickled fallback
+                    _, ptr, nodes = result
+            else:
+                ptr, nodes = result
             yield j, b, ptr, nodes
     finally:
         for _, future in pending:
             future.cancel()
-        pool.shutdown(wait=True, cancel_futures=True)
+        if owned:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if slab_pool is not None:
+            slab_pool.close()
 
 
 def sample_piece_blocks(
@@ -334,6 +380,7 @@ def sample_piece_blocks(
     backend: str | None,
     workers: int,
     executor: str | None = None,
+    pool=None,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Draw every piece's RR sets for ``roots``, fanned out per block.
 
@@ -342,7 +389,8 @@ def sample_piece_blocks(
     reassembled by concatenating block results in task order.  Output
     is a list of ``(ptr, nodes)`` pairs aligned with ``piece_graphs``,
     identical for every ``workers`` value.  (This is
-    :func:`stream_piece_blocks`, collected — the in-RAM consumer.)
+    :func:`stream_piece_blocks`, collected — the in-RAM consumer;
+    ``pool`` lends a caller-owned executor exactly as there.)
     """
     theta = int(roots.size)
     collected: list[list[tuple[np.ndarray, np.ndarray]]] = [
@@ -356,6 +404,7 @@ def sample_piece_blocks(
         backend=backend,
         workers=workers,
         executor=executor,
+        pool=pool,
     ):
         collected[j].append((ptr, nodes))
     merged: list[tuple[np.ndarray, np.ndarray]] = []

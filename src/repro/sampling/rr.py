@@ -8,13 +8,19 @@ vertex ``u`` lands in the RR set of ``x`` with exactly the probability
 that a cascade seeded at ``u`` activates ``x`` — which is what makes
 ``n/theta * sum_i I[R_i ∩ S ≠ ∅]`` an unbiased spread estimator.
 
-Two backends implement the sampling (sampling is the hot loop of the
+Three backends implement the sampling (sampling is the hot loop of the
 whole reproduction):
 
 ``"batch"`` (default)
     The frontier-at-a-time NumPy engine of
     :class:`repro.sampling.batch.BatchRRSampler` — whole blocks of
     roots expanded per kernel pass.
+``"native"``
+    The compiled tier
+    (:class:`repro.sampling.batch.NativeRRSampler`): same block driver
+    and draw stream as ``"batch"``, with each level's expansion fused
+    into one Numba-compiled loop.  Bit-identical to ``"batch"``; falls
+    back to it (with one warning) when Numba is not importable.
 ``"python"``
     The reference lazy reverse BFS: edges are coin-flipped only when
     the traversal first considers them, which is distributionally
@@ -35,7 +41,11 @@ import numpy as np
 
 from repro.diffusion.projection import PieceGraph
 from repro.exceptions import SamplingError
-from repro.sampling.batch import BatchRRSampler, check_backend
+from repro.sampling.batch import (
+    BatchRRSampler,
+    NativeRRSampler,
+    check_backend,
+)
 from repro.utils.frontier import Int64Buffer
 
 __all__ = ["ReverseReachableSampler"]
@@ -51,7 +61,9 @@ class ReverseReachableSampler:
     ) -> None:
         self._graph = piece_graph
         self._backend = check_backend(backend)
-        self._batch: BatchRRSampler | None = None
+        # Engine cache keyed by engine class: per-call backend overrides
+        # can alternate batch/native without rebuilding scratch arrays.
+        self._batch: dict[type, BatchRRSampler] = {}
         # Scalar-path scratch is allocated on first use: a batch-backend
         # sampler that only ever calls sample_many never pays the
         # 16n-byte mark/queue arrays on top of the engine's own stamps.
@@ -69,10 +81,12 @@ class ReverseReachableSampler:
         """Which sampling engine ``sample_many`` routes through."""
         return self._backend
 
-    def _batch_engine(self) -> BatchRRSampler:
-        if self._batch is None:
-            self._batch = BatchRRSampler(self._graph)
-        return self._batch
+    def _batch_engine(self, backend: str) -> BatchRRSampler:
+        cls = NativeRRSampler if backend == "native" else BatchRRSampler
+        engine = self._batch.get(cls)
+        if engine is None:
+            engine = self._batch[cls] = cls(self._graph)
+        return engine
 
     def sample(self, root: int, rng) -> np.ndarray:
         """Draw one random RR set for ``root``.
@@ -125,8 +139,8 @@ class ReverseReachableSampler:
         """
         backend = self._backend if backend is None else check_backend(backend)
         roots = np.asarray(roots, dtype=np.int64)
-        if backend == "batch":
-            return self._batch_engine().sample_many(roots, rng)
+        if backend != "python":
+            return self._batch_engine(backend).sample_many(roots, rng)
         ptr = np.zeros(len(roots) + 1, dtype=np.int64)
         nodes = Int64Buffer(2 * len(roots) + 16)
         for i, root in enumerate(roots):

@@ -1,0 +1,210 @@
+"""Shared-memory transport for process-pool sample blocks.
+
+With ``executor="process"``, every (piece, root block) task used to
+return its CSR pair by pickling it through the result queue — at
+production theta that is the whole collection serialized byte-by-byte
+through a pipe.  This module gives the streaming runtime a
+:class:`SharedSlabPool`: a ring of fixed-size ``multiprocessing.shared_memory``
+slots the parent creates up front.  Workers write ``(ptr, nodes)``
+straight into their assigned slot and return a tiny token; the parent
+copies the arrays out and the slot is recycled.
+
+Slot assignment needs no locks.  The streaming consumer drains futures
+in FIFO submission order with a bounded in-flight window of ``2 *
+width`` tasks, and the pool carries exactly that many slots, assigned
+round-robin by submission index: before task ``i`` is ever submitted,
+task ``i - 2 * width`` has already been drained, so slot ``i % (2 *
+width)`` is provably free.  Blocks larger than a slot (or any shared
+-memory failure: tiny ``/dev/shm``, platform without POSIX shm) fall
+back to the historical pickled return per task — the transport is an
+optimisation, never a correctness dependency, and the bytes moved are
+bit-identical either way.
+
+``SHM_ENABLED`` is the module kill-switch (monkeypatched by tests, and
+flipped off for the whole process after a creation failure so a tiny
+``/dev/shm`` is probed once, not per collection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _resource_tracker = None
+    _shared_memory = None
+
+__all__ = [
+    "SHM_ENABLED",
+    "SharedSlabPool",
+    "slab_slot_bytes",
+    "write_block",
+]
+
+#: Process-wide enable flag; see the module docstring.
+SHM_ENABLED = True
+
+#: Worker-side attachment cache ceiling: one entry per distinct slot
+#: segment seen; old entries (previous collections' pools) are evicted
+#: oldest-first so a long-lived warm worker never accumulates mappings.
+_MAX_ATTACHED = 64
+
+_attached: dict[str, object] = {}
+
+
+def slab_slot_bytes(block_roots: int) -> int:
+    """Slot capacity for blocks of ``block_roots`` roots.
+
+    Sized from a 16-entries-per-RR-set heuristic (generous for the
+    sparse cascades the paper's regimes produce) plus the ``ptr``
+    column, clamped to [1 MB, 16 MB].  Underestimates are harmless —
+    an oversized block just falls back to the pickled return.
+    """
+    est = 8 * (block_roots + 1) + 8 * block_roots * 16
+    return int(min(max(est, 1 << 20), 1 << 24))
+
+
+def _attach(name: str):
+    """Worker-side: map a slot segment by name (cached, tracker-free).
+
+    The resource tracker must not adopt worker-side attachments — the
+    parent owns the segments' lifetime — so attachments pass
+    ``track=False`` where supported (3.13+) and suppress the tracker's
+    ``register`` call otherwise.  (Unregistering *after* the fact
+    would be wrong under the fork start method, where parent and
+    workers share one tracker process: the worker's unregister would
+    strip the parent's own registration.)
+    """
+    seg = _attached.get(name)
+    if seg is not None:
+        return seg
+    try:
+        try:
+            seg = _shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no track kwarg
+            if _resource_tracker is None:
+                seg = _shared_memory.SharedMemory(name=name)
+            else:
+                original = _resource_tracker.register
+                _resource_tracker.register = lambda *a, **kw: None
+                try:
+                    seg = _shared_memory.SharedMemory(name=name)
+                finally:
+                    _resource_tracker.register = original
+    except (OSError, ValueError):
+        return None
+    while len(_attached) >= _MAX_ATTACHED:
+        stale = _attached.pop(next(iter(_attached)))
+        try:
+            stale.close()
+        except BufferError:  # a view still exported; let gc finish it
+            pass
+    _attached[name] = seg
+    return seg
+
+
+def write_block(
+    spec: tuple[str, int], ptr: np.ndarray, nodes: np.ndarray
+):
+    """Worker-side: place one block's CSR pair into its slot.
+
+    ``spec`` is ``(segment name, capacity bytes)`` from
+    :meth:`SharedSlabPool.slot_spec`.  Returns the result token
+    ``("shm", name, ptr_len, nodes_len)``, or ``None`` when the block
+    must travel pickled instead (slot too small, shm unavailable).
+    """
+    if _shared_memory is None or not SHM_ENABLED:
+        return None
+    name, capacity = spec
+    if ptr.nbytes + nodes.nbytes > capacity:
+        return None
+    seg = _attach(name)
+    if seg is None:
+        return None
+    flat = np.frombuffer(seg.buf, dtype=np.int64, count=capacity >> 3)
+    flat[: ptr.size] = ptr
+    flat[ptr.size : ptr.size + nodes.size] = nodes
+    del flat  # release the exported buffer before any future close
+    return ("shm", name, int(ptr.size), int(nodes.size))
+
+
+class SharedSlabPool:
+    """Parent-side ring of shared-memory slots, one per in-flight task."""
+
+    __slots__ = ("slot_bytes", "_segments", "_by_name")
+
+    def __init__(self, slots: int, slot_bytes: int) -> None:
+        self.slot_bytes = int(slot_bytes)
+        self._segments = []
+        try:
+            for _ in range(int(slots)):
+                self._segments.append(
+                    _shared_memory.SharedMemory(
+                        create=True, size=self.slot_bytes
+                    )
+                )
+        except (OSError, ValueError):
+            self.close()
+            raise
+        self._by_name = {seg.name: seg for seg in self._segments}
+
+    @classmethod
+    def create(
+        cls, slots: int, slot_bytes: int
+    ) -> "SharedSlabPool | None":
+        """A pool, or ``None`` when shared memory is not usable here.
+
+        A creation failure (e.g. ``/dev/shm`` too small for the ring)
+        flips :data:`SHM_ENABLED` off so the probe happens once per
+        process; the caller's pickled path is always valid.
+        """
+        global SHM_ENABLED
+        if _shared_memory is None or not SHM_ENABLED or slots <= 0:
+            return None
+        try:
+            return cls(slots, slot_bytes)
+        except (OSError, ValueError):
+            SHM_ENABLED = False
+            return None
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._segments)
+
+    def slot_spec(self, submit_index: int) -> tuple[str, int]:
+        """The ``(name, capacity)`` spec for the task submitted ``i``-th.
+
+        Round-robin over the ring; safe because the consumer's FIFO
+        drain guarantees the slot's previous occupant was read before
+        this submission (see the module docstring).
+        """
+        seg = self._segments[submit_index % len(self._segments)]
+        return (seg.name, self.slot_bytes)
+
+    def read(self, token) -> tuple[np.ndarray, np.ndarray]:
+        """Copy a worker token's ``(ptr, nodes)`` out of its slot."""
+        _, name, ptr_len, nodes_len = token
+        seg = self._by_name[name]
+        flat = np.frombuffer(
+            seg.buf, dtype=np.int64, count=ptr_len + nodes_len
+        )
+        ptr = flat[:ptr_len].copy()
+        nodes = flat[ptr_len:].copy()
+        del flat
+        return ptr, nodes
+
+    def close(self) -> None:
+        """Release and unlink every slot (idempotent)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+            except BufferError:
+                pass
+            try:
+                seg.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        self._segments = []
+        self._by_name = {}

@@ -42,7 +42,9 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import native as _native
 from repro.exceptions import ConfigError, StoreBusyError, StoreError
+from repro.native import kernels as _nk
 from repro.runtime import DEFAULT_STORE, STORES
 from repro.utils.frontier import frontier_edge_slots
 
@@ -122,9 +124,12 @@ def store_fingerprint(
     per-piece diffusion models, and sampling backend agree — the
     fingerprint captures exactly that, so resuming against a shard
     directory from a *different* run fails loudly instead of silently
-    mixing samples.  The backend is recorded *resolved* (``None`` means
-    the ``REPRO_BACKEND`` default), so a directory written under one
-    env default cannot be reloaded under another.
+    mixing samples.  The backend is recorded *canonical* (``None``
+    means the ``REPRO_BACKEND`` default, and ``"native"`` records as
+    ``"batch"`` — the two engines are bit-identical by contract, so
+    their shard directories are interchangeable), while a directory
+    written under one env default still cannot be reloaded under a
+    non-equivalent one.
 
     ``graph``/``pieces`` are the content fingerprints of the topic
     graph and the projected piece graphs.  The root draw depends only
@@ -134,13 +139,13 @@ def store_fingerprint(
     passes both, while callers that only know the dimensions may omit
     them (the segments are then absent and never compared).
     """
-    from repro.sampling.batch import check_backend
+    from repro.sampling.batch import canonical_backend
 
     roots = np.asarray(roots, dtype=np.int64)
     crc = zlib.crc32(roots.tobytes())
     fingerprint = (
         f"v{_FORMAT}:n={int(n)}:theta={roots.size}:roots={crc:08x}"
-        f":models={','.join(models)}:backend={check_backend(backend)}"
+        f":models={','.join(models)}:backend={canonical_backend(backend)}"
     )
     if graph is not None:
         fingerprint += f":graph={graph[:16]}"
@@ -397,19 +402,31 @@ class MemoryStore(SampleStore):
         self.finalized = True
 
     def _build_indexes(self) -> None:
-        """Inverted index per piece: vertex -> sorted sample ids."""
+        """Inverted index per piece: vertex -> sorted sample ids.
+
+        With the compiled tier live the CSR transpose runs as one
+        counting-scatter kernel (``repro.native.kernels.invert_index``)
+        instead of the repeat + stable-argsort chain; both constructions
+        produce the identical index, so this path is taken whenever the
+        kernel is compiled, independent of the backend knob.
+        """
+        use_native = _native.compiled()
         for j in range(len(self._rr_ptr)):
             ptr, nodes = self._rr_ptr[j], self._rr_nodes[j]
-            sample_of_slot = np.repeat(
-                np.arange(ptr.size - 1, dtype=np.int64), np.diff(ptr)
-            )
-            order = np.argsort(nodes, kind="stable")
-            sorted_nodes = nodes[order]
-            idx_samples = sample_of_slot[order]
             idx_ptr = np.zeros(self.n + 1, dtype=np.int64)
-            if sorted_nodes.size:
-                counts = np.bincount(sorted_nodes, minlength=self.n)
-                np.cumsum(counts, out=idx_ptr[1:])
+            if use_native:
+                idx_samples = np.empty(nodes.size, dtype=np.int64)
+                _nk.invert_index(ptr, nodes, idx_ptr, idx_samples)
+            else:
+                sample_of_slot = np.repeat(
+                    np.arange(ptr.size - 1, dtype=np.int64), np.diff(ptr)
+                )
+                order = np.argsort(nodes, kind="stable")
+                sorted_nodes = nodes[order]
+                idx_samples = sample_of_slot[order]
+                if sorted_nodes.size:
+                    counts = np.bincount(sorted_nodes, minlength=self.n)
+                    np.cumsum(counts, out=idx_ptr[1:])
             self._idx_ptr.append(idx_ptr)
             self._idx_samples.append(idx_samples)
 
@@ -679,7 +696,14 @@ class ShardStore(SampleStore):
         are visited in root order and every sort is stable, each
         vertex's slab lists sample ids in increasing order: exactly the
         index :class:`MemoryStore` builds with one global argsort.
+
+        With the compiled tier live, both stable sorts (per-shard
+        bucket scatter and final per-bucket sort) run as the
+        counting-sort kernel ``repro.native.kernels.sort_pairs_by_vertex``
+        — O(pairs + n) and identical output, so the shard files are
+        byte-for-byte the same either way.
         """
+        use_native = _native.compiled()
         sizes = np.empty(self.theta, dtype=np.int64)
         counts = np.zeros(self.n, dtype=np.int64)
         for b in range(self.num_blocks):
@@ -710,8 +734,13 @@ class ShardStore(SampleStore):
                 samples = lo + np.repeat(
                     np.arange(ptr.size - 1, dtype=np.int64), np.diff(ptr)
                 )
-                order = np.argsort(nodes, kind="stable")
-                sv, ss = nodes[order], samples[order]
+                if use_native:
+                    sv = np.empty(nodes.size, dtype=np.int64)
+                    ss = np.empty(nodes.size, dtype=np.int64)
+                    _nk.sort_pairs_by_vertex(nodes, samples, self.n, sv, ss)
+                else:
+                    order = np.argsort(nodes, kind="stable")
+                    sv, ss = nodes[order], samples[order]
                 cuts = np.searchsorted(sv, bounds)
                 for i in range(len(bounds) - 1):
                     a, z = cuts[i], cuts[i + 1]
@@ -731,7 +760,13 @@ class ShardStore(SampleStore):
                         self._path(f".bucket{piece:03d}_{i:04d}.s"),
                         dtype=np.int64,
                     )
-                    s[np.argsort(v, kind="stable")].tofile(out)
+                    if use_native:
+                        sv = np.empty(v.size, dtype=np.int64)
+                        ss = np.empty(s.size, dtype=np.int64)
+                        _nk.sort_pairs_by_vertex(v, s, self.n, sv, ss)
+                        ss.tofile(out)
+                    else:
+                        s[np.argsort(v, kind="stable")].tofile(out)
             os.replace(tmp, self._idx_bin_path(piece))
         finally:
             for fh in bucket_v + bucket_s:
@@ -924,9 +959,17 @@ class ShardStore(SampleStore):
                 int(run_lo[r]),
                 int(run_end[r]),
             )
-        # Scatter back into request order with one vectorized gather:
-        # per-vertex file positions (frontier_edge_slots) shifted by the
-        # owning run's file-offset -> buffer-offset delta.
+        # Scatter back into request order.  Compiled tier: one typed
+        # loop that binary-searches each slab's owning run and copies it
+        # (identical to the searchsorted + repeat-shift gather below).
+        if _native.compiled():
+            out = np.empty(total, dtype=np.int64)
+            _nk.gather_scatter_runs(
+                buf, ptr[vertices], deg, run_lo, buf_base, out
+            )
+            return out, deg
+        # NumPy form: per-vertex file positions (frontier_edge_slots)
+        # shifted by the owning run's file-offset -> buffer-offset delta.
         run_of = np.searchsorted(run_lo, ptr[vertices], side="right") - 1
         run_of = np.clip(run_of, 0, run_lo.size - 1)
         shift = buf_base[run_of] - run_lo[run_of]

@@ -80,21 +80,24 @@ def execute_spec(spec: JobSpec, *, runtime=None) -> tuple[dict, list]:
         seed=spec.seed,
         runtime=runtime,
     )
-    if spec.evaluate:
-        result = session.run(
-            spec.method,
-            theta=spec.theta,
-            eval_theta=spec.eval_theta,
-            **spec.options,
-        )
-    else:
-        session.stage_trace.record("plan", "run", "problem")
-        result = session.solve(
-            spec.method,
-            theta=spec.theta,
-            evaluate=False,
-            **spec.options,
-        )
+    # the context manager releases the session's warm sampling pool
+    # even when the solver raises (the failure is recorded on the job)
+    with session:
+        if spec.evaluate:
+            result = session.run(
+                spec.method,
+                theta=spec.theta,
+                eval_theta=spec.eval_theta,
+                **spec.options,
+            )
+        else:
+            session.stage_trace.record("plan", "run", "problem")
+            result = session.solve(
+                spec.method,
+                theta=spec.theta,
+                evaluate=False,
+                **spec.options,
+            )
     payload = {
         "method": result.method,
         "seed_sets": [sorted(int(v) for v in s) for s in result.seed_sets],
@@ -110,6 +113,7 @@ def execute_spec(spec: JobSpec, *, runtime=None) -> tuple[dict, list]:
             "action": e.action,
             "detail": e.detail,
             "seconds": e.seconds,
+            "extra": _jsonable(e.extra),
         }
         for e in session.stage_trace
     ]

@@ -462,7 +462,7 @@ class TestShardRoundTrip:
                 shard_dir=shard_dir, backend="batch",
             )
         assert (
-            f"backend={batch.DEFAULT_BACKEND}"
+            f"backend={batch.canonical_backend(None)}"
             in store_mod.store_fingerprint(graph.n, np.arange(4), ("ic",), None)
         )
 
