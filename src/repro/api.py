@@ -375,12 +375,22 @@ class Session:
         held pool is replaced when the runtime asks for a different
         executor kind or width, or when a previous failure broke or
         shut it down; :meth:`close` (or the context manager) releases
-        it.  Serial runtimes (``workers`` 0/1) never build one.
+        it.  Serial runtimes (``workers`` 0/1) never build one, and
+        ``executor="spawned"`` over a disk store never borrows one —
+        the distributed driver (:mod:`repro.sampling.dist`) owns its
+        worker processes outright; in-RAM spawned targets degrade to
+        the bit-identical process pool.
         """
         width = rt.pool_width
         if width is None or width <= 1:
             return None
         kind = check_executor(rt.executor)
+        if kind == "spawned":
+            from repro.sampling.store import SampleStore
+
+            if rt.store == "disk" or isinstance(rt.store, SampleStore):
+                return None
+            kind = "process"
         if self._pool is not None:
             held_kind, held_width, held = self._pool
             dead = (

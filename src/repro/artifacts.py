@@ -36,8 +36,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import shutil
 import tempfile
+import time
 import uuid
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
@@ -45,6 +47,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigError, StoreError
+from repro.utils.locks import FileLease
 
 __all__ = [
     "Artifact",
@@ -52,6 +55,7 @@ __all__ = [
     "ArtifactStore",
     "DiskArtifactStore",
     "MemoryArtifactStore",
+    "ProducerFlight",
     "piece_graphs_digest",
     "resolve_artifact_store",
 ]
@@ -126,6 +130,104 @@ class Artifact:
     path: str | None = None
 
 
+#: How long a flight waiter polls for the producer's commit before
+#: giving up and producing privately (a benign duplicate).
+DEFAULT_FLIGHT_TIMEOUT = 300.0
+_FLIGHT_POLL = 0.05
+
+
+class ProducerFlight:
+    """Cross-process single-flight for one artifact key.
+
+    On a cache miss, ``claim()`` decides whether this process produces
+    the artifact (``True``) or should wait for whoever already claimed
+    it; ``wait(fetch)`` polls ``fetch`` (typically ``lambda:
+    store.get(key)``) until the producer commits, dies, or the timeout
+    lapses.  ``wait`` returning ``None`` means *you are now the
+    producer* — either the lease was inherited from a dead producer or
+    the wait timed out and a private (benignly duplicated) production
+    is the fallback.  ``release()`` is idempotent; callers put it in a
+    ``finally`` around the production.
+
+    This base class is the in-process store's trivial flight: claims
+    always succeed (the Session layer already single-flights within a
+    process), so behaviour without a disk store is unchanged.
+    """
+
+    def claim(self) -> bool:
+        return True
+
+    def wait(
+        self,
+        fetch,
+        *,
+        timeout: float = DEFAULT_FLIGHT_TIMEOUT,
+        poll: float = _FLIGHT_POLL,
+    ):
+        return None
+
+    def release(self) -> None:
+        return None
+
+    def __enter__(self) -> "ProducerFlight":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class _DiskProducerFlight(ProducerFlight):
+    """Lease-backed flight next to the disk store's staging area.
+
+    The lock file lives under ``root/tmp/`` (the staging directory),
+    keyed by the artifact digest, so any process sharing the store's
+    filesystem participates.  A claimed flight starts a keepalive so a
+    long production is never stolen from a live producer; waits sleep
+    with jitter (plain ``time.sleep`` — Ctrl-C interrupts immediately).
+    """
+
+    def __init__(self, root: str, key: ArtifactKey) -> None:
+        path = os.path.join(
+            root, _STAGING_DIR, f"{key.digest}.flight.lock"
+        )
+        self._lease = FileLease(path, payload={"stage": key.stage})
+
+    def claim(self) -> bool:
+        if not self._lease.try_acquire():
+            return False
+        self._lease.keepalive()
+        return True
+
+    def wait(
+        self,
+        fetch,
+        *,
+        timeout: float = DEFAULT_FLIGHT_TIMEOUT,
+        poll: float = _FLIGHT_POLL,
+    ):
+        deadline = time.monotonic() + float(timeout)
+        while time.monotonic() < deadline:
+            time.sleep(poll * (0.5 + random.random()))
+            obj = fetch()
+            if obj is not None:
+                return obj
+            if self._lease.try_acquire():
+                # Producer vanished (released without committing, or
+                # died and the lease expired).  One more fetch under
+                # the lock — commit-then-release is not atomic — then
+                # the caller inherits the production.
+                obj = fetch()
+                if obj is not None:
+                    self.release()
+                    return obj
+                self._lease.keepalive()
+                return None
+        return None
+
+    def release(self) -> None:
+        self._lease.release()
+
+
 class ArtifactStore:
     """Maps :class:`ArtifactKey` → cached stage product.
 
@@ -134,6 +236,8 @@ class ArtifactStore:
     and implement ``stage_dir``/``commit``: the producer writes into
     ``stage_dir(key)`` and the artifact only becomes visible once
     ``commit`` lands its metadata, so interrupted work is a plain miss.
+    Cross-process coordination on a miss goes through
+    :meth:`producer_flight` (a no-op claim for in-process stores).
     """
 
     kind = "abstract"
@@ -159,6 +263,10 @@ class ArtifactStore:
         raise StoreError(
             f"{type(self).__name__} cannot host directory artifacts"
         )
+
+    def producer_flight(self, key: ArtifactKey) -> ProducerFlight:
+        """A single-flight handle for producing ``key`` (see above)."""
+        return ProducerFlight()
 
     def stats(self) -> dict[str, int]:
         raise NotImplementedError
@@ -352,6 +460,18 @@ class DiskArtifactStore(ArtifactStore):
         staging = self._new_staging_dir()
         self._staging[key.digest] = staging
         return staging
+
+    def producer_flight(self, key: ArtifactKey) -> ProducerFlight:
+        """Cross-process flight: a lease file next to the staging area.
+
+        Any process sharing ``root`` participates, so N workers
+        cold-starting on one key elect one producer and the rest poll
+        :meth:`get` for its commit instead of all regenerating.
+        Correctness never depends on it — a timed-out or inherited
+        flight falls back to private production whose duplicate commit
+        is the usual benign no-op.
+        """
+        return _DiskProducerFlight(self.root, key)
 
     def _committed_token_matches(self, obj_dir: str, key: ArtifactKey) -> bool:
         meta = self._read_counters(os.path.join(obj_dir, _META))

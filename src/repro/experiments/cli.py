@@ -102,8 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--executor",
         default=None,
-        choices=["thread", "process"],
-        help="pool flavour for the parallel runtime (default: thread)",
+        choices=["thread", "process", "spawned"],
+        help="pool flavour for the parallel runtime; 'spawned' runs "
+        "disk-store generation as cooperating worker processes "
+        "(default: thread)",
     )
     parser.add_argument(
         "--model",

@@ -108,11 +108,13 @@ class TraceEvent(tuple):
     Generation internals report their stage events as plain 2-tuples —
     an API pinned by callers doing ``("sample", "run") in events`` and
     ``for stage, action in events``.  This subclass keeps both working
-    while letting a producer attach machine-readable measurements (the
-    sample stage's effective block geometry, say) that the Session
-    forwards into :attr:`StageEvent.extra`; consumers read it with
-    ``getattr(event, "extra", {})`` so plain tuples remain valid
-    events.
+    while letting a producer attach machine-readable measurements that
+    the Session forwards into :attr:`StageEvent.extra`; consumers read
+    it with ``getattr(event, "extra", {})`` so plain tuples remain
+    valid events.  The sample stage reports its effective block
+    geometry *and* its execution topology (``executor``/``workers`` —
+    including the distributed ``"spawned"`` fan-out), so a trace
+    records not just what ran but how it was spread out.
     """
 
     def __new__(cls, stage: str, action: str, extra=None) -> "TraceEvent":

@@ -27,7 +27,8 @@ module is the single execution surface that replaces that scatter:
     :class:`DeprecationWarning` pointing at the ``runtime=`` spelling.
 
 Environment overrides (``REPRO_BACKEND``, ``REPRO_WORKERS``,
-``REPRO_STORE``) are parsed here, once, at import — the *only* place in
+``REPRO_EXECUTOR``, ``REPRO_STORE``) are parsed here, once, at import —
+the *only* place in
 the tree that reads them.  The sampling modules re-export the parsed
 defaults (``repro.sampling.batch.DEFAULT_BACKEND`` and friends) as the
 env layer of the resolution order, so CI matrices and tests keep their
@@ -46,6 +47,7 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_ARTIFACTS",
     "DEFAULT_BACKEND",
+    "DEFAULT_DIST_LAUNCH",
     "DEFAULT_EXECUTOR",
     "DEFAULT_MODEL",
     "DEFAULT_SERVICE_WORKERS",
@@ -60,6 +62,7 @@ __all__ = [
     "as_runtime",
     "parse_env_artifacts",
     "parse_env_choice",
+    "parse_env_nonnegative_int",
     "parse_env_positive_int",
     "parse_env_workers",
     "resolve_runtime",
@@ -72,11 +75,10 @@ __all__ = [
 
 BACKENDS = ("python", "batch", "native")
 MODELS = ("ic", "lt")
-EXECUTORS = ("thread", "process")
+EXECUTORS = ("thread", "process", "spawned")
 STORES = ("memory", "disk")
 
 DEFAULT_MODEL = "ic"
-DEFAULT_EXECUTOR = "thread"
 
 
 def parse_env_choice(
@@ -139,6 +141,26 @@ def parse_env_positive_int(name: str, text: str | None) -> int | None:
     return value
 
 
+def parse_env_nonnegative_int(name: str, text: str | None) -> int | None:
+    """Parse a ``>= 0`` integer env knob; ``None``/empty means unset.
+
+    Unlike :func:`parse_env_positive_int`, ``0`` is a legal explicit
+    value — ``REPRO_DIST_LAUNCH=0`` means "launch no workers, rely on
+    hand-started ones".
+    """
+    if not text:
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        value = -1
+    if value < 0:
+        raise ConfigError(
+            f"{name} must be an integer >= 0, got {text!r}"
+        )
+    return value
+
+
 def parse_env_artifacts(text: str | None):
     """Parse ``REPRO_ARTIFACTS``: off / memory / an artifact directory.
 
@@ -161,6 +183,18 @@ DEFAULT_BACKEND = (
     or "batch"
 )
 DEFAULT_WORKERS = parse_env_workers(os.environ.get("REPRO_WORKERS"))
+DEFAULT_EXECUTOR = (
+    parse_env_choice(
+        "REPRO_EXECUTOR", os.environ.get("REPRO_EXECUTOR"), EXECUTORS
+    )
+    or "thread"
+)
+# Distributed-sampling coordinator: how many worker processes to launch
+# (None = the resolved ``workers`` width; 0 = launch none and rely on
+# hand-started ``python -m repro.sampling.worker`` processes).
+DEFAULT_DIST_LAUNCH = parse_env_nonnegative_int(
+    "REPRO_DIST_LAUNCH", os.environ.get("REPRO_DIST_LAUNCH")
+)
 DEFAULT_STORE = (
     parse_env_choice("REPRO_STORE", os.environ.get("REPRO_STORE"), STORES)
     or "memory"
@@ -319,7 +353,15 @@ class Runtime(_ShardDirKeying):
         fixes the pool size.  ``None`` defers to ``REPRO_WORKERS``
         (else serial) like every other field.
     executor:
-        Pool flavour — ``"thread"`` (default) or ``"process"``.
+        Pool flavour — ``"thread"`` (default), ``"process"``, or
+        ``"spawned"``.  ``"spawned"`` is the distributed runtime: disk
+        generations are filled by N *independent* worker processes
+        cooperating through work-leases next to the shard directory
+        (launched by the coordinator, or started by hand with
+        ``python -m repro.sampling.worker`` on machines sharing the
+        filesystem — see DISTRIBUTED.md); entry points without a
+        shard-store rendezvous degrade to a process pool.  ``None``
+        defers to ``REPRO_EXECUTOR`` (else ``"thread"``).
     store:
         Sample-store layer — ``"memory"`` (default), ``"disk"``, or a
         pre-constructed :class:`~repro.sampling.store.SampleStore`.
@@ -439,7 +481,11 @@ class ResolvedRuntime(_ShardDirKeying):
         (kernel engine), ``model`` (diffusion semantics), and ``seed``
         (the draw).  ``workers``/``executor`` are excluded because the
         parallel runtime is bit-identical across pool sizes and pool
-        flavours, and ``store``/``shard_dir``/``max_resident_bytes``
+        flavours — ``"spawned"`` (the distributed topology) folds in
+        with thread/process pools for the same reason: the
+        worker-count-independent task decomposition pins identical
+        outputs for every topology — and
+        ``store``/``shard_dir``/``max_resident_bytes``
         because the memory and disk stores hold the same collection —
         so a sweep may vary any of those and still share artifacts.
         ``"native"`` keys as ``"batch"``: the compiled tier is

@@ -30,6 +30,8 @@ of gathering a whole candidate pool's slabs at once.
 from __future__ import annotations
 
 import os
+import random
+import time
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -307,6 +309,7 @@ class MRRCollection:
             else "blocked"
         )
         key = None
+        flight = None
         if cacheable:
             key = ArtifactKey(
                 graph=graph_fp,
@@ -319,129 +322,171 @@ class MRRCollection:
                     f"stream={stream}",
                 ),
             )
-            hit = art_store.get(key)
-            if hit is not None:
-                try:
-                    return cls._from_artifact(hit, rt, store_obj)
-                except StoreBusyError:
-                    # The cached shard directory is incomplete — a
-                    # pre-rename-atomic layout, or a concurrent writer
-                    # against a shared spool.  Retryable, not corrupt:
-                    # treat it as a miss and regenerate privately (the
-                    # duplicate commit below is a benign no-op).
-                    pass
+            got = cls._cached_or_none(art_store, key, rt, store_obj)
+            if got is not None:
+                return got
+            # Cold miss: elect one producer across every process
+            # sharing the artifact store; the rest poll for its commit
+            # instead of stampeding into N identical generations.
+            flight = art_store.producer_flight(key)
+            if not flight.claim():
+                hit = flight.wait(lambda: art_store.get(key))
+                if hit is not None:
+                    try:
+                        return cls._from_artifact(hit, rt, store_obj)
+                    except StoreBusyError:
+                        pass  # fall through: regenerate privately
+                # wait() came back empty: this process inherited the
+                # flight from a dead producer, or timed out — either
+                # way it now produces (duplicate commits stay benign).
 
-        # The sample stage's effective block geometry (the ISSUE'd trace
-        # gap): the per-task root block of the (piece, block)
-        # decomposition — theta itself on the serial path — and the
-        # (roots, n) kernel block adaptive sizing actually picks for it.
-        task_block = theta if stream == "serial" else task_block_size(theta)
-        events = [
-            TraceEvent(
-                "sample",
-                "run",
-                {
-                    "stream": stream,
-                    "backend": check_backend(rt.backend),
-                    "task_block": int(task_block),
-                    "block_roots": adaptive_block_size(
-                        graph.n, min(task_block, theta)
-                    ),
-                    "block_n": int(graph.n),
-                },
-            ),
-            ("index", "run"),
-        ]
-        if store_obj is not None:
-            if cacheable:
-                # Host the shard directory inside the artifact object.
-                # stage_dir() hands out a *private* staging directory
-                # and commit() publishes it with one atomic rename, so
-                # concurrent workers missing this key each generate
-                # privately and the loser's commit is a benign no-op —
-                # never two producers interleaving bucket files in one
-                # directory.
-                shards_dir = os.path.join(art_store.stage_dir(key), "shards")
-                store_obj = ShardStore(
-                    shards_dir, max_resident_bytes=rt.max_resident_bytes
+        try:
+            # The sample stage's effective block geometry (the ISSUE'd trace
+            # gap): the per-task root block of the (piece, block)
+            # decomposition — theta itself on the serial path — and the
+            # (roots, n) kernel block adaptive sizing actually picks for it.
+            task_block = theta if stream == "serial" else task_block_size(theta)
+            events = [
+                TraceEvent(
+                    "sample",
+                    "run",
+                    {
+                        "stream": stream,
+                        "backend": check_backend(rt.backend),
+                        "executor": rt.executor,
+                        "workers": int(pool_width or 1),
+                        "task_block": int(task_block),
+                        "block_roots": adaptive_block_size(
+                            graph.n, min(task_block, theta)
+                        ),
+                        "block_n": int(graph.n),
+                    },
+                ),
+                ("index", "run"),
+            ]
+            if store_obj is not None:
+                if cacheable:
+                    # Host the shard directory inside the artifact object.
+                    # stage_dir() hands out a *private* staging directory
+                    # and commit() publishes it with one atomic rename, so
+                    # concurrent workers missing this key each generate
+                    # privately and the loser's commit is a benign no-op —
+                    # never two producers interleaving bucket files in one
+                    # directory.
+                    shards_dir = os.path.join(art_store.stage_dir(key), "shards")
+                    store_obj = ShardStore(
+                        shards_dir, max_resident_bytes=rt.max_resident_bytes
+                    )
+                roots = rng.integers(0, graph.n, size=theta)
+                collection = cls._generate_into_store(
+                    graph.n,
+                    piece_graphs,
+                    models,
+                    roots,
+                    rng,
+                    backend=rt.backend,
+                    workers=pool_width or 1,
+                    executor=rt.executor,
+                    store=store_obj,
+                    graph_fingerprint=graph_fp,
+                    pieces_fingerprint=pieces_fp,
+                    pool=pool,
                 )
+                if cacheable:
+                    artifact = art_store.commit(
+                        key,
+                        {
+                            "format": "shards",
+                            "n": graph.n,
+                            "theta": theta,
+                            "num_pieces": campaign.num_pieces,
+                        },
+                    )
+                    # The staging directory just moved to its content
+                    # address (or lost the commit race to an identical
+                    # twin): repoint the live store at the published copy.
+                    store_obj.close()
+                    store_obj.shard_dir = os.path.join(artifact.path, "shards")
+                return collection, events, key
             roots = rng.integers(0, graph.n, size=theta)
-            collection = cls._generate_into_store(
-                graph.n,
-                piece_graphs,
-                models,
-                roots,
-                rng,
-                backend=rt.backend,
-                workers=pool_width or 1,
-                executor=rt.executor,
-                store=store_obj,
-                graph_fingerprint=graph_fp,
-                pieces_fingerprint=pieces_fp,
-                pool=pool,
-            )
+            if pool_width is not None:
+                pairs = sample_piece_blocks(
+                    piece_graphs,
+                    models,
+                    roots,
+                    rng,
+                    backend=rt.backend,
+                    workers=pool_width,
+                    executor=rt.executor,
+                    pool=pool,
+                )
+                rr_ptr = [ptr for ptr, _ in pairs]
+                rr_nodes = [nodes for _, nodes in pairs]
+            else:
+                rr_ptr: list[np.ndarray] = []
+                rr_nodes: list[np.ndarray] = []
+                for pg, piece_model in zip(piece_graphs, models):
+                    if piece_model == "lt":
+                        sampler = LinearThresholdSampler(pg, backend=rt.backend)
+                    else:
+                        sampler = ReverseReachableSampler(pg, backend=rt.backend)
+                    ptr, nodes = sampler.sample_many(roots, rng)
+                    rr_ptr.append(ptr)
+                    rr_nodes.append(nodes)
+            collection = cls(graph.n, roots, rr_ptr, rr_nodes)
             if cacheable:
-                artifact = art_store.commit(
+                arrays = {"roots": collection.roots}
+                for j in range(collection.num_pieces):
+                    ptr, nodes = collection.store.rr_arrays(j)
+                    idx_ptr, idx_samples = collection.store.index_arrays(j)
+                    arrays[f"rr_ptr{j}"] = ptr
+                    arrays[f"rr_nodes{j}"] = nodes
+                    arrays[f"idx_ptr{j}"] = idx_ptr
+                    arrays[f"idx_samples{j}"] = idx_samples
+                art_store.put(
                     key,
                     {
-                        "format": "shards",
+                        "format": "arrays",
                         "n": graph.n,
                         "theta": theta,
                         "num_pieces": campaign.num_pieces,
                     },
+                    arrays,
                 )
-                # The staging directory just moved to its content
-                # address (or lost the commit race to an identical
-                # twin): repoint the live store at the published copy.
-                store_obj.close()
-                store_obj.shard_dir = os.path.join(artifact.path, "shards")
             return collection, events, key
-        roots = rng.integers(0, graph.n, size=theta)
-        if pool_width is not None:
-            pairs = sample_piece_blocks(
-                piece_graphs,
-                models,
-                roots,
-                rng,
-                backend=rt.backend,
-                workers=pool_width,
-                executor=rt.executor,
-                pool=pool,
-            )
-            rr_ptr = [ptr for ptr, _ in pairs]
-            rr_nodes = [nodes for _, nodes in pairs]
-        else:
-            rr_ptr: list[np.ndarray] = []
-            rr_nodes: list[np.ndarray] = []
-            for pg, piece_model in zip(piece_graphs, models):
-                if piece_model == "lt":
-                    sampler = LinearThresholdSampler(pg, backend=rt.backend)
-                else:
-                    sampler = ReverseReachableSampler(pg, backend=rt.backend)
-                ptr, nodes = sampler.sample_many(roots, rng)
-                rr_ptr.append(ptr)
-                rr_nodes.append(nodes)
-        collection = cls(graph.n, roots, rr_ptr, rr_nodes)
-        if cacheable:
-            arrays = {"roots": collection.roots}
-            for j in range(collection.num_pieces):
-                ptr, nodes = collection.store.rr_arrays(j)
-                idx_ptr, idx_samples = collection.store.index_arrays(j)
-                arrays[f"rr_ptr{j}"] = ptr
-                arrays[f"rr_nodes{j}"] = nodes
-                arrays[f"idx_ptr{j}"] = idx_ptr
-                arrays[f"idx_samples{j}"] = idx_samples
-            art_store.put(
-                key,
-                {
-                    "format": "arrays",
-                    "n": graph.n,
-                    "theta": theta,
-                    "num_pieces": campaign.num_pieces,
-                },
-                arrays,
-            )
-        return collection, events, key
+        finally:
+            if flight is not None:
+                flight.release()
+
+    #: Bounded retry schedule for a busy (mid-commit) cached shard dir.
+    _BUSY_RETRIES = 4
+    _BUSY_BACKOFF = 0.05
+
+    @classmethod
+    def _cached_or_none(cls, art_store, key, rt, store_obj):
+        """The cache-hit return triple, or ``None`` on a (final) miss.
+
+        A hit whose shard directory is *busy* — a concurrent writer on
+        a shared spool mid-commit, or a pre-rename-atomic layout — is
+        retryable, not corrupt: retry with exponential backoff plus
+        jitter (stdlib ``random`` — the numpy streams stay untouched)
+        before giving up to private regeneration.  The waits are plain
+        ``time.sleep``, so Ctrl-C interrupts them immediately.
+        """
+        for attempt in range(cls._BUSY_RETRIES):
+            hit = art_store.get(key)
+            if hit is None:
+                return None
+            try:
+                return cls._from_artifact(hit, rt, store_obj)
+            except StoreBusyError:
+                if attempt + 1 < cls._BUSY_RETRIES:
+                    time.sleep(
+                        cls._BUSY_BACKOFF
+                        * (2**attempt)
+                        * (0.5 + random.random())
+                    )
+        return None
 
     @classmethod
     def _from_artifact(cls, hit, rt, store_obj):
@@ -555,6 +600,13 @@ class MRRCollection:
         the store — a resumed :class:`ShardStore` directory — are
         skipped without disturbing any other task's child stream, and a
         fully finalized store is reloaded without sampling at all.
+
+        ``executor="spawned"`` with an on-disk :class:`ShardStore`
+        routes the fill through :mod:`repro.sampling.dist`: independent
+        worker processes claim task leases and stream shards into the
+        directory while this process polls for completion.  The child
+        seed streams are identical by construction, so the result is
+        bit-for-bit the collection every other topology produces.
         """
         from repro.sampling.parallel import (
             stream_piece_blocks,
@@ -579,18 +631,37 @@ class MRRCollection:
         if isinstance(store, ShardStore):
             store.save_roots(roots)
         if not store.finalized:
-            for piece, block, ptr, nodes in stream_piece_blocks(
-                piece_graphs,
-                models,
-                roots,
-                rng,
-                backend=backend,
-                workers=workers,
-                executor=executor,
-                skip=store.has_block,
-                pool=pool,
+            if (
+                executor == "spawned"
+                and isinstance(store, ShardStore)
+                and store.shard_dir is not None
             ):
-                store.put_block(piece, block, ptr, nodes)
+                from repro.runtime import DEFAULT_DIST_LAUNCH
+                from repro.sampling.dist import fill_store_distributed
+
+                fill_store_distributed(
+                    piece_graphs,
+                    models,
+                    roots,
+                    rng,
+                    backend=backend,
+                    workers=workers,
+                    store=store,
+                    launch=DEFAULT_DIST_LAUNCH,
+                )
+            else:
+                for piece, block, ptr, nodes in stream_piece_blocks(
+                    piece_graphs,
+                    models,
+                    roots,
+                    rng,
+                    backend=backend,
+                    workers=workers,
+                    executor=executor,
+                    skip=store.has_block,
+                    pool=pool,
+                ):
+                    store.put_block(piece, block, ptr, nodes)
             store.finalize()
         return cls(n, roots, store=store)
 

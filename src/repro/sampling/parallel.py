@@ -152,6 +152,12 @@ def make_pool(workers, *, executor: str | None = None):
     CELF marginal-spread evaluation): build the pool once, pass it via
     ``parallel_map(..., pool=...)``, and shut it down in a ``finally``
     — instead of paying pool construction per round.
+
+    ``executor="spawned"`` — the distributed topology — builds a
+    process pool here: only disk-store *generation* has the shard-dir
+    rendezvous the independent-worker runtime needs
+    (:mod:`repro.sampling.dist`); every other fan-out degrades to the
+    equivalent (bit-identical) process pool.
     """
     width = resolve_workers(workers)
     if width is None or width <= 1:

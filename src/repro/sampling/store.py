@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
+import uuid
 import zlib
 from collections import OrderedDict
 
@@ -71,6 +73,25 @@ DEFAULT_MAX_RESIDENT_BYTES = 256 * 1024 * 1024
 
 _MANIFEST = "manifest.json"
 _FORMAT = 1
+
+#: Committed shard filenames — the on-disk source of truth for block
+#: completion (see :meth:`ShardStore.rescan`).  ``.tmp`` staging files
+#: never match, and rename-atomic commits mean a matching file is
+#: always complete.
+_SHARD_NAME = re.compile(r"piece(\d+)_block(\d+)\.npz$")
+
+#: Default byte budget of the decompressed index-segment LRU as a
+#: fraction of ``max_resident_bytes``, and its absolute ceiling.
+_SEG_CACHE_FRACTION = 4
+_SEG_CACHE_MAX_BYTES = 64 * 1024 * 1024
+#: Largest request pool the segment LRU serves; bigger scans go
+#: straight to the vectorised coalescing reader, whose O(1)-ish read
+#: count already wins there and whose per-entry cost is lower.  The
+#: crossover (measured, tmpfs) sits near 100 vertices; 64 keeps a
+#: comfortable margin on both sides.
+_SEG_POOL_LIMIT = 64
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
 
 
 def check_store(store: str | None) -> str:
@@ -308,6 +329,10 @@ class SampleStore:
                 f"{type(self).__name__} queried before finalize()"
             )
 
+    def stats(self) -> dict[str, int]:
+        """Store-level counters (cache hits/misses...); may be empty."""
+        return {}
+
 
 class MemoryStore(SampleStore):
     """The in-RAM store: today's arrays, today's vectorized queries."""
@@ -504,6 +529,14 @@ class ShardStore(SampleStore):
     Passing ``shard_dir=None`` spills into a private temporary
     directory that lives as long as the store object does (the CI
     ``REPRO_STORE=disk`` axis runs the whole suite this way).
+
+    **Shared-writer mode** (``shared_writer=True``) is the distributed
+    worker's view of a shard directory several processes fill at once
+    (:mod:`repro.sampling.dist`): this store commits shard files but
+    never touches ``manifest.json`` — the coordinator alone owns the
+    manifest and finalization — and completion truth is the set of
+    committed shard *files* (:meth:`rescan`), so blocks arriving out of
+    order and from foreign pids are all equally visible.
     """
 
     kind = "disk"
@@ -518,6 +551,8 @@ class ShardStore(SampleStore):
         shard_dir: str | None = None,
         *,
         max_resident_bytes: int | None = None,
+        shared_writer: bool = False,
+        index_cache_bytes: int | None = None,
     ) -> None:
         super().__init__()
         if max_resident_bytes is None:
@@ -527,6 +562,7 @@ class ShardStore(SampleStore):
                 f"max_resident_bytes must be positive, got {max_resident_bytes}"
             )
         self.max_resident_bytes = int(max_resident_bytes)
+        self.shared_writer = bool(shared_writer)
         self._tmp = None
         if shard_dir is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-shards-")
@@ -542,6 +578,25 @@ class ShardStore(SampleStore):
         self._idx_ptr: dict[int, np.ndarray] = {}
         self._sizes: dict[int, np.ndarray] = {}
         self._idx_files: dict[int, object] = {}
+        # Decompressed index-segment LRU: (piece, vertex) -> sample-id
+        # slab, for hot vertices hit by repeated gathers (CELF re-scans
+        # the same candidate pool every round).  0 disables.
+        if index_cache_bytes is None:
+            index_cache_bytes = min(
+                self.max_resident_bytes // _SEG_CACHE_FRACTION,
+                _SEG_CACHE_MAX_BYTES,
+            )
+        if int(index_cache_bytes) < 0:
+            raise ConfigError(
+                f"index_cache_bytes must be >= 0, got {index_cache_bytes}"
+            )
+        self._seg_budget = int(index_cache_bytes)
+        self._seg_cache: OrderedDict[tuple[int, int], np.ndarray] = (
+            OrderedDict()
+        )
+        self._seg_bytes = 0
+        self._seg_hits = 0
+        self._seg_misses = 0
 
     # -- paths ----------------------------------------------------------
 
@@ -563,6 +618,11 @@ class ShardStore(SampleStore):
     # -- manifest -------------------------------------------------------
 
     def _write_manifest(self) -> None:
+        if self.shared_writer:
+            # Workers never own the manifest: a worker rewriting it
+            # could clobber the coordinator's finalize marker (or list a
+            # stale block set).  Shard files alone carry their progress.
+            return
         payload = {
             "format": _FORMAT,
             "n": self.n,
@@ -616,12 +676,12 @@ class ShardStore(SampleStore):
                 f"{fingerprint!r}) — point at an empty directory or remove "
                 f"the stale shards"
             )
-        # Resume: trust only blocks whose files actually survived.
-        self._completed = {
-            (int(j), int(b))
-            for j, b in manifest.get("blocks", [])
-            if os.path.exists(self._block_path(int(j), int(b)))
-        }
+        # Resume: completion truth is the committed shard *files*, not
+        # the manifest's block list — a scan picks up both blocks whose
+        # files survived and blocks committed by other writers (foreign
+        # pids in a distributed fill) that this manifest never saw.
+        self._completed = set()
+        self.rescan()
         self.finalized = bool(manifest.get("finalized")) and all(
             os.path.exists(p)
             for j in range(self.num_pieces)
@@ -636,6 +696,28 @@ class ShardStore(SampleStore):
     def has_block(self, piece: int, block: int) -> bool:
         return (piece, block) in self._completed
 
+    def rescan(self) -> int:
+        """Union completion state with the shard files on disk.
+
+        The distributed fill's polling primitive: shards commit through
+        rename-atomic writes, so a matching filename *is* a completed
+        block — whoever wrote it, in whatever order.  Returns the
+        completed-block count.  Files outside this store's dimensions
+        (from some other run's debris) are ignored, never trusted.
+        """
+        try:
+            names = os.listdir(self.shard_dir)
+        except OSError:
+            return len(self._completed)
+        for name in names:
+            match = _SHARD_NAME.fullmatch(name)
+            if match is None:
+                continue
+            piece, block = int(match.group(1)), int(match.group(2))
+            if 0 <= piece < self.num_pieces and 0 <= block < self.num_blocks:
+                self._completed.add((piece, block))
+        return len(self._completed)
+
     def put_block(self, piece, block, ptr, nodes) -> None:
         ptr = np.asarray(ptr, dtype=np.int64)
         nodes = np.asarray(nodes, dtype=np.int64)
@@ -643,10 +725,21 @@ class ShardStore(SampleStore):
         if self.has_block(piece, block):
             return
         path = self._block_path(piece, block)
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as fh:
-            np.savez(fh, ptr=ptr, nodes=nodes)
-        os.replace(tmp, path)
+        # Writer-unique staging name: two processes racing on the same
+        # block (a stolen-but-alive lease) must not interleave one .tmp
+        # file; both renames land identical bytes, so the duplicate
+        # commit is a benign no-op.
+        tmp = f"{path}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, ptr=ptr, nodes=nodes)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self._completed.add((piece, block))
         self._write_manifest()
 
@@ -668,6 +761,11 @@ class ShardStore(SampleStore):
     def finalize(self) -> None:
         if self.finalized:
             return
+        # Foreign writers commit shard files without touching this
+        # instance's in-memory set — pick them up before deciding
+        # anything is missing (out-of-order arrival is fine; the index
+        # build below visits blocks in root order regardless).
+        self.rescan()
         missing = [
             (j, b)
             for j in range(self.num_pieces)
@@ -789,10 +887,18 @@ class ShardStore(SampleStore):
 
     @classmethod
     def open(
-        cls, shard_dir: str, *, max_resident_bytes: int | None = None
+        cls,
+        shard_dir: str,
+        *,
+        max_resident_bytes: int | None = None,
+        index_cache_bytes: int | None = None,
     ) -> "ShardStore":
         """Reopen a finalized shard directory for querying."""
-        store = cls(shard_dir, max_resident_bytes=max_resident_bytes)
+        store = cls(
+            shard_dir,
+            max_resident_bytes=max_resident_bytes,
+            index_cache_bytes=index_cache_bytes,
+        )
         manifest = store._read_manifest()
         if manifest is None:
             raise StoreError(f"no shard manifest in {shard_dir}")
@@ -846,7 +952,17 @@ class ShardStore(SampleStore):
 
     @property
     def resident_bytes(self) -> int:
-        return self._cache_bytes
+        return self._cache_bytes + self._seg_bytes
+
+    def stats(self) -> dict[str, int]:
+        """Managed-cache counters: the segment LRU and the block LRU."""
+        return {
+            "index_cache_hits": self._seg_hits,
+            "index_cache_misses": self._seg_misses,
+            "index_cache_entries": len(self._seg_cache),
+            "index_cache_bytes": self._seg_bytes,
+            "block_cache_bytes": self._cache_bytes,
+        }
 
     def _structural(self, piece: int) -> tuple[np.ndarray, np.ndarray]:
         self._check_finalized()
@@ -919,6 +1035,13 @@ class ShardStore(SampleStore):
         output), and if even that is too sparse-and-huge the gather
         falls back to the per-vertex direct reads — bounded memory
         first, saved seeks second.
+
+        A bounded LRU of decompressed index segments sits in front of
+        the file reads (``index_cache_bytes``; hit/miss counters in
+        :meth:`stats`): repeated gathers over a hot candidate pool —
+        CELF re-scoring the same vertices every round — are served from
+        RAM, with only the cold subset going through the coalescing
+        reader.  Output is byte-identical either way.
         """
         self._check_finalized()
         ptr = self.idx_ptr(piece)
@@ -926,6 +1049,81 @@ class ShardStore(SampleStore):
         total = int(deg.sum())
         if not total:
             return np.zeros(0, dtype=np.int64), deg
+        # The segment LRU pays O(pool) Python-level bookkeeping, which
+        # only beats the vectorised coalescing reader for the small hot
+        # pools solvers hammer (CELF marginal re-scores, BAB child
+        # evaluations); large scans go straight to the file path.
+        if self._seg_budget <= 0 or vertices.size > _SEG_POOL_LIMIT:
+            return self._gather_slabs(piece, ptr, vertices, deg, total), deg
+        return self._gather_via_segments(piece, ptr, vertices, deg, total), deg
+
+    def _gather_via_segments(self, piece, ptr, vertices, deg, total):
+        """Serve hot slabs from the segment LRU, read the rest, merge.
+
+        Positions are assembled strictly in request order, so the
+        concatenation is byte-identical to a pure file gather for any
+        vertex order or multiplicity.
+        """
+        cache = self._seg_cache
+        vlist = vertices.tolist()
+        slabs: list[np.ndarray | None] = [None] * len(vlist)
+        miss_pos: list[int] = []
+        hits = 0
+        for pos, (v, d) in enumerate(zip(vlist, deg.tolist())):
+            if d == 0:
+                slabs[pos] = _EMPTY_I64
+                continue
+            seg = cache.get((piece, v))
+            if seg is None:
+                miss_pos.append(pos)
+            else:
+                cache.move_to_end((piece, v))
+                slabs[pos] = seg
+                hits += 1
+        self._seg_hits += hits
+        self._seg_misses += len(miss_pos)
+        if miss_pos:
+            sub = vertices[miss_pos]
+            sub_deg = deg[miss_pos]
+            sub_samples = self._gather_slabs(
+                piece, ptr, sub, sub_deg, int(sub_deg.sum())
+            )
+            offsets = np.zeros(len(miss_pos) + 1, dtype=np.int64)
+            np.cumsum(sub_deg, out=offsets[1:])
+            for i, pos in enumerate(miss_pos):
+                seg = sub_samples[offsets[i] : offsets[i + 1]]
+                slabs[pos] = seg
+                self._admit_segment(piece, vlist[pos], seg)
+            self._evict_segments()
+        if len(slabs) == 1:
+            return np.asarray(slabs[0])
+        return np.concatenate(slabs)
+
+    def _admit_segment(self, piece: int, vertex: int, seg: np.ndarray) -> None:
+        """Admit one vertex's slab (copied — the cache owns its bytes)."""
+        nbytes = seg.nbytes
+        if nbytes == 0 or nbytes > max(self._seg_budget // 8, 1):
+            # one huge slab must not flush the whole cache
+            return
+        key = (piece, int(vertex))
+        old = self._seg_cache.pop(key, None)
+        if old is not None:
+            self._seg_bytes -= old.nbytes
+        self._seg_cache[key] = seg.copy()
+        self._seg_bytes += nbytes
+
+    def _evict_segments(self) -> None:
+        # The segment LRU honours both its own budget and the store-wide
+        # resident ceiling shared with the block LRU.
+        while self._seg_cache and (
+            self._seg_bytes > self._seg_budget
+            or self._cache_bytes + self._seg_bytes > self.max_resident_bytes
+        ):
+            _, old = self._seg_cache.popitem(last=False)
+            self._seg_bytes -= old.nbytes
+
+    def _gather_slabs(self, piece, ptr, vertices, deg, total):
+        """The file-reading gather: coalesced runs, bounded fallbacks."""
         # Offset order == vertex order (the index file is a vertex-major
         # CSR payload); stable sort keeps duplicates adjacent.
         order = np.argsort(vertices, kind="stable")
@@ -967,14 +1165,14 @@ class ShardStore(SampleStore):
             _nk.gather_scatter_runs(
                 buf, ptr[vertices], deg, run_lo, buf_base, out
             )
-            return out, deg
+            return out
         # NumPy form: per-vertex file positions (frontier_edge_slots)
         # shifted by the owning run's file-offset -> buffer-offset delta.
         run_of = np.searchsorted(run_lo, ptr[vertices], side="right") - 1
         run_of = np.clip(run_of, 0, run_lo.size - 1)
         shift = buf_base[run_of] - run_lo[run_of]
-        slot_idx, deg = frontier_edge_slots(ptr, vertices)
-        return buf[slot_idx + np.repeat(shift, deg)], deg
+        slot_idx, _ = frontier_edge_slots(ptr, vertices)
+        return buf[slot_idx + np.repeat(shift, deg)]
 
     @staticmethod
     def _merge_runs(los, run_hi, gap):
@@ -1009,7 +1207,7 @@ class ShardStore(SampleStore):
             lo = int(ptr[v])
             self._read_slab(fh, view[pos : pos + 8 * d], lo, lo + d)
             pos += 8 * d
-        return out, deg
+        return out
 
     def _cached_block(self, piece, block) -> tuple[np.ndarray, np.ndarray]:
         key = (piece, block)
@@ -1020,9 +1218,14 @@ class ShardStore(SampleStore):
         ptr, nodes = self._load_block_file(piece, block)
         self._cache[key] = (ptr, nodes)
         self._cache_bytes += ptr.nbytes + nodes.nbytes
-        while self._cache_bytes > self.max_resident_bytes and len(self._cache) > 1:
+        while (
+            self._cache_bytes + self._seg_bytes > self.max_resident_bytes
+            and len(self._cache) > 1
+        ):
             _, (old_ptr, old_nodes) = self._cache.popitem(last=False)
             self._cache_bytes -= old_ptr.nbytes + old_nodes.nbytes
+        if self._cache_bytes + self._seg_bytes > self.max_resident_bytes:
+            self._evict_segments()
         return ptr, nodes
 
     def rr_set(self, piece, sample) -> np.ndarray:
@@ -1049,12 +1252,14 @@ class ShardStore(SampleStore):
         return ptr, self.read_index_range(piece, 0, int(ptr[-1]))
 
     def close(self) -> None:
-        """Release file handles and drop the block cache."""
+        """Release file handles and drop the managed caches."""
         for fh in self._idx_files.values():
             fh.close()
         self._idx_files = {}
         self._cache.clear()
         self._cache_bytes = 0
+        self._seg_cache.clear()
+        self._seg_bytes = 0
 
     def __repr__(self) -> str:
         return (

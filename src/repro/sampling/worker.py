@@ -1,0 +1,86 @@
+"""``python -m repro.sampling.worker`` — one distributed sampling worker.
+
+Point any number of these (on any machines sharing the shard
+directory's filesystem) at a coordinator's shard dir and they will
+cooperatively fill it::
+
+    python -m repro.sampling.worker --shard-dir /shared/run1/shards
+
+The worker waits for the coordinator's job spec (``--wait`` bounds
+that), claims (piece, root-block) task leases, commits shards, and
+exits 0 once every shard exists — whether or not it produced any
+itself.  Ctrl-C exits 130 without corrupting anything: all commits are
+rename-atomic and an abandoned lease expires on its own.
+
+See DISTRIBUTED.md for the full topology and failure semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sampling.dist import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_POLL,
+    DEFAULT_SPEC_WAIT,
+    run_worker,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sampling.worker",
+        description="Distributed sampling worker over a shared ShardStore.",
+    )
+    parser.add_argument(
+        "--shard-dir",
+        required=True,
+        help="shard directory shared with the coordinator",
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        help=f"task lease time-to-live, seconds (default {DEFAULT_LEASE_TTL})",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=DEFAULT_POLL,
+        help=f"polling cadence, seconds (default {DEFAULT_POLL})",
+    )
+    parser.add_argument(
+        "--wait",
+        type=float,
+        default=DEFAULT_SPEC_WAIT,
+        help="seconds to wait for the coordinator's job spec "
+        f"(default {DEFAULT_SPEC_WAIT:.0f})",
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="commit at most this many shards, then exit (testing hook)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        done = run_worker(
+            args.shard_dir,
+            lease_ttl=args.ttl,
+            poll=args.poll,
+            spec_wait=args.wait,
+            max_tasks=args.max_tasks,
+        )
+    except KeyboardInterrupt:
+        return 130
+    print(f"worker {args.shard_dir}: committed {done} shard(s)", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.runtime import Runtime
+from repro.runtime import EXECUTORS, Runtime
 from repro.service.http import create_server
 from repro.service.queue import JobQueue
 
@@ -44,16 +44,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--spool", default=None, metavar="DIR",
         help="job-record spool directory (default: REPRO_SPOOL)",
     )
+    parser.add_argument(
+        "--executor", default=None, choices=list(EXECUTORS),
+        help="sampling executor for jobs — 'spawned' runs disk-store "
+        "generation as cooperating worker processes "
+        "(default: REPRO_EXECUTOR or thread)",
+    )
+    parser.add_argument(
+        "--sampling-workers", type=int, default=None, metavar="N",
+        help="sampling pool / distributed-worker width per job "
+        "(default: REPRO_WORKERS)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    runtime = (
-        Runtime(artifacts=args.artifact_dir)
-        if args.artifact_dir is not None
-        else None
-    )
+    runtime_fields = {}
+    if args.artifact_dir is not None:
+        runtime_fields["artifacts"] = args.artifact_dir
+    if args.executor is not None:
+        runtime_fields["executor"] = args.executor
+    if args.sampling_workers is not None:
+        runtime_fields["workers"] = args.sampling_workers
+    runtime = Runtime(**runtime_fields) if runtime_fields else None
     kwargs = {"workers": args.workers, "runtime": runtime}
     if args.spool is not None:
         kwargs["spool_dir"] = args.spool

@@ -1,0 +1,249 @@
+"""Advisory cross-process lock files over a shared filesystem.
+
+One primitive serves two coordination layers that PR-sized systems keep
+reinventing separately:
+
+- the **work-lease** layer of distributed sampling
+  (:mod:`repro.sampling.dist`): each (piece, root-block) task is guarded
+  by a lease file so N independent worker processes — possibly on
+  different machines sharing a filesystem — claim disjoint tasks;
+- the **producer flight** of the artifact cache
+  (:mod:`repro.artifacts`): the first process to miss a key claims the
+  production, the rest poll for the committed object instead of
+  stampeding.
+
+The design is deliberately *advisory*: correctness never depends on the
+lock being exclusive.  Both consumers commit their results through
+rename-atomic writes whose duplicate commit is a benign no-op, so the
+worst consequence of a stolen-but-alive lease is duplicate work — never
+corruption.  That is what makes the expiry protocol safe to keep simple:
+
+- **acquire** is ``os.open(path, O_CREAT | O_EXCL)`` — atomic on every
+  filesystem that matters (for NFS, on v3+ servers);
+- **expiry** is judged by the lock file's mtime (a *shared* clock — the
+  fileserver's — so machines with skewed local clocks still agree on
+  who is stale); a holder doing long work keeps the lease fresh with
+  :meth:`FileLease.refresh` or the background :meth:`keepalive` thread;
+- **steal** replaces an expired lease with ``os.replace`` (atomic); two
+  racing stealers may both believe they hold it — benign, see above;
+- **release** unlinks the file only when it still carries this holder's
+  token, so releasing after being stolen never drops someone else's
+  lease.
+
+All waits are plain ``time.sleep`` in caller loops, so Ctrl-C
+interrupts them (``KeyboardInterrupt`` propagates immediately).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+
+__all__ = ["FileLease"]
+
+#: Default lease time-to-live.  Holders doing longer work must refresh
+#: (see :meth:`FileLease.keepalive`); consumers with short tasks can
+#: simply keep the ttl comfortably above the worst task duration.
+DEFAULT_TTL = 30.0
+
+
+class FileLease:
+    """One advisory lease, embodied as a JSON lock file.
+
+    Parameters
+    ----------
+    path:
+        Lock-file path (its directory must exist).
+    ttl:
+        Seconds of mtime-staleness after which other processes may
+        steal the lease.
+    payload:
+        Extra JSON-able fields recorded in the lock file (diagnostics
+        only — ``token``/``pid``/``host``/``ttl`` are always written).
+    """
+
+    def __init__(
+        self, path: str, *, ttl: float = DEFAULT_TTL, payload: dict | None = None
+    ) -> None:
+        self.path = str(path)
+        self.ttl = float(ttl)
+        self.token = f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:12]}"
+        self._payload = dict(payload or {})
+        self.held = False
+        self._keepalive_stop: threading.Event | None = None
+        self._keepalive_thread: threading.Thread | None = None
+
+    # -- lock-file bytes -------------------------------------------------
+
+    def _body(self) -> bytes:
+        record = dict(self._payload)
+        record.update(
+            token=self.token,
+            pid=os.getpid(),
+            host=socket.gethostname(),
+            ttl=self.ttl,
+        )
+        return json.dumps(record).encode()
+
+    def _read(self) -> dict | None:
+        """The current lock record, or ``None`` (gone/torn/unreadable)."""
+        try:
+            with open(self.path, "rb") as fh:
+                return json.loads(fh.read().decode())
+        except (OSError, ValueError):
+            return None
+
+    # -- acquire / steal / refresh / release -----------------------------
+
+    def try_acquire(self) -> bool:
+        """Claim the lease if free or expired; never blocks.
+
+        Returns ``True`` when this process now holds the lease (either
+        by creating the file or by stealing an expired one), ``False``
+        when a live holder exists.  Re-acquiring a held lease is a
+        no-op ``True``.
+        """
+        if self.held:
+            return True
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        except OSError:
+            return False
+        else:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(self._body())
+            self.held = True
+            return True
+        # Occupied: steal only when the holder's heartbeat went stale.
+        # A torn/empty record (a non-atomic create-then-write caught
+        # mid-write, or a file corrupted by a crash) is judged by age
+        # like any occupant — fresh means a write in progress, stale
+        # means debris to reclaim — using our own ttl since the
+        # holder's is unreadable.
+        record = self._read()
+        if record is None:
+            # The file may have vanished between the create attempt
+            # and the read (a release): retry the exclusive create.
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                record = {}
+            except OSError:
+                return False
+            else:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(self._body())
+                self.held = True
+                return True
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return False
+        ttl = float(record.get("ttl", self.ttl))
+        if age <= ttl:
+            return False
+        # Expired: replace atomically.  Two stealers may both succeed in
+        # sequence and both believe they hold the lease — the consumers'
+        # rename-atomic commits make the duplicate work benign.
+        tmp = f"{self.path}.{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(self._body())
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.held = True
+        return True
+
+    def refresh(self) -> None:
+        """Re-stamp the lease mtime (holder heartbeat); no-op if not held."""
+        if not self.held:
+            return
+        tmp = f"{self.path}.{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(self._body())
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def release(self) -> None:
+        """Drop the lease: stop the keepalive, unlink if still ours.
+
+        A lease stolen while we worked is *not* unlinked (the token no
+        longer matches), so the thief keeps its claim undisturbed.
+        Idempotent and exception-safe — callers put this in ``finally``.
+        """
+        self._stop_keepalive()
+        if not self.held:
+            return
+        self.held = False
+        record = self._read()
+        if record is not None and record.get("token") == self.token:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    # -- keepalive -------------------------------------------------------
+
+    def keepalive(self, interval: float | None = None) -> "FileLease":
+        """Start a daemon heartbeat refreshing the lease until release.
+
+        ``interval`` defaults to ``ttl / 3``.  Returns ``self`` so the
+        lease can be used as a context manager::
+
+            lease = FileLease(path, ttl=30)
+            if lease.try_acquire():
+                with lease.keepalive():
+                    long_running_work()
+                # released (and heartbeat stopped) on exit
+        """
+        if not self.held or self._keepalive_thread is not None:
+            return self
+        if interval is None:
+            interval = max(self.ttl / 3.0, 0.05)
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                self.refresh()
+
+        thread = threading.Thread(
+            target=beat, name="repro-lease-keepalive", daemon=True
+        )
+        self._keepalive_stop = stop
+        self._keepalive_thread = thread
+        thread.start()
+        return self
+
+    def _stop_keepalive(self) -> None:
+        stop, thread = self._keepalive_stop, self._keepalive_thread
+        self._keepalive_stop = self._keepalive_thread = None
+        if stop is not None:
+            stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FileLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "held" if self.held else "free"
+        return f"FileLease({self.path!r}, ttl={self.ttl}, {state})"

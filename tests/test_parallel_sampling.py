@@ -231,8 +231,11 @@ class TestFailureHandling:
                 raise ValueError("task 7 exploded")
             return item
 
+        # executor pinned: these are the *thread*-pool drain semantics
+        # (closures and active_count don't translate to process pools,
+        # which the REPRO_EXECUTOR matrix leg would otherwise select).
         with pytest.raises(ValueError, match="task 7 exploded"):
-            parallel_map(boom, list(range(16)), 4)
+            parallel_map(boom, list(range(16)), 4, executor="thread")
         # The with-block joined the pool: no orphaned workers linger.
         assert threading.active_count() <= baseline + 1
 
@@ -243,6 +246,8 @@ class TestFailureHandling:
             raise RuntimeError("sampler crashed in a worker")
 
         monkeypatch.setattr(parallel, "_sample_task", failing_task)
+        # Thread pool pinned: the monkeypatched task only exists in
+        # this process, so process/spawned executors would never see it.
         with pytest.raises(RuntimeError, match="crashed in a worker"):
             MRRCollection.generate(
                 graph,
@@ -251,6 +256,7 @@ class TestFailureHandling:
                 seed=80,
                 piece_graphs=pgs,
                 workers=4,
+                executor="thread",
             )
 
     def test_results_preserve_task_order(self):
@@ -260,9 +266,9 @@ class TestFailureHandling:
             time.sleep(0.001 * ((7 - item) % 5))
             return item * item
 
-        assert parallel_map(jittered, list(range(12)), 4) == [
-            i * i for i in range(12)
-        ]
+        assert parallel_map(
+            jittered, list(range(12)), 4, executor="thread"
+        ) == [i * i for i in range(12)]
 
     def test_reusable_pool_survives_errors_and_reuse(self):
         """A caller-owned pool (make_pool) serves many rounds, stays
@@ -270,7 +276,9 @@ class TestFailureHandling:
         from repro.sampling.parallel import make_pool
 
         assert make_pool(1) is None  # inline path needs no pool
-        pool = make_pool(3)
+        # Thread pool pinned: the boom/abs closures below cannot cross
+        # a process boundary.
+        pool = make_pool(3, executor="thread")
         try:
             first = parallel_map(abs, [-3, -1, -2], 3, pool=pool)
             assert first == [3, 1, 2]
