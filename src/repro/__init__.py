@@ -34,6 +34,7 @@ from repro.exceptions import (
     BudgetExhaustedError,
     ConfigError,
     DatasetError,
+    DeltaError,
     ExperimentError,
     GraphError,
     GraphFormatError,
@@ -86,6 +87,13 @@ from repro.api import (
     available_solvers,
     register_solver,
 )
+from repro.incremental import (
+    EdgeOp,
+    GraphDelta,
+    IncrementalTrace,
+    UpdateResult,
+    apply_delta,
+)
 from repro.service import (
     InfluenceServer,
     JobQueue,
@@ -107,6 +115,7 @@ __all__ = [
     "ParameterError",
     "ConfigError",
     "SamplingError",
+    "DeltaError",
     "StoreError",
     "StoreBusyError",
     "SolverError",
@@ -165,6 +174,12 @@ __all__ = [
     "stage",
     "StageEvent",
     "PipelineTrace",
+    # incremental campaigns
+    "EdgeOp",
+    "GraphDelta",
+    "IncrementalTrace",
+    "UpdateResult",
+    "apply_delta",
     # influence service
     "InfluenceServer",
     "JobQueue",

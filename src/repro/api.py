@@ -227,6 +227,12 @@ class Session:
         #: built on first parallel sample() and reused across
         #: collections; see :meth:`close`.
         self._pool: tuple[str, int, object] | None = None
+        #: Incremental-lineage state (set by :meth:`sample_incremental`).
+        self._inc = None
+        #: The last celf-mrr run's WarmGains record (warm re-solves).
+        self._celf_gains = None
+        #: The last solve's normalized method (update's default).
+        self._last_solve: str | None = None
 
     @classmethod
     def from_dataset(
@@ -504,6 +510,55 @@ class Session:
         self._eval_seed = seed
         return self._mrr_eval
 
+    def sample_incremental(self, theta: int, *, seed=None) -> MRRCollection:
+        """Generate the optimisation collection on the incremental tier.
+
+        Same role as :meth:`sample`, different stream scheme: every
+        (piece, block) shard is keyed by its coordinates alone (see
+        :mod:`repro.incremental.sampler`), so the session can absorb
+        graph deltas and theta growth through :meth:`update` — kept
+        shards are reused verbatim, appended and invalidated ones are
+        regenerated bit-identically to a cold keyed generate.  The draw
+        differs from :meth:`sample`'s for the same seed; within the
+        incremental scheme it is just as pinned.
+        """
+        from repro.incremental.update import sample_incremental
+
+        return sample_incremental(self, theta, seed=seed)
+
+    def update(
+        self,
+        delta,
+        *,
+        theta: int | None = None,
+        method: str | None = None,
+        evaluate: bool = False,
+        eval_theta: int | None = None,
+        **options,
+    ):
+        """Absorb a :class:`~repro.incremental.delta.GraphDelta` and re-solve.
+
+        Requires an incremental collection (:meth:`sample_incremental`).
+        Regenerates only the delta-touched shards (plus any appended by
+        ``theta`` growth), rebuilds the problem on the updated graph,
+        and re-solves warm from the previous run's state.  Returns an
+        :class:`~repro.incremental.update.UpdateResult` whose ``result``
+        is the usual :class:`SessionResult` and whose ``trace`` is the
+        :class:`~repro.incremental.update.IncrementalTrace` accounting
+        of what was reused.
+        """
+        from repro.incremental.update import update_session
+
+        return update_session(
+            self,
+            delta,
+            theta=theta,
+            method=method,
+            evaluate=evaluate,
+            eval_theta=eval_theta,
+            **options,
+        )
+
     # ------------------------------------------------------------------
     # solving and scoring
     # ------------------------------------------------------------------
@@ -558,6 +613,7 @@ class Session:
         self._trace.record(
             "solve", action, key, seconds=time.perf_counter() - start
         )
+        self._last_solve = key
         evaluation = None
         if evaluate:
             evaluation = self.evaluate(plan, theta=eval_theta)
@@ -885,3 +941,26 @@ def _solve_celf(session: Session, *, rounds: int = 100, seed=None, **options):
         "seeds": tuple(seeds),
         "flat_spread": spread,
     }
+
+
+@register_solver("celf-mrr", cacheable=True)
+def _solve_celf_mrr(session: Session, *, warm=None, margin: float = 0.0):
+    """Exact lazy greedy over (vertex, piece) moves on the MRR estimate.
+
+    The incremental tier's workhorse: a full AU-objective greedy whose
+    per-move pruning caps stay valid on the non-submodular objective,
+    so a ``warm=`` :class:`~repro.incremental.warm.WarmGains` record
+    from a previous run (inflated by the update's staleness ``margin``)
+    skips most first-iteration evaluations while selecting the exact
+    same plan as a cold run.  The run's own record lands on
+    ``session._celf_gains`` for the next warm start.  Cold runs (no
+    ``warm``) are artifact-cacheable; warm options are non-JSON and
+    naturally bypass the solve cache.
+    """
+    from repro.incremental.warm import celf_assign
+
+    plan, record, diagnostics = celf_assign(
+        session.problem, session.mrr, warm=warm, margin=margin
+    )
+    session._celf_gains = record
+    return plan, session.estimate(plan), diagnostics

@@ -127,6 +127,14 @@ class BranchAndBoundSolver:
     strict_budget:
         Raise :class:`BudgetExhaustedError` instead of returning on a
         node-budget hit.
+    incumbent:
+        Optional warm-start plan (e.g. the previous solve's answer on
+        an updated collection).  Validated against the problem, scored
+        on ``mrr``, and adopted as the initial incumbent when it beats
+        the root bound's candidate — its estimate is a sound lower
+        bound wherever the plan came from, so the search only gains
+        pruning power; the returned plan is unchanged unless the warm
+        plan genuinely wins.
     """
 
     def __init__(
@@ -141,6 +149,7 @@ class BranchAndBoundSolver:
         majorant: str = "tangent",
         max_nodes: int = 100_000,
         strict_budget: bool = False,
+        incumbent: AssignmentPlan | None = None,
     ) -> None:
         if bound not in ("greedy", "progressive"):
             raise SolverError(
@@ -164,6 +173,9 @@ class BranchAndBoundSolver:
         self.lazy = bool(lazy)
         self.max_nodes = int(max_nodes)
         self.strict_budget = bool(strict_budget)
+        if incumbent is not None:
+            problem.validate_plan(incumbent)
+        self.warm_incumbent = incumbent
         self.table = MajorantTable(
             problem.adoption, problem.num_pieces, method=majorant
         )
@@ -213,6 +225,16 @@ class BranchAndBoundSolver:
         incumbent = root_bound.plan
         lower = root_bound.lower
         diag.incumbent_updates += 1
+        if self.warm_incumbent is not None:
+            warm_lower = float(
+                self.mrr.estimate(
+                    self.warm_incumbent.seed_lists(), problem.adoption
+                )
+            )
+            if warm_lower > lower:
+                incumbent = self.warm_incumbent
+                lower = warm_lower
+                diag.incumbent_updates += 1
         upper_seen = root_bound.upper
 
         counter = 0

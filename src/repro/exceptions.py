@@ -14,6 +14,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "DeltaError",
     "GraphError",
     "GraphFormatError",
     "TopicError",
@@ -49,6 +50,15 @@ class GraphFormatError(GraphError):
             message = f"line {line}: {message}"
         super().__init__(message)
         self.line = line
+
+
+class DeltaError(GraphError):
+    """A graph delta is malformed or inconsistent with its base graph.
+
+    Raised by :mod:`repro.incremental` when an edge operation targets a
+    vertex outside the graph, adds an edge that already exists, or
+    removes/reweights one that does not.
+    """
 
 
 class TopicError(ReproError):

@@ -1,0 +1,380 @@
+"""Graph deltas: edge add/remove/reweight over a ``TopicGraph``.
+
+A :class:`GraphDelta` is an ordered sequence of :class:`EdgeOp` values
+applied left to right; :func:`apply_delta` materialises the updated
+(immutable, re-fingerprinted) graph.  :func:`piece_dirty_heads`
+computes, per campaign piece, the set of *dirty head* vertices — the
+key fact that makes RR-set invalidation precise:
+
+    A reverse-reachable expansion examines the in-edges of exactly the
+    vertices it visits.  Any operation on edge ``(u, v)`` changes only
+    vertex ``v``'s in-edge list; every other vertex's in-list (content
+    and order) is unchanged.  So an RR set can only be stale if it
+    *contains* ``v`` — the head of a changed edge.
+
+Structural operations (add/remove) dirty the head in **every** piece
+(the pieces share the graph's CSR structure), while a reweight dirties
+it only in pieces whose clipped projected probability ``t_j · p(e)``
+actually changed.  When one edge is touched by several ops in a single
+delta we degrade conservatively (dirty in all pieces) rather than
+replay intermediate graph states.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DeltaError
+from repro.graph.digraph import TopicGraph
+from repro.topics.distributions import Campaign
+
+__all__ = ["EdgeOp", "GraphDelta", "apply_delta", "piece_dirty_heads"]
+
+_OPS = ("add", "remove", "reweight")
+
+
+def _canonical_topics(topics) -> tuple[tuple[int, float], ...]:
+    """Normalise a topic mapping into sorted ``(topic, prob)`` pairs.
+
+    Zero entries are dropped (matching ``TopicGraph.from_edges``), so
+    two spellings of the same vector canonicalise identically.
+    """
+    if isinstance(topics, Mapping):
+        items = topics.items()
+    else:
+        items = list(topics)
+    out: list[tuple[int, float]] = []
+    seen: set[int] = set()
+    for z, p in sorted((int(z), float(p)) for z, p in items):
+        if z in seen:
+            raise DeltaError(f"duplicate topic {z} in one edge op")
+        if z < 0:
+            raise DeltaError(f"topic index {z} must be >= 0")
+        if not (0.0 <= p <= 1.0):
+            raise DeltaError(f"probability p(e|z={z}) = {p} outside [0, 1]")
+        seen.add(z)
+        if p != 0.0:
+            out.append((z, p))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class EdgeOp:
+    """One edge operation: ``add``, ``remove``, or ``reweight``.
+
+    ``topics`` is the edge's **full replacement** topic vector for
+    ``add``/``reweight`` (sparse ``{topic: prob}``), and must be absent
+    for ``remove``.
+    """
+
+    op: str
+    src: int
+    dst: int
+    topics: tuple[tuple[int, float], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise DeltaError(f"unknown edge op {self.op!r}, expected one of {_OPS}")
+        object.__setattr__(self, "src", int(self.src))
+        object.__setattr__(self, "dst", int(self.dst))
+        if self.src < 0 or self.dst < 0:
+            raise DeltaError(f"edge ({self.src}, {self.dst}) has a negative endpoint")
+        if self.src == self.dst:
+            raise DeltaError(f"self-loop at vertex {self.src} is not allowed")
+        if self.op == "remove":
+            if self.topics is not None:
+                raise DeltaError("remove op must not carry a topic vector")
+        else:
+            if self.topics is None:
+                raise DeltaError(f"{self.op} op needs a topic vector")
+            object.__setattr__(self, "topics", _canonical_topics(self.topics))
+
+    def to_payload(self) -> dict:
+        payload: dict = {"op": self.op, "src": self.src, "dst": self.dst}
+        if self.topics is not None:
+            payload["topics"] = {str(z): p for z, p in self.topics}
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "EdgeOp":
+        if not isinstance(payload, Mapping):
+            raise DeltaError(f"edge op must be a mapping, got {type(payload).__name__}")
+        unknown = set(payload) - {"op", "src", "dst", "topics"}
+        if unknown:
+            raise DeltaError(f"unknown edge-op keys: {sorted(unknown)}")
+        try:
+            op = payload["op"]
+            src = payload["src"]
+            dst = payload["dst"]
+        except KeyError as exc:
+            raise DeltaError(f"edge op missing required key {exc.args[0]!r}") from None
+        topics = payload.get("topics")
+        if topics is not None:
+            if not isinstance(topics, Mapping):
+                raise DeltaError("edge-op topics must be a {topic: prob} mapping")
+            try:
+                topics = {int(z): float(p) for z, p in topics.items()}
+            except (TypeError, ValueError) as exc:
+                raise DeltaError(f"malformed topic entry: {exc}") from None
+        return cls(op=str(op), src=src, dst=dst, topics=topics)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """An ordered batch of edge operations, applied left to right.
+
+    Later ops see the effect of earlier ones: ``remove`` then ``add``
+    of the same edge is a legal rewrite, ``add`` of an edge that
+    (still) exists is an error.
+    """
+
+    ops: tuple[EdgeOp, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ops = tuple(self.ops)
+        for op in ops:
+            if not isinstance(op, EdgeOp):
+                raise DeltaError(
+                    f"GraphDelta.ops entries must be EdgeOp, got {type(op).__name__}"
+                )
+        object.__setattr__(self, "ops", ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+    def compose(self, other: "GraphDelta") -> "GraphDelta":
+        """The delta equivalent to applying ``self`` then ``other``."""
+        if not isinstance(other, GraphDelta):
+            raise DeltaError(
+                f"can only compose with GraphDelta, got {type(other).__name__}"
+            )
+        return GraphDelta(self.ops + other.ops)
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint (sha256 hex) of the op sequence."""
+        blob = json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def to_payload(self) -> dict:
+        return {"ops": [op.to_payload() for op in self.ops]}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "GraphDelta":
+        if not isinstance(payload, Mapping):
+            raise DeltaError(
+                f"delta payload must be a mapping, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"ops"}
+        if unknown:
+            raise DeltaError(f"unknown delta keys: {sorted(unknown)}")
+        ops = payload.get("ops", [])
+        if not isinstance(ops, Iterable) or isinstance(ops, (str, bytes)):
+            raise DeltaError("delta 'ops' must be a list of edge ops")
+        return cls(tuple(EdgeOp.from_payload(op) for op in ops))
+
+    @classmethod
+    def from_edges(cls, ops: Iterable[tuple]) -> "GraphDelta":
+        """Convenience builder from ``(op, u, v[, topics])`` tuples."""
+        built = []
+        for entry in ops:
+            if len(entry) == 3:
+                op, u, v = entry
+                built.append(EdgeOp(op=str(op), src=u, dst=v))
+            elif len(entry) == 4:
+                op, u, v, topics = entry
+                built.append(EdgeOp(op=str(op), src=u, dst=v, topics=topics))
+            else:
+                raise DeltaError(
+                    f"delta tuple must be (op, u, v[, topics]), got {entry!r}"
+                )
+        return cls(tuple(built))
+
+
+class _DeltaState:
+    """Sequential-application bookkeeping over one base graph."""
+
+    def __init__(self, graph: TopicGraph) -> None:
+        self.graph = graph
+        self.removed: set[int] = set()
+        self.rewritten: dict[int, tuple[tuple[int, float], ...]] = {}
+        self.added: dict[tuple[int, int], tuple[tuple[int, float], ...]] = {}
+
+    def _base_id(self, u: int, v: int) -> int | None:
+        if self.graph.has_edge(u, v):
+            return self.graph.edge_id(u, v)
+        return None
+
+    def exists(self, u: int, v: int) -> bool:
+        if (u, v) in self.added:
+            return True
+        eid = self._base_id(u, v)
+        return eid is not None and eid not in self.removed
+
+    def apply(self, op: EdgeOp) -> None:
+        u, v = op.src, op.dst
+        n, num_topics = self.graph.n, self.graph.num_topics
+        if u >= n or v >= n:
+            raise DeltaError(f"edge ({u}, {v}) outside vertex range [0, {n})")
+        if op.topics is not None:
+            for z, _p in op.topics:
+                if z >= num_topics:
+                    raise DeltaError(
+                        f"topic index {z} outside [0, {num_topics}) on edge ({u}, {v})"
+                    )
+        if op.op == "add":
+            if self.exists(u, v):
+                raise DeltaError(f"add: edge ({u}, {v}) already exists")
+            self.added[(u, v)] = op.topics
+            return
+        if not self.exists(u, v):
+            raise DeltaError(f"{op.op}: edge ({u}, {v}) does not exist")
+        if op.op == "remove":
+            if (u, v) in self.added:
+                del self.added[(u, v)]
+            else:
+                self.removed.add(self._base_id(u, v))
+            return
+        # reweight: full replacement of the topic vector
+        if (u, v) in self.added:
+            self.added[(u, v)] = op.topics
+        else:
+            self.rewritten[self._base_id(u, v)] = op.topics
+
+
+def apply_delta(graph: TopicGraph, delta: GraphDelta) -> TopicGraph:
+    """Apply ``delta`` to ``graph``, returning a new ``TopicGraph``.
+
+    Ops are validated and applied sequentially; the result is rebuilt
+    through the canonical constructor, so its fingerprint is exactly
+    the fingerprint a from-scratch construction of the same edge set
+    would have (delta paths and cold paths share cache identities).
+    """
+    if not isinstance(delta, GraphDelta):
+        raise DeltaError(f"expected a GraphDelta, got {type(delta).__name__}")
+    state = _DeltaState(graph)
+    for op in delta.ops:
+        state.apply(op)
+    if not delta.ops:
+        return graph
+    # Array surgery on the canonical CSR: the O(|ops|) touched edges
+    # are spliced individually, everything else is copied wholesale —
+    # a delta must not cost an O(m) per-edge Python rebuild (the graph
+    # rebuild would then dwarf the shard regeneration it enables).
+    sources = graph.edge_sources()
+    keep = np.ones(graph.num_edges, dtype=bool)
+    if state.removed:
+        keep[sorted(state.removed)] = False
+    kept = np.flatnonzero(keep)
+    counts = np.diff(graph.tp_ptr)[kept].copy()
+
+    def pair_arrays(pairs):
+        topics = np.fromiter(
+            (z for z, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        probs = np.fromiter(
+            (p for _, p in pairs), dtype=np.float64, count=len(pairs)
+        )
+        return topics, probs
+
+    # Build the kept-edge topic entry stream by splitting the base
+    # entry arrays at every touched edge (in base eid order): removed
+    # edges drop their entries, rewritten ones substitute theirs, and
+    # the untouched stretches in between are copied wholesale.
+    topic_parts: list[np.ndarray] = []
+    prob_parts: list[np.ndarray] = []
+    cursor = 0  # first base eid whose entries are not yet emitted
+    for eid in sorted(set(state.removed) | set(state.rewritten)):
+        if eid > cursor:
+            lo, hi = graph.tp_ptr[cursor], graph.tp_ptr[eid]
+            topic_parts.append(graph.tp_topics[lo:hi])
+            prob_parts.append(graph.tp_probs[lo:hi])
+        if eid in state.rewritten:
+            topics, probs = pair_arrays(state.rewritten[eid])
+            topic_parts.append(topics)
+            prob_parts.append(probs)
+            counts[int(np.searchsorted(kept, eid))] = topics.size
+        cursor = eid + 1
+    if cursor < graph.num_edges:
+        lo, hi = graph.tp_ptr[cursor], graph.tp_ptr[graph.num_edges]
+        topic_parts.append(graph.tp_topics[lo:hi])
+        prob_parts.append(graph.tp_probs[lo:hi])
+
+    src_parts = [sources[kept]]
+    dst_parts = [graph.out_dst[kept]]
+    count_parts = [counts]
+    for (u, v), pairs in state.added.items():
+        src_parts.append(np.array([u], dtype=np.int64))
+        dst_parts.append(np.array([v], dtype=np.int64))
+        count_parts.append(np.array([len(pairs)], dtype=np.int64))
+        topics, probs = pair_arrays(pairs)
+        topic_parts.append(topics)
+        prob_parts.append(probs)
+
+    all_counts = np.concatenate(count_parts)
+    tp_ptr = np.zeros(all_counts.size + 1, dtype=np.int64)
+    np.cumsum(all_counts, out=tp_ptr[1:])
+
+    def concat(parts, dtype):
+        return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+
+    return TopicGraph.from_arrays(
+        graph.n,
+        graph.num_topics,
+        np.concatenate(src_parts),
+        np.concatenate(dst_parts),
+        tp_ptr,
+        concat(topic_parts, np.int64),
+        concat(prob_parts, np.float64),
+    )
+
+
+def piece_dirty_heads(
+    graph: TopicGraph, campaign: Campaign, delta: GraphDelta
+) -> list[np.ndarray]:
+    """Per-piece dirty-head vertex sets for ``delta`` on ``graph``.
+
+    Returns one sorted unique ``int64`` array per campaign piece: the
+    vertices whose in-edge list that piece's RR expansions could see
+    change.  An RR set not containing any of piece ``j``'s dirty heads
+    is bit-identical on the updated graph — the invalidation contract
+    the touch summaries (:mod:`repro.sampling.touch`) are checked
+    against.
+
+    ``graph`` is the **base** (pre-delta) graph.  Structural ops dirty
+    the head in every piece; a reweight only in pieces whose clipped
+    projected probability changed; any edge touched more than once
+    degrades to every piece.
+    """
+    if not isinstance(delta, GraphDelta):
+        raise DeltaError(f"expected a GraphDelta, got {type(delta).__name__}")
+    vectors = campaign.vectors()
+    heads: list[set[int]] = [set() for _ in vectors]
+    touched: set[tuple[int, int]] = set()
+    for op in delta.ops:
+        key = (op.src, op.dst)
+        conservative = (
+            op.op != "reweight" or key in touched or not graph.has_edge(*key)
+        )
+        touched.add(key)
+        if conservative:
+            for piece_heads in heads:
+                piece_heads.add(op.dst)
+            continue
+        old_vec = graph.edge_topic_vector(graph.edge_id(*key))
+        new_vec = np.zeros(graph.num_topics, dtype=np.float64)
+        for z, p in op.topics:
+            new_vec[z] = p
+        for j, t in enumerate(vectors):
+            old_p = float(np.clip(t @ old_vec, 0.0, 1.0))
+            new_p = float(np.clip(t @ new_vec, 0.0, 1.0))
+            if old_p != new_p:
+                heads[j].add(op.dst)
+    return [np.array(sorted(h), dtype=np.int64) for h in heads]

@@ -1,0 +1,319 @@
+"""Coordinate-keyed shard generation (the incremental sampling tier).
+
+The stock runtime derives per-task rng streams by *spawning* children
+from one parent draw (:func:`repro.sampling.parallel.spawn_task_seeds`),
+which entangles every (piece, block) shard with the full task list:
+change theta and every child stream moves, so nothing can be appended
+or regenerated in isolation.  The incremental tier re-keys both draws
+by their coordinates alone:
+
+- block ``b``'s roots come from
+  ``SeedSequence((entropy, KEYED_ROOT_TAG, b))`` — always a full
+  ``block_size`` draw, truncated to the block's span, so a partial
+  tail block that later grows redraws a *prefix-consistent* extension;
+- task ``(piece j, block b)`` samples with
+  ``SeedSequence((entropy, KEYED_TASK_TAG, j, b))``.
+
+Both are pure functions of ``(entropy, coordinates)``, never of theta
+or the worker count.  Consequences the update engine builds on:
+
+* **Append = cold.**  Raising theta appends new blocks whose roots and
+  streams equal the ones a cold keyed generate at the larger theta
+  would draw — bit-identical collections (pinned in
+  ``tests/test_incremental.py``).
+* **Shard-local regeneration.**  A delta-invalidated (piece, block)
+  shard rebuilds its exact stream without replaying any spawn
+  sequence, so only touched shards are resampled.
+
+The block size is pinned at first generation (recorded by the store /
+:class:`~repro.incremental.update.IncrementalState`) and reused for
+every append — ``task_block_size`` of a *grown* theta would re-block
+the old shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SamplingError, StoreError
+from repro.sampling.dist import KEYED_ROOT_TAG, KEYED_TASK_TAG
+from repro.sampling.parallel import _sample_task, make_pool, task_block_size
+from repro.sampling.store import ShardStore, store_fingerprint
+
+__all__ = [
+    "generate_keyed",
+    "incremental_fingerprint",
+    "keyed_block_roots",
+    "keyed_roots",
+    "keyed_task_seed",
+    "stream_keyed_blocks",
+]
+
+
+def keyed_block_roots(
+    entropy: int, n: int, block_size: int, block: int
+) -> np.ndarray:
+    """The full ``block_size`` root draw of block ``block``.
+
+    Callers slice to the block's span; drawing the full block first
+    keeps a tail block's roots a prefix of the roots it has after theta
+    grows past it.
+    """
+    seq = np.random.SeedSequence((int(entropy), KEYED_ROOT_TAG, int(block)))
+    rng = np.random.Generator(np.random.PCG64(seq))
+    return rng.integers(0, int(n), size=int(block_size))
+
+
+def keyed_roots(
+    entropy: int, n: int, theta: int, block_size: int
+) -> np.ndarray:
+    """The keyed root draw for ``theta`` samples, block by block."""
+    theta = int(theta)
+    block_size = int(block_size)
+    if theta < 1 or block_size < 1:
+        raise SamplingError(
+            f"theta and block_size must be positive, got theta={theta}, "
+            f"block_size={block_size}"
+        )
+    parts = []
+    for block, lo in enumerate(range(0, theta, block_size)):
+        span = min(lo + block_size, theta) - lo
+        parts.append(keyed_block_roots(entropy, n, block_size, block)[:span])
+    return np.concatenate(parts)
+
+
+def keyed_task_seed(
+    entropy: int, piece: int, block: int
+) -> np.random.SeedSequence:
+    """The sampling stream of task ``(piece, block)``."""
+    return np.random.SeedSequence(
+        (int(entropy), KEYED_TASK_TAG, int(piece), int(block))
+    )
+
+
+def incremental_fingerprint(
+    n: int,
+    roots: np.ndarray,
+    models,
+    backend,
+    *,
+    graph: str | None = None,
+    pieces: str | None = None,
+    entropy: int,
+) -> str:
+    """:func:`~repro.sampling.store.store_fingerprint`, keyed-scheme tagged.
+
+    A keyed store must never resume a spawn-derived directory (or vice
+    versa): the roots can collide while the task streams differ.  The
+    suffix separates the two schemes and pins the entropy the
+    coordinates are keyed by.
+    """
+    base = store_fingerprint(
+        n, roots, models, backend, graph=graph, pieces=pieces
+    )
+    return f"{base}:inc-entropy={int(entropy)}"
+
+
+def stream_keyed_blocks(
+    piece_graphs,
+    models,
+    roots: np.ndarray,
+    entropy: int,
+    *,
+    backend: str | None,
+    workers: int,
+    executor: str | None = None,
+    block_size: int | None = None,
+    skip=None,
+    pool=None,
+):
+    """Yield every (piece, root block) result in task order, keyed streams.
+
+    The incremental twin of
+    :func:`~repro.sampling.parallel.stream_piece_blocks`: same task
+    decomposition, same bounded 2x-``workers`` in-flight window, same
+    task-order yield and cancel-on-error teardown — but each task draws
+    from :func:`keyed_task_seed` instead of a spawned child, and the
+    block size is the caller's pinned value (``task_block_size(theta)``
+    by default).  ``skip`` prunes tasks without any stream bookkeeping:
+    coordinate keying means unsampled tasks consume nothing.
+    """
+    if len(piece_graphs) != len(models):
+        raise SamplingError(
+            f"{len(models)} models for {len(piece_graphs)} piece graphs"
+        )
+    theta = int(roots.size)
+    block = int(block_size) if block_size is not None else task_block_size(theta)
+    todo = []
+    for j, (piece_graph, model) in enumerate(zip(piece_graphs, models)):
+        for b, start in enumerate(range(0, theta, block)):
+            if skip is not None and skip(j, b):
+                continue
+            todo.append(
+                (
+                    (j, b),
+                    (
+                        piece_graph,
+                        model,
+                        backend,
+                        roots[start : start + block],
+                        keyed_task_seed(entropy, j, b),
+                    ),
+                )
+            )
+    width = min(int(workers), len(todo))
+    if width <= 1:
+        for (j, b), args in todo:
+            ptr, nodes = _sample_task(args)
+            yield j, b, ptr, nodes
+        return
+    from collections import deque
+    from concurrent.futures import ProcessPoolExecutor
+
+    owned = pool is None
+    if owned:
+        pool = make_pool(width, executor=executor)
+    slab_pool = None
+    if isinstance(pool, ProcessPoolExecutor):
+        from repro.sampling import shm as _shm
+
+        slab_pool = _shm.SharedSlabPool.create(
+            2 * width, _shm.slab_slot_bytes(block)
+        )
+    pending: deque = deque()
+    iterator = iter(todo)
+    submit_index = 0
+    try:
+        while True:
+            while len(pending) < 2 * width:
+                item = next(iterator, None)
+                if item is None:
+                    break
+                coords, args = item
+                if slab_pool is not None:
+                    args = args + (slab_pool.slot_spec(submit_index),)
+                submit_index += 1
+                pending.append((coords, pool.submit(_sample_task, args)))
+            if not pending:
+                break
+            (j, b), future = pending.popleft()
+            result = future.result()
+            if slab_pool is not None:
+                if result[0] == "shm":
+                    ptr, nodes = slab_pool.read(result)
+                else:  # ("arr", ptr, nodes) — the pickled fallback
+                    _, ptr, nodes = result
+            else:
+                ptr, nodes = result
+            yield j, b, ptr, nodes
+    finally:
+        for _, future in pending:
+            future.cancel()
+        if owned:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if slab_pool is not None:
+            slab_pool.close()
+
+
+def generate_keyed(
+    n: int,
+    piece_graphs,
+    models,
+    roots: np.ndarray,
+    entropy: int,
+    *,
+    backend,
+    workers: int,
+    executor,
+    store,
+    block_size: int,
+    graph_fingerprint: str | None = None,
+    pieces_fingerprint: str | None = None,
+    pool=None,
+):
+    """Fill ``store`` with keyed shards and return the collection.
+
+    The incremental twin of ``MRRCollection._generate_into_store``:
+    ``begin`` with the keyed fingerprint, stream the *missing* shards
+    (``skip=store.has_block`` — which is also how an updated store
+    resamples only its invalidated and appended blocks), ``finalize``.
+    ``executor="spawned"`` over an on-disk :class:`ShardStore` routes
+    through the distributed lease runtime with the pinned entropy, and
+    lands on the identical bytes.
+
+    The caller owns the store's prior state: a fresh cold generate
+    calls ``begin`` on an empty store, an update calls ``retarget`` /
+    ``invalidate_blocks`` first and this fill completes the holes.
+    """
+    from repro.sampling.mrr import MRRCollection
+
+    theta = int(roots.size)
+    fingerprint = incremental_fingerprint(
+        n,
+        roots,
+        models,
+        backend,
+        graph=graph_fingerprint,
+        pieces=pieces_fingerprint,
+        entropy=entropy,
+    )
+    if isinstance(store, ShardStore) or store.theta == 0:
+        # Fresh store, or a shard directory (whose begin() validates and
+        # resumes).  A mid-update MemoryStore must NOT re-begin — that
+        # would discard its surviving blocks — so it only verifies that
+        # retarget/invalidate left the dimensions this fill expects.
+        store.begin(
+            n, len(piece_graphs), theta, int(block_size),
+            fingerprint=fingerprint,
+        )
+    elif (
+        store.n != int(n)
+        or store.num_pieces != len(piece_graphs)
+        or store.theta != theta
+        or store.block_size != int(block_size)
+    ):
+        raise StoreError(
+            f"store dimensions (n={store.n}, pieces={store.num_pieces}, "
+            f"theta={store.theta}, block={store.block_size}) do not match "
+            f"the keyed fill (n={n}, pieces={len(piece_graphs)}, "
+            f"theta={theta}, block={block_size})"
+        )
+    if isinstance(store, ShardStore) and not store.finalized:
+        store.save_roots(roots)
+    if not store.finalized:
+        if (
+            executor == "spawned"
+            and isinstance(store, ShardStore)
+            and store.shard_dir is not None
+        ):
+            from repro.runtime import DEFAULT_DIST_LAUNCH
+            from repro.sampling.dist import fill_store_distributed
+
+            fill_store_distributed(
+                piece_graphs,
+                models,
+                roots,
+                None,  # rng unused: the keyed scheme pins its entropy
+                backend=backend,
+                workers=workers,
+                store=store,
+                launch=DEFAULT_DIST_LAUNCH,
+                entropy=int(entropy),
+                keyed=True,
+            )
+        else:
+            for piece, block, ptr, nodes in stream_keyed_blocks(
+                piece_graphs,
+                models,
+                roots,
+                entropy,
+                backend=backend,
+                workers=workers,
+                executor=executor,
+                block_size=block_size,
+                skip=store.has_block,
+                pool=pool,
+            ):
+                store.put_block(piece, block, ptr, nodes)
+        store.finalize()
+    return MRRCollection(n, roots, store=store)

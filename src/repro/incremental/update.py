@@ -1,0 +1,648 @@
+"""Delta-aware resampling and warm re-solve: the update engine.
+
+``sample_incremental`` generates a session's optimisation collection
+through the coordinate-keyed scheme (:mod:`repro.incremental.sampler`)
+and pins an :class:`IncrementalState` on the session; ``update_session``
+then carries the whole pipeline across a :class:`GraphDelta`:
+
+1. **Dirty analysis** — the delta's per-piece dirty heads
+   (:func:`~repro.incremental.delta.piece_dirty_heads`, computed
+   against the *old* graph the shards were sampled from) are run
+   through the store's per-shard touch summaries, marking exactly the
+   (piece, block) shards whose RR sets may have visited a vertex whose
+   in-edges changed.  A shard not marked is *guaranteed* to replay
+   bit-identically on the new graph: RR expansion only ever examines
+   in-edges of visited vertices, so an untouched frontier draws the
+   same coins from the same keyed stream.
+2. **Store surgery** — ``retarget`` (theta growth by append),
+   ``invalidate_blocks`` (drop dirty shards), then a keyed fill of the
+   holes; kept shards are never rewritten.  The result is bit-identical
+   to a cold keyed generate on the new graph at the new theta — the
+   contract every test in ``tests/test_incremental.py`` pins.
+3. **Warm re-solve** — the previous run's marginal-gain record (plus
+   the tracked staleness bound) primes ``celf-mrr``; previous plans
+   prime ``local-search`` starts and ``bab``/``bab-p`` incumbents.
+
+On an artifact-backed runtime the update is copy-on-write: the cached
+shard directory is never mutated — kept shards are hard-linked into a
+staging directory, the holes are filled there, and the result commits
+under the *new* graph's content address (sound precisely because of
+the kept-shard ≡ cold contract), so later cold opens of the updated
+graph hit the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.artifacts import ArtifactKey, piece_graphs_digest
+from repro.exceptions import SamplingError, SolverError
+from repro.incremental.delta import GraphDelta, apply_delta, piece_dirty_heads
+from repro.incremental.sampler import generate_keyed, keyed_roots
+from repro.incremental.warm import WarmGains, staleness_bound
+from repro.sampling.mrr import MRRCollection, resolve_models
+from repro.sampling.parallel import task_block_size
+from repro.sampling.store import MemoryStore, SampleStore, ShardStore
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "IncrementalState",
+    "IncrementalTrace",
+    "UpdateResult",
+    "sample_incremental",
+    "update_session",
+]
+
+
+@dataclass
+class IncrementalState:
+    """The session-pinned identity of an incremental sampling lineage."""
+
+    #: Root entropy of the coordinate-keyed streams.
+    entropy: int
+    #: Block size pinned at first generation; every append reuses it.
+    block_size: int
+    #: Current theta of the lineage.
+    theta: int
+    #: Whether the entropy came from an integer seed (cache-eligible).
+    reproducible: bool
+    #: The seed the lineage was sampled under — updates must resolve
+    #: their runtime with the same seed or the artifact keys drift.
+    seed: object = None
+    #: Whether the live shard directory is artifact-owned (read-only;
+    #: updates go copy-on-write).
+    hosted: bool = False
+    #: Previous solve's marginal-gain record (celf-mrr warm start).
+    warm: WarmGains | None = None
+    #: Method of the previous solve on this lineage.
+    warm_method: str | None = None
+    #: Previous solve's plan (local-search start / BAB incumbent).
+    plan: object | None = None
+    #: Accumulated staleness bound since the warm record was written.
+    staleness: float = 0.0
+
+
+@dataclass(frozen=True)
+class IncrementalTrace:
+    """What one ``update`` reused, dropped, and rebuilt."""
+
+    theta_old: int
+    theta_new: int
+    #: Shard counts in the *new* (piece x block) geometry.
+    shards_total: int
+    #: Shards that survived the update untouched.
+    shards_kept: int
+    #: Delta-dirty shards dropped for regeneration.
+    shards_invalidated: int
+    #: Net-new shards from theta growth.
+    shards_appended: int
+    #: Shards actually (re)sampled (invalidated + appended + a regrown
+    #: partial tail block, minus any overlap).
+    shards_resampled: int
+    #: Distinct dirty-head vertices across pieces.
+    dirty_vertices: int
+    #: Tracked AU-estimate staleness bound of this update.
+    staleness: float
+    #: Pipeline (stage, action) pairs this update recorded.
+    stages: tuple[tuple[str, str], ...] = field(default=())
+
+    @property
+    def kept_fraction(self) -> float:
+        return self.shards_kept / self.shards_total if self.shards_total else 0.0
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """A re-solved session result plus its incremental accounting."""
+
+    result: object  # repro.api.SessionResult
+    trace: IncrementalTrace
+
+    @property
+    def plan(self):
+        return self.result.plan
+
+    @property
+    def estimate(self) -> float:
+        return self.result.estimate
+
+    @property
+    def seed_sets(self):
+        return self.result.seed_sets
+
+
+def _resolve_entropy(seed) -> tuple[int, bool]:
+    """The lineage entropy: the seed itself when it can key streams."""
+    if isinstance(seed, int) and not isinstance(seed, bool) and seed >= 0:
+        return int(seed), True
+    return int(as_generator(seed).integers(0, 2**63 - 1)), False
+
+
+def _incremental_runtime(session, seed, entropy: int, reproducible: bool):
+    """The session runtime with a per-lineage shard subdirectory.
+
+    Keyed by entropy, *not* theta — unlike the per-collection role
+    runtimes, an incremental lineage keeps one directory across theta
+    growth and deltas.
+    """
+    from repro.runtime import resolve_runtime
+
+    rt = resolve_runtime(
+        session.runtime, seed=seed if seed is not None else session.seed
+    )
+    part = (
+        f"inc-ent{entropy}" if reproducible
+        else f"inc-run{uuid.uuid4().hex[:12]}"
+    )
+    return rt.with_shard_subdir(part)
+
+
+def _incremental_key(
+    rt, graph_fp: str, campaign, theta: int, pieces_fp: str,
+    block_size: int, entropy: int,
+) -> ArtifactKey:
+    """The sample-stage artifact key of one keyed collection.
+
+    ``stream=incremental`` separates it from spawn-derived artifacts of
+    the same dimensions; block size and entropy pin the coordinate
+    scheme, so an update's copy-on-write commit lands exactly where a
+    cold keyed generate of the new graph would look.
+    """
+    return ArtifactKey(
+        graph=graph_fp,
+        campaign=campaign.fingerprint(),
+        runtime=rt.cache_key(),
+        stage="sample",
+        extra=(
+            f"theta={theta}",
+            f"pieces={pieces_fp[:16]}",
+            "stream=incremental",
+            f"block={block_size}",
+            f"entropy={entropy}",
+        ),
+    )
+
+
+def _cache_eligible(rt, art_store, store_obj, reproducible: bool) -> bool:
+    """Whether a keyed generation may live in the artifact store.
+
+    Mirrors ``MRRCollection.generate_traced`` — plus the incremental
+    restriction to directory-hosting stores and disk targets: an
+    updated collection must be re-committable as shards, and in-RAM
+    targets would force a materialise-on-hit that the update path could
+    not mutate copy-on-write anyway.
+    """
+    return (
+        art_store is not None
+        and reproducible
+        and rt.shard_dir is None
+        and not isinstance(rt.store, SampleStore)
+        and isinstance(store_obj, ShardStore)
+        and art_store.hosts_directories
+    )
+
+
+def _record_events(session, events, detail: str, seconds: float) -> None:
+    for i, event in enumerate(events):
+        stage, action = event
+        session._trace.record(
+            stage,
+            action,
+            detail,
+            seconds=seconds if i == 0 else 0.0,
+            extra=getattr(event, "extra", None),
+        )
+
+
+def _clone_shard_dir(src: str, dst: str) -> None:
+    """Hard-link a shard directory's files into a staging directory.
+
+    Every ShardStore write is rename-atomic (tmp + ``os.replace``) and
+    deletions are plain unlinks, so hard links are safe: surgery on the
+    clone can never reach back into the source.  Falls back to copies
+    on filesystems without link support.  Scratch entries (lease dirs,
+    torn ``.tmp`` files) are skipped.
+    """
+    import shutil
+
+    os.makedirs(dst, exist_ok=True)
+    for name in os.listdir(src):
+        if name.endswith(".tmp"):
+            continue
+        path = os.path.join(src, name)
+        if not os.path.isfile(path):
+            continue
+        target = os.path.join(dst, name)
+        try:
+            os.link(path, target)
+        except OSError:
+            shutil.copy2(path, target)
+
+
+def sample_incremental(session, theta: int, *, seed=None) -> MRRCollection:
+    """Generate the optimisation collection on the incremental tier.
+
+    The delta-aware counterpart of ``Session.sample``: same collection
+    role, different stream scheme (coordinate-keyed, see
+    :mod:`repro.incremental.sampler`), so the session can later absorb
+    graph deltas and theta growth through ``Session.update`` instead of
+    resampling from scratch.  Starts a fresh incremental lineage —
+    a previous one (and its warm state) is discarded.
+
+    The draw differs from ``Session.sample``'s for the same seed — the
+    schemes key their streams differently — but is equally pinned:
+    (entropy, coordinates) fully determine every shard.
+    """
+    from repro.pipeline import TraceEvent
+    from repro.sampling.batch import check_backend
+
+    theta = int(theta)
+    if theta < 1:
+        raise SamplingError(f"theta must be positive, got {theta}")
+    entropy, reproducible = _resolve_entropy(
+        seed if seed is not None else session.seed
+    )
+    rt = _incremental_runtime(session, seed, entropy, reproducible)
+    n = session.graph.n
+    if n == 0:
+        raise SamplingError("cannot sample from an empty graph")
+    block_size = task_block_size(theta)
+    piece_graphs = session.piece_graphs
+    models = resolve_models(rt.model, session.num_pieces)
+    graph_fp = session.graph.fingerprint()
+    pieces_fp = piece_graphs_digest(piece_graphs)
+    roots = keyed_roots(entropy, n, theta, block_size)
+
+    art_store = rt.artifact_store()
+    store_obj = rt.store_for_generate()
+    if store_obj is None:
+        store_obj = MemoryStore()
+    cacheable = _cache_eligible(rt, art_store, store_obj, reproducible)
+
+    key = None
+    flight = None
+    hosted = False
+    collection = None
+    start = time.perf_counter()
+    events = [
+        TraceEvent(
+            "sample",
+            "run",
+            {
+                "stream": "incremental",
+                "backend": check_backend(rt.backend),
+                "executor": rt.executor,
+                "workers": int(rt.pool_width or 1),
+                "task_block": int(block_size),
+                "entropy": int(entropy),
+            },
+        ),
+        ("index", "run"),
+    ]
+    try:
+        if cacheable:
+            key = _incremental_key(
+                rt, graph_fp, session.campaign, theta, pieces_fp,
+                block_size, entropy,
+            )
+            hit = art_store.get(key)
+            if hit is None:
+                flight = art_store.producer_flight(key)
+                if not flight.claim():
+                    hit = flight.wait(lambda: art_store.get(key))
+            if hit is not None:
+                shard = ShardStore.open(
+                    os.path.join(hit.path, "shards"),
+                    max_resident_bytes=rt.max_resident_bytes,
+                )
+                collection = MRRCollection.from_store(shard)
+                events = [("sample", "hit"), ("index", "hit")]
+                hosted = True
+            else:
+                shards_dir = os.path.join(art_store.stage_dir(key), "shards")
+                store_obj = ShardStore(
+                    shards_dir, max_resident_bytes=rt.max_resident_bytes
+                )
+        if collection is None:
+            try:
+                collection = generate_keyed(
+                    n,
+                    piece_graphs,
+                    models,
+                    roots,
+                    entropy,
+                    backend=rt.backend,
+                    workers=rt.pool_width or 1,
+                    executor=rt.executor,
+                    store=store_obj,
+                    block_size=block_size,
+                    graph_fingerprint=graph_fp,
+                    pieces_fingerprint=pieces_fp,
+                    pool=session._sampling_pool(rt),
+                )
+            except BaseException:
+                session._close_pool()
+                raise
+            if cacheable:
+                artifact = art_store.commit(
+                    key,
+                    {
+                        "format": "shards",
+                        "n": n,
+                        "theta": theta,
+                        "num_pieces": session.num_pieces,
+                    },
+                )
+                store_obj.close()
+                store_obj.shard_dir = os.path.join(artifact.path, "shards")
+                hosted = True
+    finally:
+        if flight is not None:
+            flight.release()
+    _record_events(session, events, "opt", time.perf_counter() - start)
+
+    session._mrr = collection
+    session._mrr_key = key
+    session._inc = IncrementalState(
+        entropy=entropy,
+        block_size=block_size,
+        theta=theta,
+        reproducible=reproducible,
+        seed=seed if seed is not None else session.seed,
+        hosted=hosted,
+    )
+    return collection
+
+
+#: Warm-start option injection per solver method: how a previous
+#: lineage state primes the re-solve.
+_WARM_OPTION = {
+    "celf-mrr": "warm",
+    "local-search": "start",
+    "bab": "incumbent",
+    "bab-p": "incumbent",
+}
+
+
+def update_session(
+    session,
+    delta: GraphDelta,
+    *,
+    theta: int | None = None,
+    method: str | None = None,
+    evaluate: bool = False,
+    eval_theta: int | None = None,
+    **options,
+) -> UpdateResult:
+    """Absorb ``delta`` into the session and re-solve warm.
+
+    The end-to-end incremental pass: dirty-shard analysis against the
+    old graph, store surgery (append + invalidate + keyed refill),
+    problem rebuild on the new graph, warm-started solve.  Returns the
+    :class:`UpdateResult` carrying both the usual ``SessionResult`` and
+    the :class:`IncrementalTrace` accounting of what was reused.
+
+    ``theta`` may grow the collection (never shrink it); ``method``
+    defaults to the lineage's previous solve method, then the session's
+    last solve, then ``celf-mrr``.  ``evaluate=True`` scores the plan
+    on a fresh independent collection of the *new* graph.
+    """
+    state: IncrementalState | None = getattr(session, "_inc", None)
+    if state is None:
+        raise SolverError(
+            "no incremental lineage — call session.sample_incremental("
+            "theta) before session.update(delta=...)"
+        )
+    if not isinstance(delta, GraphDelta):
+        delta = GraphDelta.from_payload(delta)
+    theta_old = state.theta
+    theta_new = int(theta) if theta is not None else theta_old
+    if theta_new < theta_old:
+        raise SolverError(
+            f"an update cannot shrink theta ({theta_old} -> {theta_new})"
+        )
+
+    session._trace.clear()
+    session._trace.record("plan", "run", "update")
+    start = time.perf_counter()
+
+    old_graph = session.graph
+    campaign = session.campaign
+    num_pieces = session.num_pieces
+    dirty = piece_dirty_heads(old_graph, campaign, delta)
+    dirty_vertices = int(
+        np.unique(np.concatenate([d for d in dirty] or [np.zeros(0, np.int64)])).size
+    )
+    new_graph = apply_delta(old_graph, delta)
+
+    store = session.mrr.store
+    old_blocks = store.num_blocks
+    pairs = set()
+    for j in range(num_pieces):
+        if dirty[j].size:
+            pairs.update((j, b) for b in store.blocks_touching(j, dirty[j]))
+
+    # -- swap the problem onto the new graph ---------------------------
+    from repro.core.problem import OIPAProblem
+
+    session.graph = new_graph
+    session.problem = OIPAProblem(
+        new_graph, campaign, session.adoption, session.k,
+        session.problem.pool,
+    )
+    session._piece_graphs = None
+    session._flat_graph = None
+    session._mrr_eval = None  # sampled on the old graph
+    session._eval_seed = None
+
+    rt = _incremental_runtime(
+        session, state.seed, state.entropy, state.reproducible
+    )
+    piece_graphs = session.piece_graphs  # re-projected on the new graph
+    models = resolve_models(rt.model, num_pieces)
+    new_fp = new_graph.fingerprint()
+    pieces_fp = piece_graphs_digest(piece_graphs)
+    roots = keyed_roots(state.entropy, new_graph.n, theta_new, state.block_size)
+    num_blocks_new = -(-theta_new // state.block_size)
+    total_new = num_pieces * num_blocks_new
+    appended = num_pieces * (num_blocks_new - old_blocks)
+
+    art_store = rt.artifact_store()
+    key = None
+    flight = None
+    events = None
+    collection = None
+    try:
+        if state.hosted:
+            # The live directory is artifact-owned: never mutate it.
+            if art_store is None or not art_store.hosts_directories:
+                raise SolverError(
+                    "the incremental collection is artifact-hosted but "
+                    "the session runtime no longer has a directory-"
+                    "hosting artifact store — resample with "
+                    "sample_incremental() before updating"
+                )
+            key = _incremental_key(
+                rt, new_fp, campaign, theta_new, pieces_fp,
+                state.block_size, state.entropy,
+            )
+            hit = art_store.get(key) if art_store is not None else None
+            if hit is not None:
+                shard = ShardStore.open(
+                    os.path.join(hit.path, "shards"),
+                    max_resident_bytes=rt.max_resident_bytes,
+                )
+                store.close()
+                collection = MRRCollection.from_store(shard)
+                events = [("sample", "hit"), ("index", "hit")]
+                # Nothing was dropped or resampled: the whole post-delta
+                # collection was served from the artifact cache.
+                kept = total_new
+                resampled = 0
+                invalidated = 0
+            else:
+                flight = art_store.producer_flight(key)
+                flight.claim()  # losers produce privately; commit is benign
+                staged = os.path.join(art_store.stage_dir(key), "shards")
+                _clone_shard_dir(store.shard_dir, staged)
+                old_fingerprint = store.fingerprint
+                store.close()
+                work = ShardStore(
+                    staged, max_resident_bytes=rt.max_resident_bytes
+                )
+                work.begin(
+                    new_graph.n, num_pieces, theta_old, state.block_size,
+                    fingerprint=old_fingerprint,
+                )
+                store = work
+        if collection is None:
+            new_fingerprint_args = dict(
+                graph_fingerprint=new_fp, pieces_fingerprint=pieces_fp
+            )
+            from repro.incremental.sampler import incremental_fingerprint
+
+            store.retarget(
+                theta_new,
+                fingerprint=incremental_fingerprint(
+                    new_graph.n, roots, models, rt.backend,
+                    graph=new_fp, pieces=pieces_fp, entropy=state.entropy,
+                ),
+            )
+            store.invalidate_blocks(pairs)
+            invalidated = len(pairs)
+            kept = sum(
+                1
+                for j in range(num_pieces)
+                for b in range(num_blocks_new)
+                if store.has_block(j, b)
+            )
+            resampled = total_new - kept
+            try:
+                collection = generate_keyed(
+                    new_graph.n,
+                    piece_graphs,
+                    models,
+                    roots,
+                    state.entropy,
+                    backend=rt.backend,
+                    workers=rt.pool_width or 1,
+                    executor=rt.executor,
+                    store=store,
+                    block_size=state.block_size,
+                    pool=session._sampling_pool(rt),
+                    **new_fingerprint_args,
+                )
+            except BaseException:
+                session._close_pool()
+                raise
+            if state.hosted:
+                artifact = art_store.commit(
+                    key,
+                    {
+                        "format": "shards",
+                        "n": new_graph.n,
+                        "theta": theta_new,
+                        "num_pieces": num_pieces,
+                    },
+                )
+                store.close()
+                store.shard_dir = os.path.join(artifact.path, "shards")
+            from repro.pipeline import TraceEvent
+
+            events = [
+                TraceEvent(
+                    "sample",
+                    "run",
+                    {
+                        "stream": "incremental",
+                        "kept": int(kept),
+                        "invalidated": invalidated,
+                        "appended": int(appended),
+                        "resampled": int(resampled),
+                        "dirty_vertices": dirty_vertices,
+                    },
+                ),
+                ("index", "run"),
+            ]
+    finally:
+        if flight is not None:
+            flight.release()
+    _record_events(session, events, "opt", time.perf_counter() - start)
+    session._mrr = collection
+    session._mrr_key = key
+
+    # -- staleness accounting ------------------------------------------
+    changed_rows = 0
+    for j, b in pairs:
+        lo = b * state.block_size
+        changed_rows += max(0, min(lo + state.block_size, theta_old) - lo)
+    bound = staleness_bound(
+        new_graph.n, theta_old, theta_new,
+        changed_rows, theta_new - theta_old,
+    )
+    state.theta = theta_new
+    state.staleness += bound
+
+    # -- warm re-solve --------------------------------------------------
+    chosen = method or state.warm_method or getattr(
+        session, "_last_solve", None
+    ) or "celf-mrr"
+    warm_slot = _WARM_OPTION.get(chosen)
+    if warm_slot == "warm" and state.warm is not None:
+        options.setdefault("warm", state.warm)
+        # Twice the tracked bound: per-move gain drift is at most the
+        # estimate drift from either side of the move's samples.
+        options.setdefault("margin", 2.0 * state.staleness)
+    elif warm_slot in ("start", "incumbent") and state.plan is not None:
+        options.setdefault(warm_slot, state.plan)
+    result = session.solve(
+        chosen, evaluate=evaluate, eval_theta=eval_theta, **options
+    )
+
+    record = getattr(session, "_celf_gains", None)
+    if chosen == "celf-mrr" and record is not None:
+        state.warm = record
+        state.staleness = 0.0  # the record is fresh on this collection
+    state.warm_method = chosen
+    state.plan = result.plan
+
+    trace = IncrementalTrace(
+        theta_old=theta_old,
+        theta_new=theta_new,
+        shards_total=total_new,
+        shards_kept=int(kept),
+        shards_invalidated=invalidated,
+        shards_appended=int(appended),
+        shards_resampled=int(resampled),
+        dirty_vertices=dirty_vertices,
+        staleness=float(bound),
+        stages=tuple(
+            (event.stage, event.action) for event in session._trace.events
+        ),
+    )
+    return UpdateResult(result=result, trace=trace)

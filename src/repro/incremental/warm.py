@@ -1,0 +1,214 @@
+"""Warm-started solving: pruned exact greedy and the staleness bound.
+
+``celf_assign`` is an MRR-native lazy greedy over (vertex, piece)
+assignment moves, built for re-solving after a graph delta.  The AU
+objective is **not** submodular (below the logistic's inflection,
+marginal gains grow as coverage accumulates — the paper's whole reason
+for majorant bounds), so the classic CELF discipline of accepting a
+stale-keyed heap top is unsound here: a cached gain can *understate*
+the current one.  Instead every iteration selects the exact argmax,
+pruned by per-move upper bounds that stay valid at every future plan
+state:
+
+    cap(v, j) = scale * max_c [g(c+1) - g(c)] * |uncovered rows of (v, j)|
+
+The uncovered-row count only shrinks as the plan grows and every row's
+step is at most the largest adoption increment, so the cap is monotone
+valid; moves whose cap falls below the running best are skipped without
+evaluation.  Because the caps gate only *which moves get evaluated* —
+never which evaluated move wins — the selected plan is the exact greedy
+plan regardless of how tight the caps are.  That is the warm-start
+contract: a previous run's recorded gain bounds (inflated by the
+staleness margin) tighten the first iteration's caps and skip most of
+its evaluations, while the selections stay **identical** to a cold run
+(pinned in ``tests/test_incremental.py``).
+
+``staleness_bound`` is the tracked drift bound between the old and new
+collections' estimates after an update: ``changed`` invalidated rows
+can each move an estimate by at most ``n / theta`` on either side, and
+theta growth rescales the kept rows.  It is deliberately conservative —
+a loose margin costs warm-start efficiency, never correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import AssignmentPlan
+from repro.exceptions import SolverError
+
+__all__ = ["WarmGains", "celf_assign", "prime_incumbent", "staleness_bound"]
+
+#: Relative inflation applied to every pruning cap so float summation
+#: error (~log2(rows) ulps) can never push an exact gain above its cap.
+_CAP_SLACK = 1.0 + 1e-9
+
+
+class WarmGains:
+    """Per-move empty-plan gain bounds recorded by one ``celf_assign``.
+
+    ``gains[j, p]`` upper-bounds the empty-plan marginal gain of
+    assigning ``pool[p]`` to piece ``j`` on the collection the run saw
+    (exact where the run evaluated the move, its pruning cap where it
+    did not).  Adding the staleness ``margin`` of an update keeps them
+    valid bounds on the *new* collection — the next run's first
+    iteration prunes against them.
+    """
+
+    __slots__ = ("pool", "gains")
+
+    def __init__(self, pool: np.ndarray, gains: np.ndarray) -> None:
+        self.pool = np.asarray(pool, dtype=np.int64)
+        self.gains = np.asarray(gains, dtype=np.float64)
+        if self.gains.ndim != 2 or self.gains.shape[1] != self.pool.size:
+            raise SolverError(
+                f"warm gains shape {self.gains.shape} does not match "
+                f"pool size {self.pool.size}"
+            )
+
+
+def staleness_bound(
+    n: int,
+    theta_old: int,
+    theta_new: int,
+    changed: int,
+    appended: int,
+) -> float:
+    """Bound on AU-estimate drift across an update, in utility units.
+
+    ``changed`` rows were regenerated in place (each worth at most
+    ``n/theta`` in either collection), ``appended`` rows are new mass at
+    the grown theta, and the ``1 - theta_old/theta_new`` term covers the
+    rescaling of every kept row.  Zero for a pure no-op update.
+    """
+    if theta_old < 1 or theta_new < theta_old:
+        raise SolverError(
+            f"invalid theta pair ({theta_old}, {theta_new}) for the "
+            "staleness bound"
+        )
+    drift = (changed + appended) / theta_new + changed / theta_old
+    drift += 1.0 - theta_old / theta_new
+    return float(n) * drift
+
+
+def celf_assign(
+    problem,
+    mrr,
+    *,
+    warm: WarmGains | None = None,
+    margin: float = 0.0,
+):
+    """Exact lazy greedy over (vertex, piece) moves on the raw estimate.
+
+    Returns ``(plan, record, diagnostics)`` where ``record`` is the
+    :class:`WarmGains` of this run (hand it, plus the update's staleness
+    margin, to the next run as ``warm=``).  ``warm`` caps must
+    upper-bound the *current* collection's empty-plan gains — the
+    update engine guarantees that by adding ``staleness_bound`` to the
+    previous record; they are consulted only in the first iteration
+    (later gains may rise above them on a non-submodular objective) and
+    only ever to skip evaluations, so an over-tight margin can cost
+    evaluations to the structural caps, never change the plan.
+    """
+    pool = problem.pool
+    num_pieces = problem.num_pieces
+    adoption = problem.adoption
+    theta = mrr.theta
+    scale = mrr.n / theta
+    if warm is not None and (
+        warm.gains.shape[0] != num_pieces
+        or not np.array_equal(warm.pool, pool)
+    ):
+        raise SolverError(
+            "warm gains were recorded for a different pool or piece "
+            "count — re-solve cold"
+        )
+
+    # g(c) for c = 0..l and its increments; counts of an uncovered row
+    # never reach l, so delta_g[c] is always in range.
+    gtab = adoption.probability(np.arange(num_pieces + 1))
+    delta_g = np.diff(gtab)
+    max_delta = float(delta_g.max())
+
+    counts = np.zeros(theta, dtype=np.int64)
+    covered = [np.zeros(theta, dtype=bool) for _ in range(num_pieces)]
+    pool_freq = np.stack(
+        [mrr.vertex_frequencies(j)[pool] for j in range(num_pieces)]
+    ).astype(np.float64)
+
+    # Monotone structural caps, and the first-iteration-only warm caps.
+    cap = scale * (max_delta * pool_freq) * _CAP_SLACK
+    cap0 = cap if warm is None else np.minimum(cap, warm.gains + margin)
+    # Empty-plan gain bounds recorded for the next warm start: exact
+    # where iteration 0 evaluates, the (valid) iteration-0 cap elsewhere.
+    record = cap0.copy()
+
+    def exact_gain(j: int, p: int) -> tuple[float, int]:
+        rows = mrr.samples_containing(j, int(pool[p]))
+        if rows.size:
+            rows = rows[~covered[j][rows]]
+        if not rows.size:
+            return 0.0, 0
+        weights = np.bincount(
+            counts[rows], minlength=num_pieces
+        ).astype(np.float64)
+        return scale * float(weights @ delta_g), int(rows.size)
+
+    plan = problem.empty_plan()
+    chosen: set[tuple[int, int]] = set()
+    evaluations = 0
+    for iteration in range(problem.k):
+        active = cap0 if iteration == 0 else cap
+        flat = active.ravel()
+        order = np.argsort(-flat, kind="stable")
+        best_gain = 0.0
+        best_entry = -1
+        for e in order:
+            e = int(e)
+            if flat[e] < best_gain:
+                # every later move's cap is smaller still — none can win
+                break
+            j, p = divmod(e, pool.size)
+            if (j, p) in chosen:
+                continue
+            gain, uncovered = exact_gain(j, p)
+            evaluations += 1
+            fresh_cap = scale * (max_delta * uncovered) * _CAP_SLACK
+            cap[j, p] = fresh_cap
+            if iteration == 0:
+                cap0[j, p] = min(float(cap0[j, p]), fresh_cap)
+                record[j, p] = gain
+            if gain > best_gain or (
+                gain == best_gain and best_entry >= 0 and e < best_entry
+            ):
+                best_gain = gain
+                best_entry = e
+        if best_entry < 0 or best_gain <= 0.0:
+            break
+        j, p = divmod(best_entry, pool.size)
+        v = int(pool[p])
+        rows = mrr.samples_containing(j, v)
+        if rows.size:
+            rows = rows[~covered[j][rows]]
+        covered[j][rows] = True
+        counts[rows] += 1
+        chosen.add((j, p))
+        plan = plan.with_assignment(v, j)
+    diagnostics = {
+        "evaluations": evaluations,
+        "selected": plan.size,
+        "warm": warm is not None,
+        "margin": float(margin),
+    }
+    return plan, WarmGains(pool, record), diagnostics
+
+
+def prime_incumbent(problem, mrr, plan: AssignmentPlan) -> float:
+    """Validate a previous plan and score it on the (new) collection.
+
+    The branch-and-bound warm start: the returned estimate is a sound
+    lower bound wherever it came from, so the solver can adopt it as
+    the initial incumbent and prune against it from the first node.
+    """
+    problem.validate_plan(plan)
+    return float(mrr.estimate(plan.seed_lists(), problem.adoption))

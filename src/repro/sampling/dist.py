@@ -79,6 +79,15 @@ DEFAULT_SPEC_WAIT = 120.0
 #: multiple of the launch width.
 _RESTART_FACTOR = 2
 
+#: Tags for coordinate-keyed SeedSequence streams (the incremental
+#: tier, :mod:`repro.incremental.sampler`): task ``(piece j, block b)``
+#: draws from ``SeedSequence((entropy, KEYED_TASK_TAG, j, b))`` and the
+#: block-``b`` roots from ``SeedSequence((entropy, KEYED_ROOT_TAG, b))``
+#: — pure coordinate functions, so appended or regenerated tasks rebuild
+#: their exact streams without replaying a spawn sequence.
+KEYED_ROOT_TAG = 0x726F6F74  # "root"
+KEYED_TASK_TAG = 0x7461736B  # "task"
+
 
 @dataclass
 class JobSpec:
@@ -101,8 +110,19 @@ class JobSpec:
     entropy: int
     fingerprint: str | None
     piece_graphs: list = field(repr=False)
+    #: Coordinate-keyed task streams (incremental tier): each task's
+    #: SeedSequence is a pure function of (entropy, piece, block), so a
+    #: worker regenerating one invalidated shard — or appending blocks
+    #: for a larger theta — rebuilds its exact stream in isolation.
+    keyed: bool = False
 
     def task_seeds(self):
+        if self.keyed:
+            return [
+                np.random.SeedSequence((self.entropy, KEYED_TASK_TAG, j, b))
+                for j in range(self.num_pieces)
+                for b in range(self.num_blocks)
+            ]
         root = np.random.SeedSequence(self.entropy)
         return root.spawn(self.num_pieces * self.num_blocks)
 
@@ -242,6 +262,8 @@ def fill_store_distributed(
     lease_ttl: float = DEFAULT_LEASE_TTL,
     poll: float = DEFAULT_POLL,
     timeout: float | None = None,
+    entropy: int | None = None,
+    keyed: bool = False,
 ) -> int:
     """Coordinate a distributed fill of ``store``; returns block count.
 
@@ -271,7 +293,11 @@ def fill_store_distributed(
 
     for piece_graph, model in zip(piece_graphs, models):
         _cached_sampler(piece_graph, model, backend)
-    entropy = int(rng.integers(0, 2**63 - 1))
+    if entropy is None:
+        # The one rng draw every other topology makes; callers on the
+        # coordinate-keyed scheme pass their pinned entropy instead and
+        # the rng is never consumed.
+        entropy = int(rng.integers(0, 2**63 - 1))
     spec = JobSpec(
         n=store.n,
         theta=int(roots.size),
@@ -280,9 +306,10 @@ def fill_store_distributed(
         num_blocks=store.num_blocks,
         models=tuple(models),
         backend=backend,
-        entropy=entropy,
+        entropy=int(entropy),
         fingerprint=store.fingerprint,
         piece_graphs=list(piece_graphs),
+        keyed=bool(keyed),
     )
     # The manifest and roots.npy are already on disk (begin/save_roots
     # ran before us), so a worker that sees the spec can open the store.

@@ -48,6 +48,7 @@ from repro import native as _native
 from repro.exceptions import ConfigError, StoreBusyError, StoreError
 from repro.native import kernels as _nk
 from repro.runtime import DEFAULT_STORE, STORES
+from repro.sampling.touch import summary_may_touch, touch_summary
 from repro.utils.frontier import frontier_edge_slots
 
 __all__ = [
@@ -73,6 +74,13 @@ DEFAULT_MAX_RESIDENT_BYTES = 256 * 1024 * 1024
 
 _MANIFEST = "manifest.json"
 _FORMAT = 1
+#: Manifest schema version, independent of the shard *payload* format
+#: (``_FORMAT``, embedded in every store fingerprint — bumping it would
+#: orphan every existing shard directory).  Version 2 adds per-shard
+#: vertex-touch summaries; directories whose manifest predates the
+#: field read as version 1 and degrade to "invalidate everything" on a
+#: graph delta instead of raising.
+_MANIFEST_VERSION = 2
 
 #: Committed shard filenames — the on-disk source of truth for block
 #: completion (see :meth:`ShardStore.rescan`).  ``.tmp`` staging files
@@ -88,8 +96,14 @@ _SEG_CACHE_MAX_BYTES = 64 * 1024 * 1024
 #: straight to the vectorised coalescing reader, whose O(1)-ish read
 #: count already wins there and whose per-entry cost is lower.  The
 #: crossover (measured, tmpfs) sits near 100 vertices; 64 keeps a
-#: comfortable margin on both sides.
+#: comfortable margin on both sides and is the *starting point* of the
+#: adaptive crossover (``ShardStore._adapt_seg_limit``), which re-fits
+#: the limit from observed hit rate and segment sizes within
+#: [_SEG_LIMIT_MIN, _SEG_LIMIT_MAX] every _SEG_ADAPT_EVERY lookups.
 _SEG_POOL_LIMIT = 64
+_SEG_LIMIT_MIN = 16
+_SEG_LIMIT_MAX = 512
+_SEG_ADAPT_EVERY = 1024
 
 _EMPTY_I64 = np.zeros(0, dtype=np.int64)
 
@@ -278,6 +292,63 @@ class SampleStore:
                 f"ptr[-1] = {int(ptr[-1])}"
             )
 
+    # -- incremental protocol -------------------------------------------
+
+    @property
+    def supports_touch(self) -> bool:
+        """Whether this store carries per-shard vertex-touch summaries.
+
+        ``False`` makes every delta invalidation conservative (all
+        blocks dirty) — the contract for stores, or shard directories,
+        that predate touch tracking.
+        """
+        return False
+
+    def block_touch(self, piece: int, block: int) -> np.ndarray | None:
+        """One shard's touch summary, or ``None`` when it has none."""
+        return None
+
+    def blocks_touching(self, piece: int, vertices: np.ndarray) -> list[int]:
+        """Blocks whose RR sets may contain any of ``vertices``.
+
+        The delta-invalidation query: a block absent from the result is
+        *guaranteed* clean (no RR set in it contains a dirty vertex), a
+        listed block may be a false positive.  Blocks without a touch
+        summary — or any store with ``supports_touch`` false — are
+        always listed, so degradation is conservative, never unsound.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return []
+        out = []
+        for block in range(self.num_blocks):
+            summary = (
+                self.block_touch(piece, block) if self.supports_touch else None
+            )
+            if summary is None or summary_may_touch(summary, vertices):
+                out.append(block)
+        return out
+
+    def invalidate_blocks(self, pairs) -> None:
+        """Discard the listed ``(piece, block)`` shards for resampling.
+
+        De-finalizes the store: the caller must re-commit the dropped
+        blocks via :meth:`put_block` and call :meth:`finalize` again.
+        """
+        raise StoreError(
+            f"{type(self).__name__} does not support partial invalidation"
+        )
+
+    def retarget(self, theta: int, *, fingerprint: str | None = None) -> None:
+        """Grow the store to a larger ``theta`` and/or new fingerprint.
+
+        Existing full blocks survive; the caller appends the missing
+        blocks and re-finalizes.  Shrinking is not supported.
+        """
+        raise StoreError(
+            f"{type(self).__name__} does not support retargeting"
+        )
+
     # -- read protocol --------------------------------------------------
 
     @property
@@ -346,6 +417,9 @@ class MemoryStore(SampleStore):
         self._rr_nodes: list[np.ndarray] = []
         self._idx_ptr: list[np.ndarray] = []
         self._idx_samples: list[np.ndarray] = []
+        # (piece, block) -> touch summary; kept outside _pending so it
+        # survives finalize() and serves later delta invalidations.
+        self._touch: dict[tuple[int, int], np.ndarray] = {}
 
     @classmethod
     def from_arrays(cls, n, rr_ptr, rr_nodes) -> "MemoryStore":
@@ -399,6 +473,11 @@ class MemoryStore(SampleStore):
         self._pending = [{} for _ in range(self.num_pieces)]
 
     def has_block(self, piece: int, block: int) -> bool:
+        # A finalized store holds every in-range block (_pending was
+        # folded into the CSR) — reached by a no-op incremental update
+        # whose surgery invalidated nothing and grew nothing.
+        if self.finalized:
+            return 0 <= piece < self.num_pieces and 0 <= block < self.num_blocks
         return block in self._pending[piece]
 
     def put_block(self, piece, block, ptr, nodes) -> None:
@@ -406,6 +485,81 @@ class MemoryStore(SampleStore):
         nodes = np.asarray(nodes, dtype=np.int64)
         self._check_block(piece, block, ptr, nodes)
         self._pending[piece][block] = (ptr, nodes)
+        self._touch[(piece, block)] = touch_summary(nodes)
+
+    @property
+    def supports_touch(self) -> bool:
+        return True
+
+    def block_touch(self, piece: int, block: int) -> np.ndarray | None:
+        # Wrapped pre-built arrays (from_arrays / from_finalized_arrays)
+        # never saw put_block, so their blocks read as summary-less and
+        # blocks_touching degrades to all-dirty — conservative, sound.
+        return self._touch.get((piece, block))
+
+    def _materialize_pending(self) -> None:
+        """Re-slice the finalized CSR back into per-block shards.
+
+        The inverse of :meth:`finalize`, run before a partial
+        invalidation or theta growth: surviving blocks become pending
+        again (copied — the finalized arrays are dropped), and the
+        store can accept :meth:`put_block` for the holes.
+        """
+        if not self.finalized:
+            return
+        self._pending = []
+        for j in range(self.num_pieces):
+            ptr, nodes = self._rr_ptr[j], self._rr_nodes[j]
+            blocks: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            for b in range(self.num_blocks):
+                lo, hi = self._block_span(b)
+                blocks[b] = (
+                    (ptr[lo : hi + 1] - ptr[lo]).copy(),
+                    nodes[ptr[lo] : ptr[hi]].copy(),
+                )
+            self._pending.append(blocks)
+        self._rr_ptr = []
+        self._rr_nodes = []
+        self._idx_ptr = []
+        self._idx_samples = []
+        self.finalized = False
+
+    def invalidate_blocks(self, pairs) -> None:
+        pairs = sorted({(int(p), int(b)) for p, b in pairs})
+        for piece, block in pairs:
+            if not (
+                0 <= piece < self.num_pieces and 0 <= block < self.num_blocks
+            ):
+                raise StoreError(
+                    f"cannot invalidate (piece {piece}, block {block}) "
+                    f"outside ({self.num_pieces}, {self.num_blocks})"
+                )
+        if not pairs:
+            return
+        self._materialize_pending()
+        for key in pairs:
+            self._pending[key[0]].pop(key[1], None)
+            self._touch.pop(key, None)
+
+    def retarget(self, theta, *, fingerprint=None) -> None:
+        theta = int(theta)
+        if theta < self.theta:
+            raise StoreError(
+                f"cannot shrink a store from theta={self.theta} to {theta}"
+            )
+        if theta == self.theta:
+            return
+        self._materialize_pending()
+        last = self.num_blocks - 1
+        lo, old_hi = self._block_span(last)
+        self.theta = theta
+        self.num_blocks = -(-theta // self.block_size)
+        if min(lo + self.block_size, theta) != old_hi:
+            # The old tail block's span grew: its committed ptr no
+            # longer matches, so it resamples with the appended range.
+            for j in range(self.num_pieces):
+                self._pending[j].pop(last, None)
+                self._touch.pop((j, last), None)
 
     def finalize(self) -> None:
         if self.finalized:
@@ -597,6 +751,12 @@ class ShardStore(SampleStore):
         self._seg_bytes = 0
         self._seg_hits = 0
         self._seg_misses = 0
+        # Adaptive pool-size crossover: the largest request pool the
+        # segment LRU serves, re-fit from observed hit rate and segment
+        # sizes every _SEG_ADAPT_EVERY lookups (see _adapt_seg_limit).
+        self._seg_limit = _SEG_POOL_LIMIT
+        self._seg_adapt_mark = 0
+        self.manifest_version = _MANIFEST_VERSION
 
     # -- paths ----------------------------------------------------------
 
@@ -625,6 +785,7 @@ class ShardStore(SampleStore):
             return
         payload = {
             "format": _FORMAT,
+            "version": self.manifest_version,
             "n": self.n,
             "num_pieces": self.num_pieces,
             "theta": self.theta,
@@ -656,8 +817,15 @@ class ShardStore(SampleStore):
         manifest = self._read_manifest()
         if manifest is None:
             self._completed = set()
+            self.manifest_version = _MANIFEST_VERSION
             self._write_manifest()
             return
+        # A manifest that predates the version field is version 1: its
+        # shards carry no touch summaries, so delta invalidation must
+        # degrade to all-blocks-dirty.  The version is *sticky* — a
+        # resume never upgrades it, because resumed v1 shards stay
+        # summary-less even though new commits would carry summaries.
+        self.manifest_version = int(manifest.get("version", 1))
         expected = {
             "n": self.n,
             "num_pieces": self.num_pieces,
@@ -732,7 +900,12 @@ class ShardStore(SampleStore):
         tmp = f"{path}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp"
         try:
             with open(tmp, "wb") as fh:
-                np.savez(fh, ptr=ptr, nodes=nodes)
+                # The touch member rides along in every shard; readers
+                # that predate it load only ptr/nodes and never see it,
+                # and v1 directories ignore it via the manifest version.
+                np.savez(
+                    fh, ptr=ptr, nodes=nodes, touch=touch_summary(nodes)
+                )
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -742,6 +915,20 @@ class ShardStore(SampleStore):
             raise
         self._completed.add((piece, block))
         self._write_manifest()
+
+    @property
+    def supports_touch(self) -> bool:
+        return self.manifest_version >= 2
+
+    def block_touch(self, piece: int, block: int) -> np.ndarray | None:
+        path = self._block_path(piece, block)
+        try:
+            with np.load(path) as payload:
+                if "touch" not in payload.files:
+                    return None
+                return payload["touch"].astype(np.int64, copy=False)
+        except Exception:  # noqa: BLE001 — unreadable summary = dirty
+            return None
 
     def _load_block_file(
         self, piece: int, block: int
@@ -757,6 +944,114 @@ class ShardStore(SampleStore):
             raise StoreError(
                 f"shard {path} is missing or corrupted: {err}"
             ) from err
+
+    def _check_mutable(self, what: str) -> None:
+        if self.shared_writer:
+            raise StoreError(
+                f"a shared-writer store cannot {what} — only the "
+                f"coordinator owns store mutation"
+            )
+
+    def _drop_piece_index(self, piece: int) -> None:
+        """Remove one piece's index files — the staleness marker.
+
+        :meth:`finalize` rebuilds exactly the pieces whose index files
+        are missing, so dropping them here and deleting the stale
+        shards is the whole invalidation protocol; a crash between the
+        two steps leaves a directory that simply rebuilds more.
+        """
+        fh = self._idx_files.pop(piece, None)
+        if fh is not None:
+            fh.close()
+        self._idx_ptr.pop(piece, None)
+        self._sizes.pop(piece, None)
+        for path in (
+            self._idx_ptr_path(piece),
+            self._sizes_path(piece),
+            self._idx_bin_path(piece),
+        ):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        for key in [k for k in self._seg_cache if k[0] == piece]:
+            seg = self._seg_cache.pop(key)
+            self._seg_bytes -= seg.nbytes
+
+    def _piece_index_ready(self, piece: int) -> bool:
+        """Whether one piece's full index triple is on disk.
+
+        Committed shards are immutable, so an existing index triple is
+        always consistent with the shard files — the only way a piece
+        goes stale is through :meth:`_drop_piece_index`, which removes
+        the files (and the index writes themselves are rename-atomic).
+        """
+        return all(
+            os.path.exists(p)
+            for p in (
+                self._idx_ptr_path(piece),
+                self._sizes_path(piece),
+                self._idx_bin_path(piece),
+            )
+        )
+
+    def _drop_block(self, piece: int, block: int) -> None:
+        try:
+            os.remove(self._block_path(piece, block))
+        except OSError:
+            pass
+        self._completed.discard((piece, block))
+        hit = self._cache.pop((piece, block), None)
+        if hit is not None:
+            self._cache_bytes -= hit[0].nbytes + hit[1].nbytes
+
+    def invalidate_blocks(self, pairs) -> None:
+        self._check_mutable("invalidate blocks")
+        pairs = sorted({(int(p), int(b)) for p, b in pairs})
+        for piece, block in pairs:
+            if not (
+                0 <= piece < self.num_pieces and 0 <= block < self.num_blocks
+            ):
+                raise StoreError(
+                    f"cannot invalidate (piece {piece}, block {block}) "
+                    f"outside ({self.num_pieces}, {self.num_blocks})"
+                )
+        if not pairs:
+            return
+        for piece, block in pairs:
+            self._drop_block(piece, block)
+        for piece in sorted({p for p, _ in pairs}):
+            self._drop_piece_index(piece)
+        self.finalized = False
+        self._write_manifest()
+
+    def retarget(self, theta, *, fingerprint=None) -> None:
+        self._check_mutable("retarget")
+        theta = int(theta)
+        if theta < self.theta:
+            raise StoreError(
+                f"cannot shrink a store from theta={self.theta} to {theta}"
+            )
+        if theta == self.theta:
+            if fingerprint is not None and fingerprint != self.fingerprint:
+                self.fingerprint = fingerprint
+                self._write_manifest()
+            return
+        last = self.num_blocks - 1
+        lo, old_hi = self._block_span(last)
+        self.theta = theta
+        self.num_blocks = -(-theta // self.block_size)
+        if min(lo + self.block_size, theta) != old_hi:
+            for j in range(self.num_pieces):
+                self._drop_block(j, last)
+        # Every piece index covers the old theta (sizes is O(theta)):
+        # all of them rebuild over the appended range.
+        for j in range(self.num_pieces):
+            self._drop_piece_index(j)
+        if fingerprint is not None:
+            self.fingerprint = fingerprint
+        self.finalized = False
+        self._write_manifest()
 
     def finalize(self) -> None:
         if self.finalized:
@@ -778,7 +1073,12 @@ class ShardStore(SampleStore):
                 f"committed, first {missing[:4]}"
             )
         for j in range(self.num_pieces):
-            self._build_piece_index(j)
+            # Partial re-finalize: only pieces whose index files were
+            # dropped (delta invalidation, theta growth, a torn earlier
+            # finalize) rebuild — committed shards are immutable, so a
+            # surviving index triple is still exact.
+            if not self._piece_index_ready(j):
+                self._build_piece_index(j)
         self.finalized = True
         self._write_manifest()
 
@@ -878,10 +1178,26 @@ class ShardStore(SampleStore):
                         )
                     except OSError:
                         pass
-        np.save(self._idx_ptr_path(piece), idx_ptr)
-        np.save(self._sizes_path(piece), sizes)
+        self._atomic_save(self._idx_ptr_path(piece), idx_ptr)
+        self._atomic_save(self._sizes_path(piece), sizes)
         self._idx_ptr[piece] = idx_ptr
         self._sizes[piece] = sizes
+
+    def _atomic_save(self, path: str, arr: np.ndarray) -> None:
+        """Rename-atomic ``np.save`` — a torn write never half-replaces
+        an index file another process may be reading (or that
+        :meth:`_piece_index_ready` would trust)."""
+        tmp = f"{path}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                np.save(fh, arr)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- reload ---------------------------------------------------------
 
@@ -933,7 +1249,9 @@ class ShardStore(SampleStore):
         return store
 
     def save_roots(self, roots: np.ndarray) -> None:
-        np.save(self._path("roots.npy"), np.asarray(roots, dtype=np.int64))
+        self._atomic_save(
+            self._path("roots.npy"), np.asarray(roots, dtype=np.int64)
+        )
 
     def load_roots(self) -> np.ndarray:
         path = self._path("roots.npy")
@@ -961,6 +1279,7 @@ class ShardStore(SampleStore):
             "index_cache_misses": self._seg_misses,
             "index_cache_entries": len(self._seg_cache),
             "index_cache_bytes": self._seg_bytes,
+            "index_cache_pool_limit": self._seg_limit,
             "block_cache_bytes": self._cache_bytes,
         }
 
@@ -1052,10 +1371,36 @@ class ShardStore(SampleStore):
         # The segment LRU pays O(pool) Python-level bookkeeping, which
         # only beats the vectorised coalescing reader for the small hot
         # pools solvers hammer (CELF marginal re-scores, BAB child
-        # evaluations); large scans go straight to the file path.
-        if self._seg_budget <= 0 or vertices.size > _SEG_POOL_LIMIT:
+        # evaluations); large scans go straight to the file path.  The
+        # crossover starts at the measured-on-tmpfs default and adapts
+        # to the observed hit rate and segment sizes; both paths return
+        # byte-identical output, so the switch point never changes
+        # results.
+        if self._seg_budget <= 0 or vertices.size > self._seg_limit:
             return self._gather_slabs(piece, ptr, vertices, deg, total), deg
         return self._gather_via_segments(piece, ptr, vertices, deg, total), deg
+
+    def _adapt_seg_limit(self) -> None:
+        """Re-fit the segment-LRU pool-size crossover from live stats.
+
+        A hot cache (high hit rate) means the Python-level bookkeeping
+        is amortised by avoided reads, so the crossover moves up — a
+        cold one pushes it back toward the coalescing reader.  The
+        limit is additionally capped so one served pool cannot exceed
+        the cache budget at the observed average segment size (admitting
+        a pool that can never fit just churns the LRU).
+        """
+        lookups = self._seg_hits + self._seg_misses
+        if not lookups:
+            return
+        hit_rate = self._seg_hits / lookups
+        limit = int(_SEG_POOL_LIMIT * (0.5 + 2.0 * hit_rate))
+        if self._seg_cache:
+            avg_bytes = max(self._seg_bytes // len(self._seg_cache), 1)
+            limit = min(limit, max(self._seg_budget // avg_bytes, 1))
+        self._seg_limit = int(
+            min(max(limit, _SEG_LIMIT_MIN), _SEG_LIMIT_MAX)
+        )
 
     def _gather_via_segments(self, piece, ptr, vertices, deg, total):
         """Serve hot slabs from the segment LRU, read the rest, merge.
@@ -1082,6 +1427,10 @@ class ShardStore(SampleStore):
                 hits += 1
         self._seg_hits += hits
         self._seg_misses += len(miss_pos)
+        lookups = self._seg_hits + self._seg_misses
+        if lookups - self._seg_adapt_mark >= _SEG_ADAPT_EVERY:
+            self._seg_adapt_mark = lookups
+            self._adapt_seg_limit()
         if miss_pos:
             sub = vertices[miss_pos]
             sub_deg = deg[miss_pos]

@@ -45,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="job-record spool directory (default: REPRO_SPOOL)",
     )
     parser.add_argument(
+        "--job-ttl", type=float, default=None, metavar="SECONDS",
+        help="evict terminal job records older than this many seconds "
+        "(default: keep forever)",
+    )
+    parser.add_argument(
         "--executor", default=None, choices=list(EXECUTORS),
         help="sampling executor for jobs — 'spawned' runs disk-store "
         "generation as cooperating worker processes "
@@ -71,6 +76,8 @@ def main(argv=None) -> int:
     kwargs = {"workers": args.workers, "runtime": runtime}
     if args.spool is not None:
         kwargs["spool_dir"] = args.spool
+    if args.job_ttl is not None:
+        kwargs["job_ttl"] = args.job_ttl
     queue = JobQueue(**kwargs)
     server = create_server(queue, host=args.host, port=args.port)
     cache = (

@@ -11,6 +11,8 @@ Routes::
     GET  /v1/jobs/{id}/result fetch the result             → 200 when done,
                               202 while pending, 409 failed/cancelled
     POST /v1/jobs/{id}/cancel cancel a not-yet-running job → 200 record
+    POST /v1/jobs/{id}/update submit an incremental update → 201 record
+                              (body: {"delta": {...}, "method"?: "..."})
     GET  /healthz             liveness                     → 200
     GET  /metrics             queue + cache counters       → 200
 
@@ -173,6 +175,26 @@ class _Handler(BaseHTTPRequestHandler):
             self.queue.cancel(job_id)
             self._send_json(
                 200, self.queue.payload(job_id, with_result=False)
+            )
+            return
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "jobs"]
+            and parts[3] == "update"
+        ):
+            job_id = self._job_id(parts)
+            if job_id is None:
+                return
+            payload = self._read_body()
+            if payload is None:
+                return
+            try:
+                record = self.queue.submit_update(job_id, payload)
+            except ConfigError as err:
+                self._error(400, str(err))
+                return
+            self._send_json(
+                201, self.queue.payload(record.id, with_result=False)
             )
             return
         self._error(405 if parts[:1] == ["healthz"] else 404,

@@ -106,6 +106,13 @@ class JobSpec:
     evaluate: bool = True
     eval_theta: int | None = None
     options: dict = field(default_factory=dict)
+    #: Id of the job this spec is an incremental update of (set by
+    #: ``POST /v1/jobs/{id}/update``; always together with ``delta``).
+    update_of: str | None = None
+    #: Graph-delta payload (``GraphDelta.to_payload`` shape) applied by
+    #: the incremental execution path.  The spec stays self-contained:
+    #: chained updates compose their deltas against the base dataset.
+    delta: dict | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASET_SPECS:
@@ -162,10 +169,27 @@ class JobSpec:
             raise ConfigError(
                 f"options must be JSON-serialisable: {err}"
             ) from err
+        if (self.update_of is None) != (self.delta is None):
+            raise ConfigError(
+                "update_of and delta must be provided together"
+            )
+        if self.update_of is not None and not isinstance(self.update_of, str):
+            raise ConfigError(
+                f"update_of must be a job id string, got {self.update_of!r}"
+            )
+        if self.delta is not None:
+            from repro.exceptions import DeltaError
+            from repro.incremental.delta import GraphDelta
+
+            try:
+                GraphDelta.from_payload(self.delta)
+            except DeltaError as err:
+                raise ConfigError(f"invalid delta payload: {err}") from err
 
     _FIELDS = (
         "dataset", "theta", "method", "pieces", "k", "seed", "scale",
         "pool_fraction", "model", "evaluate", "eval_theta", "options",
+        "update_of", "delta",
     )
 
     @classmethod
@@ -289,6 +313,15 @@ class JobStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+
+    def delete(self, job_id: str) -> None:
+        """Remove one record file from the spool (missing is a no-op)."""
+        if self.spool_dir is None:
+            return
+        try:
+            os.remove(self._path(job_id))
+        except OSError:
+            pass
 
     def recover(self) -> dict[str, JobRecord]:
         """Reload the spool; mark interrupted jobs failed.

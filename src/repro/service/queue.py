@@ -83,6 +83,8 @@ def execute_spec(spec: JobSpec, *, runtime=None) -> tuple[dict, list]:
     # the context manager releases the session's warm sampling pool
     # even when the solver raises (the failure is recorded on the job)
     with session:
+        if spec.delta is not None:
+            return _execute_update(session, spec)
         if spec.evaluate:
             result = session.run(
                 spec.method,
@@ -120,6 +122,61 @@ def execute_spec(spec: JobSpec, *, runtime=None) -> tuple[dict, list]:
     return payload, trace
 
 
+def _execute_update(session: Session, spec: JobSpec) -> tuple[dict, list]:
+    """The incremental execution path of a ``delta``-carrying spec.
+
+    Self-contained rather than stateful: the worker replays the base
+    campaign on the incremental tier (every completed stage a cache hit
+    when an artifact store is shared), then absorbs the composed delta
+    through :meth:`~repro.api.Session.update` — regenerating only the
+    delta-touched shards and re-solving warm.  The result payload gains
+    an ``"incremental"`` block with the update's reuse accounting.
+    """
+    from repro.incremental.delta import GraphDelta
+
+    session.sample_incremental(spec.theta)
+    session.solve(spec.method, evaluate=False, **spec.options)
+    update = session.update(
+        GraphDelta.from_payload(spec.delta),
+        method=spec.method,
+        evaluate=spec.evaluate,
+        eval_theta=spec.eval_theta,
+        **spec.options,
+    )
+    result = update.result
+    payload = {
+        "method": result.method,
+        "seed_sets": [sorted(int(v) for v in s) for s in result.seed_sets],
+        "estimate": float(result.estimate),
+        "evaluation": (
+            None if result.evaluation is None else float(result.evaluation)
+        ),
+        "diagnostics": _jsonable(result.diagnostics),
+        "incremental": {
+            "theta_old": update.trace.theta_old,
+            "theta_new": update.trace.theta_new,
+            "shards_total": update.trace.shards_total,
+            "shards_kept": update.trace.shards_kept,
+            "shards_invalidated": update.trace.shards_invalidated,
+            "shards_appended": update.trace.shards_appended,
+            "shards_resampled": update.trace.shards_resampled,
+            "dirty_vertices": update.trace.dirty_vertices,
+            "staleness": update.trace.staleness,
+        },
+    }
+    trace = [
+        {
+            "stage": e.stage,
+            "action": e.action,
+            "detail": e.detail,
+            "seconds": e.seconds,
+            "extra": _jsonable(e.extra),
+        }
+        for e in session.stage_trace
+    ]
+    return payload, trace
+
+
 class JobQueue:
     """Submit/poll/cancel campaign jobs executed by background threads.
 
@@ -139,6 +196,12 @@ class JobQueue:
     spool_dir:
         Job-record spool directory; defaults to ``REPRO_SPOOL``.  Pass
         ``None`` explicitly for a memory-only (non-persistent) queue.
+    job_ttl:
+        Terminal-record retention in seconds.  ``None`` (default) keeps
+        records forever; with a TTL, a periodic sweep drops terminal
+        records whose ``finished_at`` is older than the TTL from both
+        memory and the spool, bounding an always-on service's footprint.
+        Queued/running jobs are never evicted.
     """
 
     def __init__(
@@ -147,6 +210,7 @@ class JobQueue:
         workers: int | None = None,
         runtime=None,
         spool_dir=_UNSET,
+        job_ttl: float | None = None,
     ) -> None:
         if workers is None:
             workers = DEFAULT_SERVICE_WORKERS
@@ -159,6 +223,16 @@ class JobQueue:
                 f"workers must be a positive integer, got {workers!r}"
             )
         self.workers = workers
+        if job_ttl is not None and (
+            isinstance(job_ttl, bool)
+            or not isinstance(job_ttl, (int, float))
+            or job_ttl <= 0
+        ):
+            raise ConfigError(
+                f"job_ttl must be a positive number of seconds or None, "
+                f"got {job_ttl!r}"
+            )
+        self.job_ttl = None if job_ttl is None else float(job_ttl)
         base = as_runtime(runtime)
         self.artifact_store = resolve_runtime(
             base, caller="JobQueue"
@@ -176,6 +250,8 @@ class JobQueue:
         self._lock = threading.Lock()
         self._flights: dict[str, tuple[threading.Lock, int]] = {}
         self._coalesced = 0
+        self._evicted = 0
+        self._last_sweep = time.monotonic()
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
@@ -205,10 +281,47 @@ class JobQueue:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- spool eviction ----------------------------------------------------
+
+    def sweep(self, *, now: float | None = None) -> int:
+        """Evict terminal records older than the TTL; returns the count.
+
+        Called opportunistically from the submit/metrics paths (at most
+        once per quarter-TTL) and directly by tests.  Only terminal
+        records age out — their ``finished_at`` is the clock —  so a
+        stuck-running job is never silently forgotten.
+        """
+        if self.job_ttl is None:
+            return 0
+        cutoff = (now if now is not None else time.time()) - self.job_ttl
+        evicted: list[str] = []
+        with self._lock:
+            for job_id, record in list(self._records.items()):
+                if not record.terminal:
+                    continue
+                finished = record.finished_at or record.submitted_at
+                if finished < cutoff:
+                    del self._records[job_id]
+                    self._futures.pop(job_id, None)
+                    evicted.append(job_id)
+            self._evicted += len(evicted)
+            self._last_sweep = time.monotonic()
+        for job_id in evicted:
+            self.store.delete(job_id)
+        return len(evicted)
+
+    def _maybe_sweep(self) -> None:
+        if self.job_ttl is None:
+            return
+        interval = min(self.job_ttl / 4.0, 60.0)
+        if time.monotonic() - self._last_sweep >= interval:
+            self.sweep()
+
     # -- submission and polling --------------------------------------------
 
     def submit(self, spec) -> JobRecord:
         """Validate and enqueue one job; returns its (live) record."""
+        self._maybe_sweep()
         if isinstance(spec, dict):
             spec = JobSpec.from_payload(spec)
         if not isinstance(spec, JobSpec):
@@ -233,6 +346,50 @@ class JobQueue:
                 self._run_job, record.id
             )
         return record
+
+    def submit_update(self, base_id: str, payload) -> JobRecord:
+        """Enqueue an incremental update of job ``base_id``.
+
+        ``payload`` is ``{"delta": {...}, "method"?: "..."}`` — the
+        delta in :meth:`GraphDelta.to_payload` shape.  The new job's
+        spec is the base spec plus the delta (composed with the base's
+        own delta when updating an update), so it stays self-contained:
+        any worker — or a restarted service — can execute it from the
+        dataset alone, with the shared artifact cache absorbing the
+        replayed stages.  Raises ``KeyError`` for an unknown base job.
+        """
+        base = self.get(base_id)  # KeyError → 404 at the HTTP layer
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"update payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - {"delta", "method"})
+        if unknown:
+            raise ConfigError(
+                f"unknown update field(s) {unknown}; legal fields: "
+                f"['delta', 'method']"
+            )
+        if "delta" not in payload:
+            raise ConfigError("update payload is missing 'delta'")
+        from repro.exceptions import DeltaError
+        from repro.incremental.delta import GraphDelta
+
+        try:
+            delta = GraphDelta.from_payload(payload["delta"])
+            if base.spec.delta is not None:
+                delta = GraphDelta.from_payload(base.spec.delta).compose(
+                    delta
+                )
+        except DeltaError as err:
+            raise ConfigError(f"invalid delta payload: {err}") from err
+        spec = dataclasses.replace(
+            base.spec,
+            update_of=base_id,
+            delta=delta.to_payload(),
+            method=payload.get("method", base.spec.method),
+        )
+        return self.submit(spec)
 
     def get(self, job_id: str) -> JobRecord:
         """The live record for ``job_id`` (KeyError when unknown)."""
@@ -279,9 +436,11 @@ class JobQueue:
 
     def metrics(self) -> dict:
         """Queue and cache counters for the ``/metrics`` endpoint."""
+        self._maybe_sweep()
         with self._lock:
             states = [r.state for r in self._records.values()]
             coalesced = self._coalesced
+            evicted = self._evicted
         cache = (
             self.artifact_store.stats()
             if self.artifact_store is not None
@@ -299,6 +458,8 @@ class JobQueue:
             "queue_depth": states.count("queued"),
             "workers": self.workers,
             "single_flight_coalesced": coalesced,
+            "job_ttl": self.job_ttl,
+            "jobs_evicted": evicted,
             "cache": cache,
         }
 

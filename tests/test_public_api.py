@@ -28,10 +28,14 @@ PUBLIC_EXPORTS = [
     "CliqueReduction",
     "ConfigError",
     "DatasetError",
+    "DeltaError",
     "DiskArtifactStore",
+    "EdgeOp",
     "ExperimentError",
+    "GraphDelta",
     "GraphError",
     "GraphFormatError",
+    "IncrementalTrace",
     "InfluenceServer",
     "JobQueue",
     "JobRecord",
@@ -61,7 +65,9 @@ PUBLIC_EXPORTS = [
     "StoreError",
     "TopicError",
     "TopicGraph",
+    "UpdateResult",
     "__version__",
+    "apply_delta",
     "available_solvers",
     "brute_force_oipa",
     "create_server",
@@ -176,8 +182,8 @@ def test_entry_signature_snapshot():
 
 def test_registered_solvers_snapshot():
     assert repro.available_solvers() == (
-        "bab", "bab-p", "brute-force", "celf", "im", "local-search",
-        "ris", "tim",
+        "bab", "bab-p", "brute-force", "celf", "celf-mrr", "im",
+        "local-search", "ris", "tim",
     )
 
 
